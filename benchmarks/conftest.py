@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+same rows/series the figure reports (run pytest with ``-s`` to see them).  By
+default the reduced "quick" experiment scale is used so the whole suite runs in
+a few minutes; set ``AGAR_BENCH_FULL=1`` to run at the paper's full scale
+(5 runs × 1,000 reads per configuration).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+
+
+def bench_settings() -> ExperimentSettings:
+    """The experiment scale used by the benchmark suite."""
+    if os.environ.get("AGAR_BENCH_FULL") == "1":
+        return ExperimentSettings.paper()
+    return ExperimentSettings.quick()
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Session-wide experiment settings (quick by default)."""
+    return bench_settings()
+
+
+def emit(title: str, text: str) -> None:
+    """Print a rendered experiment table (visible with ``pytest -s``)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")

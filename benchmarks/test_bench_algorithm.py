@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the algorithm itself (§VI numbers) and of the substrates.
+
+The paper reports two performance figures for the Agar machinery: processing a
+client request in the Request Monitor / Cache Manager takes ≈ 0.5 ms, and one
+run of the cache-configuration algorithm takes ≈ 5 ms, with cost governed by
+the cache size rather than by the dataset size.  These benchmarks measure the
+same quantities, plus the raw Reed-Solomon throughput of the coding substrate.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.core.knapsack import KnapsackSolver
+from repro.erasure import ErasureCodec, ErasureCodingParams
+from repro.experiments.ablation import synthetic_options
+from repro.experiments.microbench import run_capacity_scaling, run_microbench
+
+
+def test_bench_request_processing(benchmark, settings):
+    """§VI: average time for the request monitor + cache manager per request."""
+    result = run_microbench(settings, cache_capacity_bytes=10 * 1024 * 1024)
+
+    from repro.backend import ErasureCodedStore
+    from repro.core.agar_node import AgarNode
+    from repro.geo import default_topology
+
+    store = ErasureCodedStore(default_topology(seed=settings.seed))
+    store.populate(settings.object_count, settings.object_size)
+    node = AgarNode("frankfurt", store, cache_capacity_bytes=10 * 1024 * 1024)
+
+    benchmark(node.request_monitor.record_request, "object-1")
+    emit("§VI request-monitor overhead",
+         f"measured {result.request_processing_ms:.4f} ms per request (paper: ≈0.5 ms)")
+    assert result.request_processing_ms < 2.0
+
+
+def test_bench_reconfiguration(benchmark, settings):
+    """§VI: one full run of the cache-configuration algorithm (10 MB cache)."""
+    from repro.backend import ErasureCodedStore
+    from repro.core.agar_node import AgarNode
+    from repro.geo import default_topology
+    from repro.workload.workload import generate_requests
+
+    store = ErasureCodedStore(default_topology(seed=settings.seed))
+    store.populate(settings.object_count, settings.object_size)
+    node = AgarNode("frankfurt", store, cache_capacity_bytes=10 * 1024 * 1024)
+    for request in generate_requests(settings.workload(1.1), seed=settings.seed):
+        node.request_monitor.record_request(request.key)
+    popularity = node.request_monitor.end_period()
+
+    benchmark.pedantic(node.cache_manager.reconfigure, args=(popularity,), rounds=5, iterations=1)
+    emit("§VI cache-manager run time",
+         f"candidate objects: {len(popularity)}; capacity: {node.cache_manager.capacity_chunks} chunks")
+
+
+def test_bench_reconfiguration_scaling(benchmark, settings):
+    """§VI: the algorithm's cost grows with the cache size, not the dataset size."""
+    rows = benchmark.pedantic(run_capacity_scaling, kwargs={"settings": settings,
+                                                            "cache_sizes_mb": (5, 10, 20, 50)},
+                              rounds=1, iterations=1)
+    emit("Reconfiguration time vs cache size",
+         "\n".join(f"  {row.cache_capacity_mb:5.0f} MB -> {row.reconfiguration_ms:8.1f} ms"
+                   for row in rows))
+    times = {row.cache_capacity_mb: row.reconfiguration_ms for row in rows}
+    assert times[50] >= times[5]
+    benchmark.extra_info["ms_per_size"] = {f"{size:.0f}MB": round(ms, 1) for size, ms in times.items()}
+
+
+def test_bench_knapsack_solver(benchmark):
+    """Raw solver throughput on a 90-chunk cache with 60 candidate objects."""
+    options = synthetic_options(object_count=60, skew=1.1, seed=5)
+    solver = KnapsackSolver(capacity_weight=90)
+    result = benchmark(solver.solve, options)
+    assert result.best.weight <= 90
+
+
+def test_bench_reed_solomon_encode(benchmark):
+    """Encoding throughput of the RS(9, 3) codec on a 1 MB object."""
+    codec = ErasureCodec(ErasureCodingParams(9, 3))
+    payload = bytes(np.random.default_rng(0).integers(0, 256, 1024 * 1024, dtype=np.uint8))
+    encoded = benchmark(codec.encode, "bench", payload)
+    assert len(encoded.chunks) == 12
+
+
+def test_bench_reed_solomon_decode_with_parity(benchmark):
+    """Decoding throughput when three data chunks are missing (worst case)."""
+    codec = ErasureCodec(ErasureCodingParams(9, 3))
+    payload = bytes(np.random.default_rng(1).integers(0, 256, 1024 * 1024, dtype=np.uint8))
+    encoded = codec.encode("bench", payload)
+    available = {chunk.index: chunk for chunk in encoded.chunks if chunk.index not in (0, 1, 2)}
+    result = benchmark(codec.decode, encoded.metadata, available)
+    assert result == payload

@@ -1,0 +1,29 @@
+"""Benchmark for Fig. 10 — what Agar keeps in its cache (contents distribution)."""
+
+from conftest import emit
+
+from repro.experiments.fig10_cache_contents import diversity_check, render_fig10, run_fig10
+
+
+def test_bench_fig10_cache_contents(benchmark, settings):
+    snapshots = benchmark.pedantic(run_fig10, args=(settings,), rounds=1, iterations=1)
+    emit("Figure 10 — share of Agar's cache per cached-chunk count",
+         render_fig10(snapshots).render())
+
+    assert len(snapshots) == 4
+    for snapshot in snapshots:
+        check = diversity_check(snapshot)
+        # Agar diversifies its cache contents (§V-D): more than one bucket in
+        # use, and no single chunk-count bucket monopolises the cache.
+        assert check["distinct_buckets"] >= 2
+        assert check["largest_bucket_share"] <= 0.95
+        # The cache is actually used.
+        assert snapshot.cached_chunks > 0
+        assert snapshot.cached_chunks * 116_509 <= snapshot.cache_capacity_bytes * 1.01
+
+    # Despite diminishing returns, full replicas (9 chunks) still appear for the
+    # hottest objects in at least one scenario (§V-D's closing observation).
+    assert any(snapshot.space_share.get(9, 0.0) > 0.0 for snapshot in snapshots)
+
+    frankfurt_10 = next(s for s in snapshots if s.region == "frankfurt" and s.cache_capacity_mb == 10)
+    benchmark.extra_info["frankfurt_10MB_histogram"] = frankfurt_10.chunk_histogram

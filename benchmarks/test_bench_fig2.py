@@ -1,0 +1,21 @@
+"""Benchmark for Fig. 2 — latency vs. number of cached chunks (motivating experiment)."""
+
+from conftest import emit
+
+from repro.experiments.fig2_motivating import nonlinearity_check, render_fig2, run_fig2
+
+
+def test_bench_fig2(benchmark, settings):
+    """Sweep c ∈ {0,1,3,5,7,9} cached chunks for Frankfurt and Sydney (infinite cache)."""
+    points = benchmark.pedantic(run_fig2, args=(settings,), rounds=1, iterations=1)
+    emit("Figure 2 — average read latency vs cached data chunks", render_fig2(points).render())
+
+    for region in ("frankfurt", "sydney"):
+        series = {p.cached_chunks: p.mean_latency_ms for p in points if p.region == region}
+        # Caching a full replica must be much faster than no caching at all...
+        assert series[9] < series[0] * 0.45
+        # ...and the relationship is non-linear (the paper's headline observation).
+        check = nonlinearity_check(points, region)
+        assert abs(check["first_half_share"] - 0.5) > 0.05
+        benchmark.extra_info[f"{region}_c0_ms"] = round(series[0], 1)
+        benchmark.extra_info[f"{region}_c9_ms"] = round(series[9], 1)

@@ -1,0 +1,37 @@
+"""Benchmark for Fig. 6 (Frankfurt) — Agar vs LRU/LFU/backend average latency.
+
+Also prints the corresponding Fig. 7 hit-ratio rows for the same runs; the
+Sydney half of both figures lives in ``test_bench_fig7.py`` so the two
+benchmarks split the work instead of repeating it.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig6_policies import (
+    agar_advantage,
+    render_fig6,
+    render_fig7,
+    run_policy_comparison,
+)
+
+
+def test_bench_fig6_frankfurt(benchmark, settings):
+    rows = benchmark.pedantic(
+        run_policy_comparison, kwargs={"settings": settings, "regions": ("frankfurt",)},
+        rounds=1, iterations=1,
+    )
+    emit("Figure 6a — average read latency (ms), Frankfurt", render_fig6(rows).render())
+    emit("Figure 7a — hit ratio (%), Frankfurt", render_fig7(rows).render())
+
+    latencies = {row.strategy: row.mean_latency_ms for row in rows}
+    summary = agar_advantage(rows, "frankfurt")
+
+    # Shape checks mirroring the paper's Frankfurt observations.
+    assert latencies["backend"] == max(latencies.values())
+    assert latencies["agar"] <= min(latencies[s] for s in latencies if s not in ("agar", "backend"))
+    assert summary["vs_worst_pct"] > 15.0
+
+    benchmark.extra_info["agar_ms"] = round(latencies["agar"], 1)
+    benchmark.extra_info["best_static"] = summary["best_other"]
+    benchmark.extra_info["vs_best_pct"] = round(summary["vs_best_pct"], 1)
+    benchmark.extra_info["vs_worst_pct"] = round(summary["vs_worst_pct"], 1)

@@ -1,0 +1,40 @@
+"""Benchmark for Fig. 7 (Sydney) — hit ratios, plus the Fig. 6 Sydney latencies.
+
+Together with ``test_bench_fig6.py`` (Frankfurt) this regenerates both regions
+of Figs. 6 and 7.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig6_policies import (
+    agar_advantage,
+    render_fig6,
+    render_fig7,
+    run_policy_comparison,
+)
+
+
+def test_bench_fig7_sydney(benchmark, settings):
+    rows = benchmark.pedantic(
+        run_policy_comparison, kwargs={"settings": settings, "regions": ("sydney",)},
+        rounds=1, iterations=1,
+    )
+    emit("Figure 6b — average read latency (ms), Sydney", render_fig6(rows).render())
+    emit("Figure 7b — hit ratio (%), Sydney", render_fig7(rows).render())
+
+    latencies = {row.strategy: row.mean_latency_ms for row in rows}
+    hit_ratios = {row.strategy: row.hit_ratio for row in rows}
+    summary = agar_advantage(rows, "sydney")
+
+    # Shape checks mirroring the paper's Fig. 7 observations:
+    # fewer chunks per object -> higher hit ratio; Agar's hit ratio beats the
+    # full-replica static policies; the backend never hits.
+    assert hit_ratios["lfu-1"] > hit_ratios["lfu-9"]
+    assert hit_ratios["lru-1"] > hit_ratios["lru-9"]
+    assert hit_ratios["agar"] >= hit_ratios["lfu-9"]
+    assert hit_ratios["backend"] == 0.0
+    assert latencies["agar"] <= min(latencies[s] for s in latencies if s not in ("agar", "backend")) * 1.02
+
+    benchmark.extra_info["agar_hit_pct"] = round(hit_ratios["agar"] * 100, 1)
+    benchmark.extra_info["agar_ms"] = round(latencies["agar"], 1)
+    benchmark.extra_info["vs_best_pct"] = round(summary["vs_best_pct"], 1)

@@ -1,0 +1,41 @@
+"""Benchmark for Fig. 8b — influence of the workload (uniform, Zipf 0.2 – 1.4)."""
+
+import os
+
+from conftest import emit
+
+from repro.experiments.fig8_sweeps import agar_lead_by_group, render_sweep, run_fig8b
+
+QUICK_SKEWS = (0.5, 0.9, 1.1, 1.4)
+FULL_SKEWS = (0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.4)
+
+
+def test_bench_fig8b_workload(benchmark, settings):
+    skews = FULL_SKEWS if os.environ.get("AGAR_BENCH_FULL") == "1" else QUICK_SKEWS
+    points = benchmark.pedantic(
+        run_fig8b, kwargs={"settings": settings, "skews": skews},
+        rounds=1, iterations=1,
+    )
+    emit("Figure 8b — average read latency (ms) vs workload, Frankfurt, 10 MB cache",
+         render_sweep(points, "Figure 8b — vary workload").render())
+
+    by_group = {}
+    for point in points:
+        by_group.setdefault(point.group, {})[point.strategy] = point.mean_latency_ms
+
+    # Under the uniform workload the choice of policy makes little difference...
+    uniform = by_group["uniform"]
+    uniform_spread = (max(uniform.values()) - min(uniform.values())) / max(uniform.values())
+    assert uniform_spread < 0.20
+    # ...and everything stays close to the backend latency.
+    assert min(uniform.values()) > by_group["backend"]["backend"] * 0.7
+
+    # As the skew grows, caching pays off and Agar's latency drops markedly.
+    assert by_group[f"zipf-{skews[-1]:g}"]["agar"] < uniform["agar"] * 0.75
+
+    leads = agar_lead_by_group(points)
+    emit("Agar lead over the best static policy per workload",
+         "\n".join(f"  {group}: {lead:+.1f}%" for group, lead in sorted(leads.items())))
+    # Agar's lead under high skew exceeds its lead under the uniform workload.
+    assert leads[f"zipf-{skews[-1]:g}"] >= leads["uniform"] - 1.0
+    benchmark.extra_info["leads_pct"] = {group: round(lead, 1) for group, lead in leads.items()}

@@ -1,0 +1,28 @@
+"""Benchmark for Fig. 9 — cumulative popularity distributions per Zipf skew."""
+
+from conftest import emit
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig9_popularity import render_fig9, run_fig9
+
+
+def test_bench_fig9_popularity_cdf(benchmark, settings):
+    # Fig. 9 is a property of the 300-object workload generator; always use the
+    # paper's population regardless of the quick/full switch.
+    fig9_settings = ExperimentSettings(
+        runs=1, request_count=settings.request_count, object_count=300, seed=settings.seed,
+    )
+    series = benchmark.pedantic(run_fig9, args=(fig9_settings,), rounds=1, iterations=1)
+    emit("Figure 9 — cumulative request share of the x most popular objects",
+         render_fig9(series).render())
+
+    by_skew = {one.skew: one for one in series}
+    # The paper's reading example: x = 5 → ≈ 40 % of requests for a skewed workload.
+    assert 0.30 <= by_skew[1.1].analytic.value_at(5) <= 0.55
+    # Higher skew concentrates more of the workload on fewer objects.
+    assert by_skew[1.4].analytic.value_at(10) > by_skew[0.8].analytic.value_at(10) > by_skew[0.5].analytic.value_at(10)
+    # The sampled (empirical) CDF tracks the analytic one.
+    for one in series:
+        if one.empirical is not None:
+            assert abs(one.empirical.value_at(10) - one.analytic.value_at(10)) < 0.15
+    benchmark.extra_info["top5_share_zipf11"] = round(by_skew[1.1].analytic.value_at(5), 3)

@@ -1,0 +1,22 @@
+"""Analysis helpers: tables, comparison summaries and CDFs for experiments."""
+
+from repro.analysis.cdf import CdfSeries, cdf_table, empirical_cdf, popularity_cdf
+from repro.analysis.report import (
+    Table,
+    format_milliseconds,
+    format_ratio,
+    improvement_summary,
+    percent_difference,
+)
+
+__all__ = [
+    "CdfSeries",
+    "Table",
+    "cdf_table",
+    "empirical_cdf",
+    "format_milliseconds",
+    "format_ratio",
+    "improvement_summary",
+    "percent_difference",
+    "popularity_cdf",
+]

@@ -1,0 +1,67 @@
+"""Cumulative-distribution helpers (Fig. 9 and latency CDFs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CdfSeries:
+    """One cumulative-distribution series.
+
+    Attributes:
+        label: series label (e.g. ``"zipf-1.1"``).
+        x: sorted x values (object count, latency, ...).
+        y: cumulative fractions in [0, 1], same length as ``x``.
+    """
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def value_at(self, x_value: float) -> float:
+        """The cumulative fraction at ``x_value`` (step interpolation)."""
+        result = 0.0
+        for x, y in zip(self.x, self.y):
+            if x <= x_value:
+                result = y
+            else:
+                break
+        return result
+
+
+def empirical_cdf(samples: Sequence[float], label: str = "cdf") -> CdfSeries:
+    """Empirical CDF of a list of samples (used for latency distributions)."""
+    if not samples:
+        return CdfSeries(label=label, x=(), y=())
+    ordered = np.sort(np.asarray(samples, dtype=float))
+    fractions = np.arange(1, len(ordered) + 1) / len(ordered)
+    return CdfSeries(label=label, x=tuple(ordered.tolist()), y=tuple(fractions.tolist()))
+
+
+def popularity_cdf(probabilities: Sequence[float], label: str = "popularity") -> CdfSeries:
+    """CDF of request share versus number of most-popular objects (Fig. 9).
+
+    ``probabilities`` must be sorted by decreasing popularity (rank order); the
+    result maps "the x most popular objects" to "fraction of all requests".
+    """
+    array = np.asarray(probabilities, dtype=float)
+    if array.size and array.sum() > 0:
+        array = array / array.sum()
+    cumulative = np.cumsum(array)
+    counts = np.arange(1, array.size + 1, dtype=float)
+    return CdfSeries(label=label, x=tuple(counts.tolist()), y=tuple(cumulative.tolist()))
+
+
+def cdf_table(series: list[CdfSeries], x_points: Sequence[float]) -> list[dict[str, float]]:
+    """Sample several CDF series at common x points (rows of Fig. 9)."""
+    rows = []
+    for x_value in x_points:
+        row: dict[str, float] = {"x": float(x_value)}
+        for one in series:
+            row[one.label] = one.value_at(x_value)
+        rows.append(row)
+    return rows

@@ -1,0 +1,30 @@
+"""Backend substrate: per-region buckets and the erasure-coded object store.
+
+Stands in for the Amazon S3 buckets of the paper's deployment (Fig. 1).
+"""
+
+from repro.backend.bucket import BucketStats, ChunkNotFoundError, RegionBucket
+from repro.backend.object_store import (
+    ErasureCodedStore,
+    ObjectNotFoundError,
+    StoreDescription,
+)
+from repro.backend.placement import (
+    ExplicitPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    SpreadPlacement,
+)
+
+__all__ = [
+    "BucketStats",
+    "ChunkNotFoundError",
+    "ErasureCodedStore",
+    "ExplicitPlacement",
+    "ObjectNotFoundError",
+    "PlacementPolicy",
+    "RegionBucket",
+    "RoundRobinPlacement",
+    "SpreadPlacement",
+    "StoreDescription",
+]

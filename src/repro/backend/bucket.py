@@ -1,0 +1,101 @@
+"""Per-region persistent chunk buckets (the S3 stand-in).
+
+Each region of the deployment hosts one :class:`RegionBucket`, holding the
+chunks placed there.  The bucket is a plain in-process store; wide-area read
+latency is charged by the client/simulator through the latency model, not here,
+which mirrors how the paper's S3 buckets are dumb storage and all intelligence
+lives in the client and in Agar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.erasure.chunk import Chunk, ChunkId
+
+
+class ChunkNotFoundError(KeyError):
+    """Raised when a requested chunk is not stored in the bucket."""
+
+
+@dataclass
+class BucketStats:
+    """Counters for one bucket: useful for load and traffic analysis."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+@dataclass
+class RegionBucket:
+    """Persistent chunk storage for one region.
+
+    Attributes:
+        region: name of the region hosting this bucket.
+    """
+
+    region: str
+    _chunks: dict[ChunkId, Chunk] = field(default_factory=dict, repr=False)
+    stats: BucketStats = field(default_factory=BucketStats)
+
+    def put(self, chunk: Chunk) -> None:
+        """Store (or overwrite) a chunk."""
+        self._chunks[chunk.chunk_id] = chunk
+        self.stats.puts += 1
+        self.stats.bytes_written += chunk.size
+
+    def get(self, chunk_id: ChunkId) -> Chunk:
+        """Fetch a chunk.
+
+        Raises:
+            ChunkNotFoundError: if the chunk is not stored here.
+        """
+        try:
+            chunk = self._chunks[chunk_id]
+        except KeyError:
+            raise ChunkNotFoundError(
+                f"chunk {chunk_id} not found in bucket {self.region!r}"
+            ) from None
+        self.stats.gets += 1
+        self.stats.bytes_read += chunk.size
+        return chunk
+
+    def contains(self, chunk_id: ChunkId) -> bool:
+        """True if the chunk is stored in this bucket."""
+        return chunk_id in self._chunks
+
+    def delete(self, chunk_id: ChunkId) -> bool:
+        """Delete a chunk; returns True if it existed."""
+        if chunk_id in self._chunks:
+            del self._chunks[chunk_id]
+            self.stats.deletes += 1
+            return True
+        return False
+
+    def chunks_for_key(self, key: str) -> list[Chunk]:
+        """All chunks of object ``key`` stored in this bucket, sorted by index."""
+        return sorted(
+            (chunk for chunk_id, chunk in self._chunks.items() if chunk_id.key == key),
+            key=lambda chunk: chunk.index,
+        )
+
+    def keys(self) -> set[str]:
+        """Distinct object keys that have at least one chunk here."""
+        return {chunk_id.key for chunk_id in self._chunks}
+
+    @property
+    def chunk_count(self) -> int:
+        """Number of chunks currently stored."""
+        return len(self._chunks)
+
+    @property
+    def used_bytes(self) -> int:
+        """Total bytes of chunk payloads currently stored."""
+        return sum(chunk.size for chunk in self._chunks.values())
+
+    def clear(self) -> None:
+        """Drop every chunk (used between experiment runs)."""
+        self._chunks.clear()

@@ -1,0 +1,235 @@
+"""The geo-distributed erasure-coded object store.
+
+:class:`ErasureCodedStore` ties the codec, a placement policy and one
+:class:`~repro.backend.bucket.RegionBucket` per region into the storage system
+of Fig. 1: ``put`` encodes an object and scatters its chunks round-robin across
+regions; ``get_chunk`` serves individual chunks; the metadata catalog records
+where every chunk lives so that clients (and Agar's Region Manager) can plan
+reads without touching payloads.
+
+Objects can be stored with real payloads (exercising the Reed-Solomon code) or
+*virtually* (sizes and placement only), which is what the large-scale
+experiments use; see :meth:`ErasureCodedStore.populate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.bucket import ChunkNotFoundError, RegionBucket
+from repro.backend.placement import PlacementPolicy, RoundRobinPlacement
+from repro.erasure.chunk import Chunk, ChunkId, ErasureCodingParams, ObjectMetadata
+from repro.erasure.codec import EncodedObject, ErasureCodec
+from repro.geo.topology import Topology
+
+
+class ObjectNotFoundError(KeyError):
+    """Raised when an object key is not present in the store's catalog."""
+
+
+@dataclass(frozen=True)
+class StoreDescription:
+    """Summary of a store's content, used in experiment reports."""
+
+    object_count: int
+    total_object_bytes: int
+    total_stored_bytes: int
+    chunks_per_object: int
+    regions: tuple[str, ...]
+
+
+class ErasureCodedStore:
+    """Erasure-coded object store spanning the regions of a topology.
+
+    Args:
+        topology: the deployment (regions + latency model).
+        params: erasure-coding parameters; defaults to the paper's RS(9, 3).
+        placement: chunk placement policy; defaults to round-robin (Fig. 1).
+        codec: optionally share a codec instance (e.g. a Vandermonde one).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: ErasureCodingParams | None = None,
+        placement: PlacementPolicy | None = None,
+        codec: ErasureCodec | None = None,
+    ) -> None:
+        self._topology = topology
+        self._params = params or ErasureCodingParams(9, 3)
+        self._placement = placement or RoundRobinPlacement()
+        self._codec = codec or ErasureCodec(self._params)
+        self._buckets = {name: RegionBucket(region=name) for name in topology.region_names}
+        self._catalog: dict[str, ObjectMetadata] = {}
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def topology(self) -> Topology:
+        """The deployment this store spans."""
+        return self._topology
+
+    @property
+    def params(self) -> ErasureCodingParams:
+        """The erasure-coding parameters in use."""
+        return self._params
+
+    @property
+    def codec(self) -> ErasureCodec:
+        """The codec used to encode and decode objects."""
+        return self._codec
+
+    def bucket(self, region: str) -> RegionBucket:
+        """Return the bucket hosted in ``region``."""
+        self._topology.validate_region(region)
+        return self._buckets[region]
+
+    def keys(self) -> list[str]:
+        """All object keys currently stored, sorted."""
+        return sorted(self._catalog)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._catalog
+
+    def __len__(self) -> int:
+        return len(self._catalog)
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def put(self, key: str, data: bytes, version: int = 0) -> ObjectMetadata:
+        """Encode ``data`` and scatter its chunks across the regions."""
+        encoded = self._codec.encode(key, data, version=version)
+        return self._store_encoded(encoded)
+
+    def put_virtual(self, key: str, object_size: int, version: int = 0) -> ObjectMetadata:
+        """Store an object without payloads (metadata and placement only)."""
+        encoded = self._codec.encode_virtual(key, object_size, version=version)
+        return self._store_encoded(encoded)
+
+    def _store_encoded(self, encoded: EncodedObject) -> ObjectMetadata:
+        metadata = encoded.metadata
+        placement = self._placement.place(
+            metadata.key, metadata.params.total_chunks, self._topology.region_names
+        )
+        metadata.chunk_locations = dict(placement)
+        for chunk in encoded.chunks:
+            region = placement[chunk.index]
+            self._buckets[region].put(chunk)
+        self._catalog[metadata.key] = metadata
+        return metadata
+
+    def populate(self, object_count: int, object_size: int, key_prefix: str = "object",
+                 virtual: bool = True, seed: int = 0) -> list[str]:
+        """Create the paper's working set: ``object_count`` objects of ``object_size`` bytes.
+
+        Args:
+            object_count: number of objects (the paper uses 300).
+            object_size: size of each object in bytes (the paper uses 1 MB).
+            key_prefix: keys are ``f"{key_prefix}-{i}"``.
+            virtual: if True (default) chunks carry no payload, which keeps
+                large experiments fast; if False, random payloads are encoded
+                through the Reed-Solomon code.
+            seed: seed for payload generation when ``virtual=False``.
+
+        Returns:
+            The list of keys created, in insertion order.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        keys = []
+        for index in range(object_count):
+            key = f"{key_prefix}-{index}"
+            if virtual:
+                self.put_virtual(key, object_size)
+            else:
+                payload = rng.integers(0, 256, size=object_size, dtype=np.uint8).tobytes()
+                self.put(key, payload)
+            keys.append(key)
+        return keys
+
+    def delete(self, key: str) -> None:
+        """Remove an object and all of its chunks.
+
+        Raises:
+            ObjectNotFoundError: if the key is unknown.
+        """
+        metadata = self.metadata(key)
+        for index, region in metadata.chunk_locations.items():
+            self._buckets[region].delete(ChunkId(key=key, index=index))
+        del self._catalog[key]
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def metadata(self, key: str) -> ObjectMetadata:
+        """Return the metadata of ``key``.
+
+        Raises:
+            ObjectNotFoundError: if the key is unknown.
+        """
+        try:
+            return self._catalog[key]
+        except KeyError:
+            raise ObjectNotFoundError(f"object {key!r} not found") from None
+
+    def get_chunk(self, key: str, index: int) -> Chunk:
+        """Fetch one chunk from whichever bucket stores it."""
+        metadata = self.metadata(key)
+        try:
+            region = metadata.chunk_locations[index]
+        except KeyError:
+            raise ChunkNotFoundError(f"object {key!r} has no chunk {index}") from None
+        return self._buckets[region].get(ChunkId(key=key, index=index))
+
+    def chunk_region(self, key: str, index: int) -> str:
+        """Return the region storing chunk ``index`` of ``key``."""
+        metadata = self.metadata(key)
+        try:
+            return metadata.chunk_locations[index]
+        except KeyError:
+            raise ChunkNotFoundError(f"object {key!r} has no chunk {index}") from None
+
+    def chunks_by_region(self, key: str) -> dict[str, list[int]]:
+        """Group the chunk indices of ``key`` by hosting region."""
+        metadata = self.metadata(key)
+        grouped: dict[str, list[int]] = {name: [] for name in self._topology.region_names}
+        for index, region in metadata.chunk_locations.items():
+            grouped[region].append(index)
+        for indices in grouped.values():
+            indices.sort()
+        return grouped
+
+    def get_object(self, key: str, prefer_data_chunks: bool = True) -> bytes:
+        """Read and decode a full object (only for objects stored with payloads)."""
+        metadata = self.metadata(key)
+        wanted = metadata.params.data_chunks
+        indices = metadata.data_chunk_indices + metadata.parity_chunk_indices
+        if not prefer_data_chunks:
+            indices = list(reversed(indices))
+        collected: dict[int, Chunk] = {}
+        for index in indices:
+            chunk = self.get_chunk(key, index)
+            if chunk.payload is None:
+                continue
+            collected[index] = chunk
+            if len(collected) >= wanted:
+                break
+        return self._codec.decode(metadata, collected)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def describe(self) -> StoreDescription:
+        """Summarise what is stored (object count, bytes, chunk fan-out)."""
+        total_object_bytes = sum(meta.size for meta in self._catalog.values())
+        total_stored_bytes = sum(bucket.used_bytes for bucket in self._buckets.values())
+        return StoreDescription(
+            object_count=len(self._catalog),
+            total_object_bytes=total_object_bytes,
+            total_stored_bytes=total_stored_bytes,
+            chunks_per_object=self._params.total_chunks,
+            regions=tuple(self._topology.region_names),
+        )

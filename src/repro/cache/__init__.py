@@ -1,0 +1,27 @@
+"""Cache substrate: a bounded chunk cache with pluggable eviction policies.
+
+Stands in for the per-region memcached instances of the paper's deployment.
+"""
+
+from repro.cache.base import CacheEntry, CacheSnapshot, CacheStats, EvictionPolicy
+from repro.cache.chunk_cache import ChunkCache
+from repro.cache.policies import (
+    FIFOEvictionPolicy,
+    LFUEvictionPolicy,
+    LRUEvictionPolicy,
+    PinnedConfigurationPolicy,
+    policy_by_name,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheSnapshot",
+    "CacheStats",
+    "ChunkCache",
+    "EvictionPolicy",
+    "FIFOEvictionPolicy",
+    "LFUEvictionPolicy",
+    "LRUEvictionPolicy",
+    "PinnedConfigurationPolicy",
+    "policy_by_name",
+]

@@ -1,0 +1,25 @@
+"""Client substrate: YCSB-style read strategies and latency statistics."""
+
+from repro.client.stats import HitType, LatencyStats, ReadResult
+from repro.client.strategies import (
+    AgarReadStrategy,
+    BackendReadStrategy,
+    ClientConfig,
+    FixedChunkCachingStrategy,
+    PeriodicLFUStrategy,
+    ReadStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "AgarReadStrategy",
+    "BackendReadStrategy",
+    "ClientConfig",
+    "FixedChunkCachingStrategy",
+    "HitType",
+    "LatencyStats",
+    "PeriodicLFUStrategy",
+    "ReadResult",
+    "ReadStrategy",
+    "make_strategy",
+]

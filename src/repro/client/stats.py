@@ -1,0 +1,147 @@
+"""Client-side measurement: per-read results and aggregated statistics.
+
+The modified YCSB client of the paper measures the latency of reading a *full
+object* (not individual chunks) and classifies cache usage into total hits,
+partial hits and misses (§V-A, §V-B).  :class:`LatencyStats` aggregates those
+measurements into the quantities the figures report: average latency and hit
+ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class HitType(str, Enum):
+    """Cache outcome of one object read (Fig. 7's classification)."""
+
+    FULL = "full"          #: every chunk came from the local cache
+    PARTIAL = "partial"    #: some chunks came from the cache, some from the backend
+    MISS = "miss"          #: every chunk came from the backend
+
+    @property
+    def is_hit(self) -> bool:
+        """The paper counts both full and partial hits as hits."""
+        return self is not HitType.MISS
+
+
+@dataclass(frozen=True, slots=True)
+class ReadResult:
+    """Outcome of one object read.
+
+    Attributes:
+        key: object read.
+        latency_ms: end-to-end latency of the read.
+        hit_type: cache classification.
+        chunks_from_cache: number of chunks served by the local cache.
+        chunks_from_backend: number of chunks fetched from backend regions.
+        backend_regions: distinct backend regions contacted.
+        started_at_s: simulated time at which the read started.
+    """
+
+    key: str
+    latency_ms: float
+    hit_type: HitType
+    chunks_from_cache: int
+    chunks_from_backend: int
+    backend_regions: tuple[str, ...] = ()
+    started_at_s: float = 0.0
+
+
+@dataclass
+class LatencyStats:
+    """Streaming aggregation of read results."""
+
+    latencies_ms: list[float] = field(default_factory=list)
+    full_hits: int = 0
+    partial_hits: int = 0
+    misses: int = 0
+    cache_chunks_total: int = 0
+    backend_chunks_total: int = 0
+
+    def record(self, result: ReadResult) -> None:
+        """Add one read result."""
+        self.latencies_ms.append(result.latency_ms)
+        if result.hit_type is HitType.FULL:
+            self.full_hits += 1
+        elif result.hit_type is HitType.PARTIAL:
+            self.partial_hits += 1
+        else:
+            self.misses += 1
+        self.cache_chunks_total += result.chunks_from_cache
+        self.backend_chunks_total += result.chunks_from_backend
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        """Number of reads recorded."""
+        return len(self.latencies_ms)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Average read latency (0 when empty) — the y-axis of Figs. 2, 6, 8."""
+        return sum(self.latencies_ms) / self.count if self.count else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """(full + partial hits) / reads — the y-axis of Fig. 7."""
+        return (self.full_hits + self.partial_hits) / self.count if self.count else 0.0
+
+    @property
+    def full_hit_ratio(self) -> float:
+        """full hits / reads."""
+        return self.full_hits / self.count if self.count else 0.0
+
+    @property
+    def partial_hit_ratio(self) -> float:
+        """partial hits / reads."""
+        return self.partial_hits / self.count if self.count else 0.0
+
+    def percentile(self, percentile: float) -> float:
+        """Latency percentile in [0, 100] using nearest-rank interpolation."""
+        if not self.latencies_ms:
+            return 0.0
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be between 0 and 100")
+        ordered = sorted(self.latencies_ms)
+        rank = max(0, math.ceil(percentile / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    @property
+    def median_latency_ms(self) -> float:
+        """50th percentile latency."""
+        return self.percentile(50.0)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        """99th percentile latency."""
+        return self.percentile(99.0)
+
+    def summary(self) -> dict[str, float]:
+        """Dictionary summary used by the experiment reports."""
+        return {
+            "reads": float(self.count),
+            "mean_latency_ms": self.mean_latency_ms,
+            "median_latency_ms": self.median_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "hit_ratio": self.hit_ratio,
+            "full_hit_ratio": self.full_hit_ratio,
+            "partial_hit_ratio": self.partial_hit_ratio,
+            "cache_chunks": float(self.cache_chunks_total),
+            "backend_chunks": float(self.backend_chunks_total),
+        }
+
+    def merge(self, other: "LatencyStats") -> "LatencyStats":
+        """Combine two stats objects (e.g. several clients of one run)."""
+        merged = LatencyStats()
+        merged.latencies_ms = self.latencies_ms + other.latencies_ms
+        merged.full_hits = self.full_hits + other.full_hits
+        merged.partial_hits = self.partial_hits + other.partial_hits
+        merged.misses = self.misses + other.misses
+        merged.cache_chunks_total = self.cache_chunks_total + other.cache_chunks_total
+        merged.backend_chunks_total = self.backend_chunks_total + other.backend_chunks_total
+        return merged

@@ -1,0 +1,476 @@
+"""Client read strategies: Backend, LRU-c, LFU-c and Agar (paper §V-A).
+
+The paper evaluates four customised YCSB clients that differ only in how they
+locate the ``k`` chunks needed to reconstruct an object:
+
+* **Backend** — read every chunk from the (possibly remote) backend buckets.
+* **LRU-c / LFU-c** — keep a fixed number ``c`` of chunks per object in the
+  local cache (the ``c`` most distant ones), managed by the LRU or LFU
+  eviction policy.
+* **Agar** — ask the local Agar node for hints and use the chunks its current
+  configuration keeps in the cache.
+
+All strategies share the same latency model: chunks are requested in parallel,
+so a read costs a fixed client overhead plus the slowest chunk fetch plus the
+decoding time (§IV "assumes the client requests blocks in parallel").  Cache
+writes happen off the critical path and are not charged (§V-A).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.backend.object_store import ErasureCodedStore
+from repro.cache.base import CacheSnapshot
+from repro.cache.chunk_cache import ChunkCache
+from repro.cache.policies import LFUEvictionPolicy, LRUEvictionPolicy
+from repro.client.stats import HitType, ReadResult
+from repro.core.agar_node import AgarNode, AgarNodeConfig
+from repro.core.options import PlacedChunk, needed_chunks
+from repro.erasure.chunk import Chunk, ChunkId
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Client-side latency constants.
+
+    Attributes:
+        overhead_ms: fixed per-read client/request overhead (connection setup,
+            scheduling of the parallel chunk requests).
+        include_decode_cost: charge the Reed-Solomon decode estimate to reads.
+    """
+
+    overhead_ms: float = 40.0
+    include_decode_cost: bool = True
+
+
+class ReadStrategy(ABC):
+    """Base class for the four read strategies.
+
+    Args:
+        store: the erasure-coded object store.
+        client_region: region the client (and its local cache) runs in.
+        config: client latency constants.
+    """
+
+    name: str = "base"
+
+    def __init__(self, store: ErasureCodedStore, client_region: str,
+                 config: ClientConfig | None = None) -> None:
+        self._store = store
+        self._region = store.topology.validate_region(client_region)
+        self._config = config or ClientConfig()
+        self._latency = store.topology.latency
+        self._expected_latencies = store.topology.expected_read_latencies(client_region)
+        self._needed_cache: dict[str, list[PlacedChunk]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def client_region(self) -> str:
+        """Region this client runs in."""
+        return self._region
+
+    @property
+    def store(self) -> ErasureCodedStore:
+        """The backing object store."""
+        return self._store
+
+    def cache_snapshot(self) -> CacheSnapshot | None:
+        """Snapshot of the strategy's cache contents (None for Backend)."""
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def read(self, key: str, now: float) -> ReadResult:
+        """Perform one object read at simulated time ``now`` (seconds)."""
+
+    def _needed(self, key: str) -> list[PlacedChunk]:
+        """The k chunks a failure-free read fetches, furthest first (cached per key)."""
+        plan = self._needed_cache.get(key)
+        if plan is None:
+            params = self._store.params
+            plan = needed_chunks(
+                self._store.chunks_by_region(key),
+                self._expected_latencies,
+                data_chunks=params.data_chunks,
+                parity_chunks=params.parity_chunks,
+            )
+            self._needed_cache[key] = plan
+        return plan
+
+    def _chunk_size(self, key: str) -> int:
+        return self._store.metadata(key).chunk_size
+
+    def _compose_result(self, key: str, now: float, cache_chunks: list[PlacedChunk],
+                        backend_chunks: list[PlacedChunk],
+                        extra_overhead_ms: float = 0.0) -> ReadResult:
+        """Sample per-chunk latencies and build the read result."""
+        chunk_size = self._chunk_size(key)
+        fetch_latencies = [0.0]
+        for _ in cache_chunks:
+            fetch_latencies.append(self._latency.sample_cache_read(self._region, chunk_size))
+        for placed in backend_chunks:
+            fetch_latencies.append(
+                self._latency.sample_backend_read(self._region, placed.region, chunk_size)
+            )
+
+        total = self._config.overhead_ms + extra_overhead_ms + max(fetch_latencies)
+        if self._config.include_decode_cost:
+            total += self._store.codec.decoding_cost_estimate(self._store.metadata(key).size)
+
+        if backend_chunks and cache_chunks:
+            hit_type = HitType.PARTIAL
+        elif cache_chunks:
+            hit_type = HitType.FULL
+        else:
+            hit_type = HitType.MISS
+
+        return ReadResult(
+            key=key,
+            latency_ms=total,
+            hit_type=hit_type,
+            chunks_from_cache=len(cache_chunks),
+            chunks_from_backend=len(backend_chunks),
+            backend_regions=tuple(sorted({placed.region for placed in backend_chunks})),
+            started_at_s=now,
+        )
+
+    def _backend_plan(self, key: str, exclude_indices: set[int]) -> list[PlacedChunk]:
+        """Choose which chunks to fetch from the backend.
+
+        The client fetches the *nearest* chunks first, skipping those already
+        obtained from the cache, until it has ``k`` chunks in total.
+        """
+        params = self._store.params
+        required = params.data_chunks - len(exclude_indices)
+        if required <= 0:
+            return []
+        nearest_first = list(reversed(self._needed(key)))
+        plan = [placed for placed in nearest_first if placed.index not in exclude_indices]
+        return plan[:required]
+
+
+class BackendReadStrategy(ReadStrategy):
+    """Read every chunk directly from the backend buckets (no cache)."""
+
+    name = "backend"
+
+    def read(self, key: str, now: float) -> ReadResult:
+        backend_chunks = self._backend_plan(key, exclude_indices=set())
+        return self._compose_result(key, now, cache_chunks=[], backend_chunks=backend_chunks)
+
+
+class FixedChunkCachingStrategy(ReadStrategy):
+    """Online fixed-chunk baselines: cache ``c`` chunks per object, evict online.
+
+    This is the classical, continuously updated form of the LRU-c / LFU-c
+    baselines: every read inserts the object's ``c`` most distant chunks and
+    the eviction policy (memcached-style LRU, or LFU over cumulative request
+    counts) picks victims immediately when the cache overflows.
+
+    The paper's LRU baseline is exactly this (it relies on memcached's LRU,
+    §V-A).  Its LFU baseline, however, shares Agar's 30-second reconfiguration
+    period (§V-A); that periodic variant is :class:`PeriodicLFUStrategy`.  The
+    online LFU here (strategy name ``lfu-online-<c>``) is kept as a stronger
+    ablation baseline.
+
+    Args:
+        store: the object store.
+        client_region: client/cache region.
+        cache_capacity_bytes: capacity of the local cache.
+        chunks_per_object: ``c`` — how many chunks to keep per object
+            (the paper sweeps 1, 3, 5, 7, 9).
+        policy: ``"lru"`` or ``"lfu"``.
+        clock: optional simulated-time callable for cache recency.
+        config: client latency constants.
+    """
+
+    def __init__(self, store: ErasureCodedStore, client_region: str, cache_capacity_bytes: int,
+                 chunks_per_object: int, policy: str = "lru",
+                 clock: Callable[[], float] | None = None,
+                 config: ClientConfig | None = None) -> None:
+        super().__init__(store, client_region, config)
+        data_chunks = store.params.data_chunks
+        if not 1 <= chunks_per_object <= data_chunks:
+            raise ValueError(f"chunks_per_object must be in 1..{data_chunks}")
+        if policy == "lru":
+            eviction = LRUEvictionPolicy()
+        elif policy == "lfu":
+            eviction = LFUEvictionPolicy()
+        else:
+            raise ValueError("policy must be 'lru' or 'lfu'")
+        self._chunks_per_object = chunks_per_object
+        self._policy_name = policy
+        self.name = f"{policy}-{chunks_per_object}"
+        self._cache = ChunkCache(
+            capacity_bytes=cache_capacity_bytes,
+            policy=eviction,
+            clock=clock,
+            region=client_region,
+        )
+
+    @property
+    def cache(self) -> ChunkCache:
+        """The strategy's local chunk cache."""
+        return self._cache
+
+    @property
+    def chunks_per_object(self) -> int:
+        """The fixed number of chunks cached per object."""
+        return self._chunks_per_object
+
+    def cache_snapshot(self) -> CacheSnapshot:
+        return self._cache.snapshot()
+
+    def _target_chunks(self, key: str) -> list[PlacedChunk]:
+        """The ``c`` most distant chunks of the needed set — what gets cached."""
+        return self._needed(key)[: self._chunks_per_object]
+
+    def read(self, key: str, now: float) -> ReadResult:
+        self._cache.record_request(key)
+        targets = self._target_chunks(key)
+
+        cache_hits: list[PlacedChunk] = []
+        for placed in targets:
+            if self._cache.get(ChunkId(key=key, index=placed.index)) is not None:
+                cache_hits.append(placed)
+
+        backend_chunks = self._backend_plan(key, exclude_indices={p.index for p in cache_hits})
+        result = self._compose_result(key, now, cache_hits, backend_chunks)
+
+        # Populate the cache off the critical path (not charged to latency).
+        chunk_size = self._chunk_size(key)
+        for placed in targets:
+            self._cache.put(Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size))
+        return result
+
+
+class PeriodicLFUStrategy(ReadStrategy):
+    """The paper's LFU-c baseline: fixed chunks per object, periodic LFU contents.
+
+    The paper's LFU client runs a proxy that tracks per-object request
+    frequency and — like Agar — uses a 30-second cache reconfiguration period
+    (§V-A).  Every period the cache contents are recomputed: the most popular
+    objects (by the same EWMA statistics Agar's Request Monitor keeps) get
+    their ``c`` most distant chunks pinned, filling the cache; clients then
+    populate missing pinned chunks as they read.
+
+    Strategy name: ``lfu-<c>`` (this is the Fig. 6/7/8 baseline).
+
+    Args:
+        store: the object store.
+        client_region: client/cache region.
+        cache_capacity_bytes: capacity of the local cache.
+        chunks_per_object: ``c`` — chunks kept per cached object.
+        reconfiguration_period_s: statistics/reconfiguration period (paper: 30 s).
+        alpha: EWMA weight of the current period (same convention as Agar).
+        clock: optional simulated-time callable.
+        config: client latency constants.
+    """
+
+    def __init__(self, store: ErasureCodedStore, client_region: str, cache_capacity_bytes: int,
+                 chunks_per_object: int, reconfiguration_period_s: float = 30.0,
+                 alpha: float | None = None, clock: Callable[[], float] | None = None,
+                 config: ClientConfig | None = None) -> None:
+        super().__init__(store, client_region, config)
+        from repro.cache.policies import PinnedConfigurationPolicy
+        from repro.core.agar_node import DEFAULT_CURRENT_PERIOD_WEIGHT
+        from repro.core.popularity import PopularityTracker
+
+        data_chunks = store.params.data_chunks
+        if not 1 <= chunks_per_object <= data_chunks:
+            raise ValueError(f"chunks_per_object must be in 1..{data_chunks}")
+        self._chunks_per_object = chunks_per_object
+        self.name = f"lfu-{chunks_per_object}"
+        self._period_s = reconfiguration_period_s
+        self._tracker = PopularityTracker(
+            alpha=DEFAULT_CURRENT_PERIOD_WEIGHT if alpha is None else alpha
+        )
+        self._pinned_policy = PinnedConfigurationPolicy()
+        self._cache = ChunkCache(
+            capacity_bytes=cache_capacity_bytes,
+            policy=self._pinned_policy,
+            clock=clock,
+            region=client_region,
+        )
+        self._last_reconfiguration: float | None = None
+
+    @property
+    def cache(self) -> ChunkCache:
+        """The strategy's local chunk cache."""
+        return self._cache
+
+    @property
+    def chunks_per_object(self) -> int:
+        """The fixed number of chunks cached per object."""
+        return self._chunks_per_object
+
+    def cache_snapshot(self) -> CacheSnapshot:
+        return self._cache.snapshot()
+
+    def _capacity_objects(self, key: str) -> int:
+        chunk_size = self._chunk_size(key)
+        capacity_chunks = self._cache.capacity_bytes // chunk_size if chunk_size else 0
+        return capacity_chunks // self._chunks_per_object
+
+    def _reconfigure(self, key: str) -> None:
+        popularity = self._tracker.end_period()
+        top_keys = sorted(popularity, key=lambda k: (-popularity[k], k))
+        top_keys = [k for k in top_keys if popularity[k] > 0][: self._capacity_objects(key)]
+        pinned: set[ChunkId] = set()
+        for top_key in top_keys:
+            for placed in self._needed(top_key)[: self._chunks_per_object]:
+                pinned.add(ChunkId(key=top_key, index=placed.index))
+        self._pinned_policy.set_configuration(pinned)
+
+    def _maybe_reconfigure(self, key: str, now: float) -> None:
+        if self._last_reconfiguration is None:
+            self._last_reconfiguration = now
+            return
+        if now - self._last_reconfiguration >= self._period_s:
+            self._reconfigure(key)
+            self._last_reconfiguration = now
+
+    def read(self, key: str, now: float) -> ReadResult:
+        self._maybe_reconfigure(key, now)
+        self._tracker.record_access(key)
+
+        targets = self._needed(key)[: self._chunks_per_object]
+        cache_hits: list[PlacedChunk] = []
+        missing_targets: list[PlacedChunk] = []
+        for placed in targets:
+            if self._cache.get(ChunkId(key=key, index=placed.index)) is not None:
+                cache_hits.append(placed)
+            else:
+                missing_targets.append(placed)
+
+        backend_chunks = self._backend_plan(key, exclude_indices={p.index for p in cache_hits})
+        result = self._compose_result(key, now, cache_hits, backend_chunks)
+
+        chunk_size = self._chunk_size(key)
+        for placed in missing_targets:
+            self._cache.put(Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size))
+        return result
+
+
+class AgarReadStrategy(ReadStrategy):
+    """Reads driven by an Agar node's hints (paper §III, §V-A).
+
+    Args:
+        store: the object store.
+        client_region: client/cache region.
+        cache_capacity_bytes: capacity of the Agar-managed cache.
+        node_config: Agar node tunables (reconfiguration period, alpha, ...).
+        clock: optional simulated-time callable.
+        config: client latency constants.
+    """
+
+    name = "agar"
+
+    def __init__(self, store: ErasureCodedStore, client_region: str, cache_capacity_bytes: int,
+                 node_config: AgarNodeConfig | None = None,
+                 clock: Callable[[], float] | None = None,
+                 config: ClientConfig | None = None) -> None:
+        super().__init__(store, client_region, config)
+        self._node = AgarNode(
+            local_region=client_region,
+            store=store,
+            cache_capacity_bytes=cache_capacity_bytes,
+            config=node_config,
+            clock=clock,
+        )
+
+    @property
+    def node(self) -> AgarNode:
+        """The Agar node backing this strategy."""
+        return self._node
+
+    @property
+    def cache(self) -> ChunkCache:
+        """The Agar-managed cache."""
+        return self._node.cache
+
+    def cache_snapshot(self) -> CacheSnapshot:
+        return self._node.cache.snapshot()
+
+    def read(self, key: str, now: float) -> ReadResult:
+        hints = self._node.on_request(key, now)
+        cache = self._node.cache
+
+        hinted = set(hints.cached_chunk_indices)
+        cache_hits: list[PlacedChunk] = []
+        missing_hinted: list[PlacedChunk] = []
+        for placed in self._needed(key):
+            if placed.index not in hinted:
+                continue
+            if cache.get(ChunkId(key=key, index=placed.index)) is not None:
+                cache_hits.append(placed)
+            else:
+                missing_hinted.append(placed)
+
+        backend_chunks = self._backend_plan(key, exclude_indices={p.index for p in cache_hits})
+        result = self._compose_result(
+            key, now, cache_hits, backend_chunks,
+            extra_overhead_ms=hints.processing_overhead_ms,
+        )
+
+        # Write the hinted chunks the client had to fetch from the backend into
+        # the cache (done by a separate thread pool in the prototype, §V-A).
+        chunk_size = self._chunk_size(key)
+        fetched_indices = {placed.index for placed in backend_chunks}
+        for placed in missing_hinted:
+            if placed.index in fetched_indices:
+                cache.put(Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size))
+        return result
+
+
+def make_strategy(name: str, store: ErasureCodedStore, client_region: str,
+                  cache_capacity_bytes: int, clock: Callable[[], float] | None = None,
+                  client_config: ClientConfig | None = None,
+                  node_config: AgarNodeConfig | None = None) -> ReadStrategy:
+    """Factory used by experiments: build a strategy from a short name.
+
+    Recognised names:
+
+    * ``"backend"`` — no caching, read straight from the backend buckets.
+    * ``"agar"`` — Agar-driven reads.
+    * ``"lru-<c>"`` — online LRU keeping ``c`` chunks per object (memcached-style).
+    * ``"lfu-<c>"`` — the paper's LFU baseline: ``c`` chunks per object with a
+      30-second reconfiguration period.
+    * ``"lru-online-<c>"`` / ``"lfu-online-<c>"`` — online (cumulative) variants
+      used by the ablation benchmarks.
+    """
+    if name == "backend":
+        return BackendReadStrategy(store, client_region, client_config)
+    if name == "agar":
+        return AgarReadStrategy(
+            store, client_region, cache_capacity_bytes,
+            node_config=node_config, clock=clock, config=client_config,
+        )
+    for prefix in ("lru-online", "lfu-online"):
+        if name.startswith(prefix + "-"):
+            chunks = int(name.rsplit("-", 1)[1])
+            return FixedChunkCachingStrategy(
+                store, client_region, cache_capacity_bytes, chunks_per_object=chunks,
+                policy=prefix.split("-")[0], clock=clock, config=client_config,
+            )
+    if name.startswith("lru-"):
+        chunks = int(name.split("-", 1)[1])
+        return FixedChunkCachingStrategy(
+            store, client_region, cache_capacity_bytes, chunks_per_object=chunks,
+            policy="lru", clock=clock, config=client_config,
+        )
+    if name.startswith("lfu-"):
+        chunks = int(name.split("-", 1)[1])
+        period = node_config.reconfiguration_period_s if node_config else 30.0
+        return PeriodicLFUStrategy(
+            store, client_region, cache_capacity_bytes, chunks_per_object=chunks,
+            reconfiguration_period_s=period, clock=clock, config=client_config,
+        )
+    raise ValueError(f"unknown strategy {name!r}")

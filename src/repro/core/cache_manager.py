@@ -1,0 +1,195 @@
+"""The Cache Manager (paper §III-c, §IV).
+
+Periodically recomputes the ideal cache configuration — which objects to cache
+and how many chunks of each — from the Request Monitor's popularity statistics
+and the Region Manager's latency estimates, then installs it:
+
+* the chunk ids of the configuration are *pinned* in the cache's
+  :class:`~repro.cache.policies.PinnedConfigurationPolicy` (admission control
+  plus eviction preference), and
+* read hints are served to the Request Monitor so clients know which chunks to
+  read from / write to the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cache.chunk_cache import ChunkCache
+from repro.cache.policies import PinnedConfigurationPolicy
+from repro.core.knapsack import (
+    CacheConfiguration,
+    EMPTY_CONFIGURATION,
+    KnapsackSolver,
+    SolverResult,
+    configuration_summary,
+)
+from repro.core.options import CachingOption, generate_caching_options
+from repro.core.region_manager import RegionManager
+
+
+@dataclass(frozen=True)
+class CacheManagerConfig:
+    """Tunables of the cache manager.
+
+    Attributes:
+        use_relax: enable the relaxation step of the DP (Fig. 5).
+        stop_after_extra_keys: §VI early-stop optimisation (None disables it).
+        max_candidate_keys: consider only the most popular N objects when
+            generating options (None = all known objects).  This mirrors the
+            paper's observation that run time should depend on the cache size,
+            not the dataset size.
+        min_popularity: objects below this popularity are not considered.
+    """
+
+    use_relax: bool = True
+    stop_after_extra_keys: int | None = 25
+    max_candidate_keys: int | None = None
+    min_popularity: float = 0.0
+
+
+@dataclass
+class ReconfigurationRecord:
+    """Book-keeping about one reconfiguration run (drives the §VI micro-bench)."""
+
+    period_index: int
+    candidate_keys: int
+    options_generated: int
+    configured_objects: int
+    configured_chunks: int
+    configuration_value: float
+    keys_processed: int
+    stopped_early: bool
+    chunk_histogram: dict[int, int] = field(default_factory=dict)
+
+
+class CacheManager:
+    """Computes and installs static cache configurations (paper §III-c).
+
+    Args:
+        region_manager: topology and latency estimates for the local region.
+        cache: the local chunk cache; its policy must be a
+            :class:`PinnedConfigurationPolicy` for installation to take effect.
+        chunk_size: size of one chunk in bytes (converts the cache's byte
+            capacity into the knapsack's chunk-weight capacity).
+        config: solver tunables.
+    """
+
+    def __init__(self, region_manager: RegionManager, cache: ChunkCache,
+                 chunk_size: int, config: CacheManagerConfig | None = None) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self._region_manager = region_manager
+        self._cache = cache
+        self._chunk_size = chunk_size
+        self._config = config or CacheManagerConfig()
+        self._current = EMPTY_CONFIGURATION
+        self._history: list[ReconfigurationRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def current_configuration(self) -> CacheConfiguration:
+        """The most recently installed configuration."""
+        return self._current
+
+    @property
+    def capacity_chunks(self) -> int:
+        """Cache capacity expressed in chunks."""
+        return self._cache.capacity_bytes // self._chunk_size
+
+    @property
+    def history(self) -> list[ReconfigurationRecord]:
+        """Records of every reconfiguration performed so far."""
+        return list(self._history)
+
+    def hints_for(self, key: str) -> tuple[int, ...]:
+        """Chunk indices the current configuration wants cached for ``key``."""
+        return self._current.chunks_for(key)
+
+    # ------------------------------------------------------------------ #
+    # Option generation and solving
+    # ------------------------------------------------------------------ #
+    def generate_options(self, popularity: Mapping[str, float]) -> dict[str, list[CachingOption]]:
+        """Generate caching options for the candidate objects (§IV-A)."""
+        estimates = self._region_manager.latency_estimates()
+        cache_read_ms = self._region_manager.cache_read_estimate()
+        params = self._region_manager.params
+
+        candidates = [
+            (key, pop) for key, pop in popularity.items() if pop > self._config.min_popularity
+        ]
+        candidates.sort(key=lambda item: (-item[1], item[0]))
+        if self._config.max_candidate_keys is not None:
+            candidates = candidates[: self._config.max_candidate_keys]
+
+        options_by_key: dict[str, list[CachingOption]] = {}
+        for key, pop in candidates:
+            try:
+                chunks_by_region = self._region_manager.chunks_by_region(key)
+            except KeyError:
+                continue
+            options = generate_caching_options(
+                key=key,
+                chunks_by_region=chunks_by_region,
+                region_latencies=estimates,
+                popularity=pop,
+                data_chunks=params.data_chunks,
+                parity_chunks=params.parity_chunks,
+                cache_read_ms=cache_read_ms,
+            )
+            if options:
+                options_by_key[key] = options
+        return options_by_key
+
+    def compute_configuration(self, popularity: Mapping[str, float]) -> SolverResult:
+        """Run the knapsack DP for the given popularity snapshot."""
+        options_by_key = self.generate_options(popularity)
+        solver = KnapsackSolver(
+            capacity_weight=self.capacity_chunks,
+            use_relax=self._config.use_relax,
+            stop_after_extra_keys=self._config.stop_after_extra_keys,
+        )
+        return solver.solve(options_by_key)
+
+    # ------------------------------------------------------------------ #
+    # Installation
+    # ------------------------------------------------------------------ #
+    def install(self, configuration: CacheConfiguration) -> None:
+        """Make ``configuration`` the active one and pin it in the cache.
+
+        Chunks cached under the previous configuration but absent from the new
+        one become eviction candidates; they are not evicted eagerly (the cache
+        evicts them lazily as pinned chunks arrive), matching the paper's
+        description of the cache being repopulated by client writes.
+        """
+        self._current = configuration
+        policy = self._cache.policy
+        if isinstance(policy, PinnedConfigurationPolicy):
+            policy.set_configuration(configuration.chunk_ids())
+
+    def reconfigure(self, popularity: Mapping[str, float]) -> ReconfigurationRecord:
+        """Full reconfiguration cycle: generate options, solve, install, record."""
+        options_by_key = self.generate_options(popularity)
+        solver = KnapsackSolver(
+            capacity_weight=self.capacity_chunks,
+            use_relax=self._config.use_relax,
+            stop_after_extra_keys=self._config.stop_after_extra_keys,
+        )
+        result = solver.solve(options_by_key)
+        self.install(result.best)
+        record = ReconfigurationRecord(
+            period_index=len(self._history),
+            candidate_keys=len(options_by_key),
+            options_generated=sum(len(options) for options in options_by_key.values()),
+            configured_objects=len(result.best),
+            configured_chunks=result.best.weight,
+            configuration_value=result.best.value,
+            keys_processed=result.keys_processed,
+            stopped_early=result.stopped_early,
+            chunk_histogram=configuration_summary(result.best),
+        )
+        self._history.append(record)
+        return record

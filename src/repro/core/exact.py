@@ -1,0 +1,76 @@
+"""Exact multiple-choice knapsack solver (reference for the ablation study).
+
+The paper's POPULATE/RELAX procedure is a heuristic; this module solves the
+same multiple-choice knapsack problem (at most one caching option per object,
+total weight bounded by the cache capacity) exactly with a standard dynamic
+program over objects × capacity.  The ablation benchmark uses it to measure how
+far the heuristic is from optimal; it is too slow to run inside the cache
+manager of a large deployment, which is the paper's argument for the heuristic
+(§VII-B discussion of Sprout).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.knapsack import CacheConfiguration, EMPTY_CONFIGURATION
+from repro.core.options import CachingOption
+
+
+def solve_exact(options_by_key: Mapping[str, Sequence[CachingOption]],
+                capacity_weight: int) -> CacheConfiguration:
+    """Return an optimal cache configuration for the given options.
+
+    Args:
+        options_by_key: caching options grouped by object key; options of the
+            same key are mutually exclusive.
+        capacity_weight: cache capacity in chunks.
+
+    Returns:
+        A configuration of maximal total value with weight ≤ capacity.
+    """
+    if capacity_weight < 0:
+        raise ValueError("capacity_weight must be non-negative")
+    if capacity_weight == 0 or not options_by_key:
+        return EMPTY_CONFIGURATION
+
+    keys = sorted(options_by_key)
+    # dp[w] = best value achievable with weight exactly ≤ w using keys seen so far.
+    dp = [0.0] * (capacity_weight + 1)
+    # choices[i][w] = option chosen for keys[i] in the optimal solution of dp at
+    # weight w, or None.  Kept per key for reconstruction.
+    choices: list[list[CachingOption | None]] = []
+
+    for key in keys:
+        options = [option for option in options_by_key[key] if option.weight <= capacity_weight]
+        new_dp = list(dp)
+        chosen: list[CachingOption | None] = [None] * (capacity_weight + 1)
+        for option in options:
+            weight = option.weight
+            value = option.value
+            for total in range(capacity_weight, weight - 1, -1):
+                candidate = dp[total - weight] + value
+                if candidate > new_dp[total]:
+                    new_dp[total] = candidate
+                    chosen[total] = option
+        dp = new_dp
+        choices.append(chosen)
+
+    # Reconstruct the optimal option set by walking the tables backwards.
+    best_weight = max(range(capacity_weight + 1), key=lambda w: dp[w])
+    remaining = best_weight
+    selected: list[CachingOption] = []
+    for key_index in range(len(keys) - 1, -1, -1):
+        option = choices[key_index][remaining]
+        if option is not None:
+            selected.append(option)
+            remaining -= option.weight
+    selected.reverse()
+    return CacheConfiguration(options=tuple(selected))
+
+
+def optimality_gap(heuristic_value: float, exact_value: float) -> float:
+    """Relative gap ``(exact - heuristic) / exact`` (0 when both are 0)."""
+    if exact_value <= 0:
+        return 0.0
+    return max(exact_value - heuristic_value, 0.0) / exact_value

@@ -1,0 +1,88 @@
+"""Greedy baselines for the cache-configuration problem.
+
+§II-D argues that the problem is closer to 0/1 knapsack than to fractional
+knapsack, and that greedy algorithms "can err by as much as 50 % from the
+optimal value".  These baselines exist to let the ablation benchmark quantify
+that claim against the DP heuristic and the exact solver.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.knapsack import CacheConfiguration, EMPTY_CONFIGURATION
+from repro.core.options import CachingOption
+
+
+def solve_greedy_density(options_by_key: Mapping[str, Sequence[CachingOption]],
+                         capacity_weight: int) -> CacheConfiguration:
+    """Greedy by value density (value per cached chunk), one option per object.
+
+    Options across all objects are sorted by ``value / weight`` and accepted
+    whenever they fit and their object is not already configured.  This is the
+    natural fractional-knapsack-style heuristic the paper warns about.
+    """
+    if capacity_weight <= 0 or not options_by_key:
+        return EMPTY_CONFIGURATION
+
+    all_options = [
+        option
+        for options in options_by_key.values()
+        for option in options
+        if option.weight <= capacity_weight
+    ]
+    all_options.sort(key=lambda option: (-(option.value / option.weight), option.weight, option.key))
+
+    chosen: dict[str, CachingOption] = {}
+    remaining = capacity_weight
+    for option in all_options:
+        if option.key in chosen:
+            continue
+        if option.weight > remaining:
+            continue
+        chosen[option.key] = option
+        remaining -= option.weight
+    return CacheConfiguration(options=tuple(chosen.values()))
+
+
+def solve_greedy_marginal(options_by_key: Mapping[str, Sequence[CachingOption]],
+                          capacity_weight: int) -> CacheConfiguration:
+    """Greedy over *marginal* upgrade steps.
+
+    Each object's options form a chain; the marginal step from one option to
+    the next has a marginal value and a marginal weight.  Steps across all
+    objects are taken in decreasing marginal-density order.  Because the
+    latency improvement is non-linear in the number of cached chunks (§II-C),
+    the chains are not concave and this greedy is also not optimal, but it is a
+    stronger baseline than plain density greedy.
+    """
+    if capacity_weight <= 0 or not options_by_key:
+        return EMPTY_CONFIGURATION
+
+    steps: list[tuple[float, int, str, CachingOption]] = []
+    for key, options in options_by_key.items():
+        ordered = sorted(options, key=lambda option: option.weight)
+        previous_weight = 0
+        for option in ordered:
+            marginal_weight = option.weight - previous_weight
+            if marginal_weight <= 0:
+                continue
+            density = option.marginal_value / marginal_weight if marginal_weight else 0.0
+            steps.append((density, marginal_weight, key, option))
+            previous_weight = option.weight
+
+    steps.sort(key=lambda step: (-step[0], step[1], step[2]))
+
+    chosen: dict[str, CachingOption] = {}
+    used = 0
+    for _, _, key, option in steps:
+        current = chosen.get(key)
+        current_weight = current.weight if current else 0
+        if option.weight <= current_weight:
+            continue
+        extra = option.weight - current_weight
+        if used + extra > capacity_weight:
+            continue
+        chosen[key] = option
+        used += extra
+    return CacheConfiguration(options=tuple(chosen.values()))

@@ -1,0 +1,298 @@
+"""The cache-configuration Knapsack solver (paper §IV-B, Figs. 4 and 5).
+
+Choosing which chunks to cache is a multiple-choice knapsack problem: each
+object contributes several mutually exclusive caching options (§IV-A) and the
+cache capacity bounds the total weight.  The paper solves it with a dynamic
+programming heuristic:
+
+* ``MaxV[w]`` holds the best configuration found so far of weight at most ``w``;
+* every option is offered to every intermediate configuration twice — once via
+  **relaxation** (replace an already-chosen option of another object with a
+  smaller one of the same object to make room, Fig. 5) and once via
+  **addition** (extend the configuration, Fig. 4 lines 14–21);
+* objects are processed in decreasing value order, and the paper's §VI
+  optimisation stops a fixed number of objects after ``MaxV[capacity]`` is
+  first reached, making the run time depend on the cache size rather than on
+  the dataset size.
+
+:class:`KnapsackSolver` implements that heuristic; :mod:`repro.core.exact` and
+:mod:`repro.core.greedy` provide an exact MCKP solver and a greedy baseline for
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.options import CachingOption, best_option_value, option_with_weight
+from repro.erasure.chunk import ChunkId
+
+
+@dataclass(frozen=True)
+class CacheConfiguration:
+    """An assignment of caching options to objects (at most one per object).
+
+    Configurations are immutable; the solver derives new ones via
+    :meth:`with_option` and :meth:`replace`.
+    """
+
+    options: tuple[CachingOption, ...] = ()
+    _by_key: dict[str, CachingOption] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        by_key: dict[str, CachingOption] = {}
+        for option in self.options:
+            if option.key in by_key:
+                raise ValueError(f"configuration contains two options for key {option.key!r}")
+            by_key[option.key] = option
+        object.__setattr__(self, "_by_key", by_key)
+
+    # -- inspection ---------------------------------------------------- #
+    @property
+    def weight(self) -> int:
+        """Total number of chunks the configuration caches."""
+        return sum(option.weight for option in self.options)
+
+    @property
+    def value(self) -> float:
+        """Total value (popularity-weighted latency improvement)."""
+        return sum(option.value for option in self.options)
+
+    def has_key(self, key: str) -> bool:
+        """True if the configuration already caches chunks of ``key``."""
+        return key in self._by_key
+
+    def option_for(self, key: str) -> CachingOption | None:
+        """The option chosen for ``key``, if any."""
+        return self._by_key.get(key)
+
+    def keys(self) -> list[str]:
+        """Keys with at least one cached chunk, in insertion order."""
+        return [option.key for option in self.options]
+
+    def chunks_for(self, key: str) -> tuple[int, ...]:
+        """Chunk indices cached for ``key`` (empty tuple if none)."""
+        option = self._by_key.get(key)
+        return option.chunk_indices if option else ()
+
+    def chunk_ids(self) -> frozenset[ChunkId]:
+        """All chunk ids named by the configuration (what the cache should pin)."""
+        ids = set()
+        for option in self.options:
+            for index in option.chunk_indices:
+                ids.add(ChunkId(key=option.key, index=index))
+        return frozenset(ids)
+
+    def __len__(self) -> int:
+        return len(self.options)
+
+    # -- derivation ---------------------------------------------------- #
+    def with_option(self, option: CachingOption) -> "CacheConfiguration":
+        """Return a new configuration with ``option`` appended.
+
+        Raises:
+            ValueError: if the configuration already has an option for the key.
+        """
+        return CacheConfiguration(options=self.options + (option,))
+
+    def replace(self, old: CachingOption, replacement: CachingOption | None,
+                added: CachingOption | None = None) -> "CacheConfiguration":
+        """Return a new configuration with ``old`` swapped for ``replacement``.
+
+        ``replacement`` may be ``None`` (total eviction of the old object,
+        paper Fig. 5); ``added`` is an option for another object appended at
+        the end (the option that the relaxation made room for).
+        """
+        new_options = []
+        for option in self.options:
+            if option is old or option == old:
+                if replacement is not None:
+                    new_options.append(replacement)
+            else:
+                new_options.append(option)
+        if added is not None:
+            new_options.append(added)
+        return CacheConfiguration(options=tuple(new_options))
+
+
+EMPTY_CONFIGURATION = CacheConfiguration()
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one solver run.
+
+    Attributes:
+        best: the configuration to install (highest value with weight ≤ capacity).
+        table: the final ``MaxV`` table (weight → best configuration seen).
+        keys_processed: how many objects the solver examined.
+        stopped_early: whether the §VI early-stop optimisation triggered.
+    """
+
+    best: CacheConfiguration
+    table: dict[int, CacheConfiguration]
+    keys_processed: int
+    stopped_early: bool
+
+
+class KnapsackSolver:
+    """The paper's dynamic-programming heuristic for cache configuration.
+
+    Args:
+        capacity_weight: cache capacity expressed in chunks.
+        use_relax: enable the relaxation step (Fig. 5); disabling it leaves a
+            plain addition-only DP, used by the ablation benchmark.
+        stop_after_extra_keys: §VI optimisation — how many more objects to
+            process after ``MaxV[capacity]`` is first reached (``None``
+            disables early stopping).
+    """
+
+    def __init__(self, capacity_weight: int, use_relax: bool = True,
+                 stop_after_extra_keys: int | None = 25) -> None:
+        if capacity_weight < 0:
+            raise ValueError("capacity_weight must be non-negative")
+        if stop_after_extra_keys is not None and stop_after_extra_keys < 0:
+            raise ValueError("stop_after_extra_keys must be non-negative or None")
+        self._capacity = capacity_weight
+        self._use_relax = use_relax
+        self._stop_after_extra_keys = stop_after_extra_keys
+
+    @property
+    def capacity_weight(self) -> int:
+        """Cache capacity in chunks."""
+        return self._capacity
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(self, options_by_key: Mapping[str, Sequence[CachingOption]]) -> SolverResult:
+        """Compute a cache configuration from per-object caching options.
+
+        Objects are processed in decreasing order of their best option value
+        (Fig. 4 line 8: "iterate through keys in decreasing value order").
+        """
+        if self._capacity == 0 or not options_by_key:
+            return SolverResult(best=EMPTY_CONFIGURATION, table={0: EMPTY_CONFIGURATION},
+                                keys_processed=0, stopped_early=False)
+
+        usable = {
+            key: [option for option in options if option.weight <= self._capacity]
+            for key, options in options_by_key.items()
+        }
+        usable = {key: options for key, options in usable.items() if options}
+        ordered_keys = sorted(usable, key=lambda key: (-best_option_value(usable[key]), key))
+
+        table: dict[int, CacheConfiguration] = {0: EMPTY_CONFIGURATION}
+        keys_since_full: int | None = None
+        keys_processed = 0
+        stopped_early = False
+
+        for key in ordered_keys:
+            for option in sorted(usable[key], key=lambda opt: opt.weight):
+                if self._use_relax:
+                    self._relax_pass(table, option, usable)
+                self._addition_pass(table, option)
+            keys_processed += 1
+
+            if self._stop_after_extra_keys is not None:
+                if keys_since_full is None and self._capacity_reached(table):
+                    keys_since_full = 0
+                elif keys_since_full is not None:
+                    keys_since_full += 1
+                    if keys_since_full >= self._stop_after_extra_keys:
+                        stopped_early = True
+                        break
+
+        best = max(table.values(), key=lambda config: (config.value, -config.weight))
+        return SolverResult(best=best, table=table, keys_processed=keys_processed,
+                            stopped_early=stopped_early)
+
+    def solve_configuration(self, options_by_key: Mapping[str, Sequence[CachingOption]]) -> CacheConfiguration:
+        """Convenience wrapper returning only the best configuration."""
+        return self.solve(options_by_key).best
+
+    # ------------------------------------------------------------------ #
+    # DP passes
+    # ------------------------------------------------------------------ #
+    def _capacity_reached(self, table: dict[int, CacheConfiguration]) -> bool:
+        return any(weight >= self._capacity for weight in table)
+
+    def _addition_pass(self, table: dict[int, CacheConfiguration], option: CachingOption) -> None:
+        """Fig. 4 lines 14–21: extend existing configurations with ``option``."""
+        for weight, config in sorted(table.items()):
+            if config.has_key(option.key):
+                continue
+            new_weight = config.weight + option.weight
+            if new_weight > self._capacity:
+                continue
+            new_value = config.value + option.value
+            existing = table.get(new_weight)
+            if existing is None or existing.value < new_value:
+                table[new_weight] = config.with_option(option)
+
+    def _relax_pass(self, table: dict[int, CacheConfiguration], option: CachingOption,
+                    options_by_key: Mapping[str, Sequence[CachingOption]]) -> None:
+        """Fig. 4 lines 10–12 / Fig. 5: improve configurations at constant weight."""
+        for weight, config in list(table.items()):
+            improved = self._relax(config, option, options_by_key)
+            if improved is not None and improved.value > config.value:
+                table[weight] = improved
+
+    def _relax(self, config: CacheConfiguration, option: CachingOption,
+               options_by_key: Mapping[str, Sequence[CachingOption]]) -> CacheConfiguration | None:
+        """Fig. 5: make room for ``option`` by shrinking one already-chosen object.
+
+        The replacement option must have *exactly* the weight freed by the
+        swap (``OldOption.Weight − Option.Weight``), so the configuration's
+        total weight never changes — the invariant that keeps ``MaxV[w]`` a
+        weight-``w`` configuration.  When no such option exists the old object
+        may be evicted entirely ("the replacement can be total"), which keeps
+        the weight bounded by ``w``.
+
+        Returns the best improved configuration, or ``None`` if no replacement
+        increases the value.
+        """
+        if config.has_key(option.key) or not config.options:
+            return None
+
+        best_choice: tuple[CachingOption, CachingOption | None] | None = None
+        best_value = config.value
+
+        for old_option in config.options:
+            freed_weight = old_option.weight - option.weight
+            if freed_weight < 0:
+                # The new option is larger than the old one; swapping would
+                # exceed the slot's weight.
+                continue
+            replacement = None
+            if freed_weight >= 1:
+                replacement = option_with_weight(
+                    options_by_key.get(old_option.key, ()), freed_weight
+                )
+            replacement_value = replacement.value if replacement is not None else 0.0
+            candidate_value = config.value - old_option.value + replacement_value + option.value
+            if candidate_value > best_value:
+                best_value = candidate_value
+                best_choice = (old_option, replacement)
+
+        if best_choice is None:
+            return None
+        old_option, replacement = best_choice
+        return config.replace(old_option, replacement, added=option)
+
+
+def configuration_summary(configuration: CacheConfiguration) -> dict[int, int]:
+    """Histogram {cached chunk count: number of objects} for a configuration.
+
+    This is the quantity Fig. 10 visualises for Agar's cache contents.
+    """
+    histogram: dict[int, int] = {}
+    for option in configuration.options:
+        histogram[option.weight] = histogram.get(option.weight, 0) + 1
+    return histogram
+
+
+def total_chunks(configurations: Iterable[CacheConfiguration]) -> int:
+    """Total chunks across several configurations (used in multi-region reports)."""
+    return sum(config.weight for config in configurations)

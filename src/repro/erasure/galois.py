@@ -1,0 +1,191 @@
+"""Arithmetic over the Galois field GF(2^8).
+
+Reed-Solomon codes operate over a finite field.  We use GF(256) with the
+conventional primitive polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the
+same field used by Longhair, Jerasure and most storage erasure coders.  All
+symbols are bytes, which keeps chunk data as plain ``bytes``/NumPy ``uint8``
+arrays.
+
+The module exposes both scalar operations (``gf_add``, ``gf_mul``, ...) used by
+the matrix routines and vectorised NumPy kernels (``gf_mul_bytes``,
+``gf_addmul_bytes``) used on chunk payloads, where throughput matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Order of the field (number of elements).
+FIELD_SIZE = 256
+
+#: Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 used to reduce products.
+PRIMITIVE_POLYNOMIAL = 0x11D
+
+#: Generator element used to build the exponentiation/log tables.
+GENERATOR = 0x02
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build exponentiation and logarithm tables for GF(256).
+
+    Returns a pair ``(exp, log)`` where ``exp`` has 512 entries (doubled so
+    that ``exp[log[a] + log[b]]`` never needs an explicit modulo) and ``log``
+    has 256 entries with ``log[0]`` left as 0 (it is never a valid input).
+    """
+    exp = np.zeros(2 * FIELD_SIZE, dtype=np.int32)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    value = 1
+    for power in range(FIELD_SIZE - 1):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLYNOMIAL
+    # Duplicate the table so exponent sums up to 2*(255) index safely.
+    for power in range(FIELD_SIZE - 1, 2 * FIELD_SIZE):
+        exp[power] = exp[power - (FIELD_SIZE - 1)]
+    return exp, log
+
+
+_EXP_TABLE, _LOG_TABLE = _build_tables()
+
+#: Full 256x256 multiplication table; 64 KiB, lets NumPy multiply chunk
+#: payloads by a constant with a single fancy-indexing pass.
+_MUL_TABLE = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
+for _a in range(1, FIELD_SIZE):
+    for _b in range(1, FIELD_SIZE):
+        _MUL_TABLE[_a, _b] = _EXP_TABLE[_LOG_TABLE[_a] + _LOG_TABLE[_b]]
+
+
+class GaloisError(ArithmeticError):
+    """Raised for invalid field operations such as division by zero."""
+
+
+def gf_add(a: int, b: int) -> int:
+    """Add two field elements (addition in GF(2^n) is XOR)."""
+    return (a ^ b) & 0xFF
+
+
+def gf_sub(a: int, b: int) -> int:
+    """Subtract two field elements (identical to addition in GF(2^n))."""
+    return (a ^ b) & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP_TABLE[_LOG_TABLE[a] + _LOG_TABLE[b]])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b`` in the field.
+
+    Raises:
+        GaloisError: if ``b`` is zero.
+    """
+    if b == 0:
+        raise GaloisError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(_EXP_TABLE[_LOG_TABLE[a] - _LOG_TABLE[b] + (FIELD_SIZE - 1)])
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Raise ``a`` to an integer power (exponent may be negative)."""
+    if exponent == 0:
+        return 1
+    if a == 0:
+        if exponent < 0:
+            raise GaloisError("zero has no inverse in GF(256)")
+        return 0
+    log_a = int(_LOG_TABLE[a])
+    exp_index = (log_a * exponent) % (FIELD_SIZE - 1)
+    return int(_EXP_TABLE[exp_index])
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse of ``a``.
+
+    Raises:
+        GaloisError: if ``a`` is zero.
+    """
+    if a == 0:
+        raise GaloisError("zero has no inverse in GF(256)")
+    return int(_EXP_TABLE[(FIELD_SIZE - 1) - _LOG_TABLE[a]])
+
+
+def gf_exp(power: int) -> int:
+    """Return the generator raised to ``power`` (mod 255)."""
+    return int(_EXP_TABLE[power % (FIELD_SIZE - 1)])
+
+
+def gf_log(a: int) -> int:
+    """Discrete logarithm of ``a`` with respect to the generator."""
+    if a == 0:
+        raise GaloisError("log of zero is undefined in GF(256)")
+    return int(_LOG_TABLE[a])
+
+
+def gf_mul_bytes(coefficient: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by a constant ``coefficient``.
+
+    Args:
+        coefficient: field element in ``[0, 255]``.
+        data: ``uint8`` array of payload bytes.
+
+    Returns:
+        A new ``uint8`` array of the same shape.
+    """
+    if coefficient == 0:
+        return np.zeros_like(data)
+    if coefficient == 1:
+        return data.copy()
+    return _MUL_TABLE[coefficient][data]
+
+
+def gf_addmul_bytes(accumulator: np.ndarray, coefficient: int, data: np.ndarray) -> None:
+    """In-place ``accumulator ^= coefficient * data`` over GF(256).
+
+    This is the inner loop of Reed-Solomon encoding: the accumulator holds a
+    parity chunk being built up as a linear combination of data chunks.
+    """
+    if coefficient == 0:
+        return
+    if coefficient == 1:
+        np.bitwise_xor(accumulator, data, out=accumulator)
+        return
+    np.bitwise_xor(accumulator, _MUL_TABLE[coefficient][data], out=accumulator)
+
+
+def gf_matmul_bytes(matrix: np.ndarray, shards: np.ndarray) -> np.ndarray:
+    """Multiply a coefficient matrix by a stack of shards.
+
+    Args:
+        matrix: ``(rows, cols)`` ``uint8`` coefficient matrix.
+        shards: ``(cols, shard_len)`` ``uint8`` array, one shard per row.
+
+    Returns:
+        ``(rows, shard_len)`` ``uint8`` array of output shards.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    shards = np.asarray(shards, dtype=np.uint8)
+    if matrix.ndim != 2 or shards.ndim != 2:
+        raise ValueError("matrix and shards must both be 2-D arrays")
+    if matrix.shape[1] != shards.shape[0]:
+        raise ValueError(
+            f"shape mismatch: matrix has {matrix.shape[1]} columns but "
+            f"{shards.shape[0]} shards were provided"
+        )
+    rows = matrix.shape[0]
+    out = np.zeros((rows, shards.shape[1]), dtype=np.uint8)
+    for row in range(rows):
+        accumulator = out[row]
+        for col in range(matrix.shape[1]):
+            gf_addmul_bytes(accumulator, int(matrix[row, col]), shards[col])
+    return out
+
+
+def is_field_element(value: int) -> bool:
+    """Return True if ``value`` is a valid GF(256) element."""
+    return isinstance(value, (int, np.integer)) and 0 <= int(value) < FIELD_SIZE

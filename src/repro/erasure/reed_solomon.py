@@ -1,0 +1,211 @@
+"""Systematic Reed-Solomon encoder/decoder over GF(256).
+
+This is the coding engine underneath :class:`repro.erasure.codec.ErasureCodec`.
+It works on *shards*: equally sized ``uint8`` arrays.  The first ``k`` shards
+are the original data split column-wise; the remaining ``m`` shards are parity.
+Any ``k`` of the ``k + m`` shards reconstruct the data (MDS property), which is
+exactly the contract the paper's storage backend relies on (§II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.erasure.galois import gf_matmul_bytes
+from repro.erasure.matrix import (
+    decode_matrix,
+    submatrix,
+    systematic_encoding_matrix,
+)
+
+
+class DecodingError(ValueError):
+    """Raised when reconstruction is impossible (too few shards, bad sizes)."""
+
+
+@dataclass(frozen=True)
+class ShardSet:
+    """A (possibly partial) collection of shards for one encoded blob.
+
+    Attributes:
+        shards: mapping from shard index to its payload array.
+        shard_size: common length of every shard in bytes.
+    """
+
+    shards: dict[int, np.ndarray]
+    shard_size: int
+
+    def available_indices(self) -> list[int]:
+        """Shard indices present in this set, sorted ascending."""
+        return sorted(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+class ReedSolomon:
+    """Systematic Reed-Solomon code with ``k`` data and ``m`` parity shards.
+
+    Args:
+        data_shards: ``k``.
+        parity_shards: ``m``.
+        construction: matrix construction, ``"cauchy"`` (default) or
+            ``"vandermonde"``.
+
+    Example:
+        >>> rs = ReedSolomon(4, 2)
+        >>> shards = rs.encode(b"hello erasure world!")
+        >>> partial = {i: shards[i] for i in (0, 2, 4, 5)}
+        >>> rs.decode_data(partial, original_length=20)
+        b'hello erasure world!'
+    """
+
+    def __init__(self, data_shards: int, parity_shards: int, construction: str = "cauchy") -> None:
+        if data_shards <= 0:
+            raise ValueError("data_shards must be positive")
+        if parity_shards < 0:
+            raise ValueError("parity_shards must be non-negative")
+        if data_shards + parity_shards > 256:
+            raise ValueError("k + m must not exceed 256 for GF(256) Reed-Solomon")
+        self._data_shards = data_shards
+        self._parity_shards = parity_shards
+        self._construction = construction
+        self._matrix = systematic_encoding_matrix(data_shards, parity_shards, construction)
+
+    @property
+    def data_shards(self) -> int:
+        """Number of data shards ``k``."""
+        return self._data_shards
+
+    @property
+    def parity_shards(self) -> int:
+        """Number of parity shards ``m``."""
+        return self._parity_shards
+
+    @property
+    def total_shards(self) -> int:
+        """Total number of shards ``k + m``."""
+        return self._data_shards + self._parity_shards
+
+    @property
+    def encoding_matrix(self) -> np.ndarray:
+        """Copy of the ``(k + m) × k`` systematic encoding matrix."""
+        return self._matrix.copy()
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def shard_size(self, data_length: int) -> int:
+        """Shard length (bytes) for a blob of ``data_length`` bytes."""
+        if data_length < 0:
+            raise ValueError("data_length must be non-negative")
+        return -(-data_length // self._data_shards) if data_length else 0
+
+    def split(self, data: bytes) -> np.ndarray:
+        """Split (and zero-pad) a blob into a ``(k, shard_size)`` array."""
+        shard_size = self.shard_size(len(data))
+        padded = np.zeros(self._data_shards * max(shard_size, 1), dtype=np.uint8)
+        if data:
+            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        return padded.reshape(self._data_shards, max(shard_size, 1))
+
+    def encode(self, data: bytes) -> list[np.ndarray]:
+        """Encode a blob into ``k + m`` equally sized shards.
+
+        The first ``k`` shards are the original data (zero-padded); the last
+        ``m`` shards are parity.
+        """
+        data_matrix = self.split(data)
+        return self.encode_shards(data_matrix)
+
+    def encode_shards(self, data_matrix: np.ndarray) -> list[np.ndarray]:
+        """Encode a pre-split ``(k, shard_size)`` array into ``k + m`` shards."""
+        data_matrix = np.asarray(data_matrix, dtype=np.uint8)
+        if data_matrix.shape[0] != self._data_shards:
+            raise ValueError(
+                f"expected {self._data_shards} data shards, got {data_matrix.shape[0]}"
+            )
+        if self._parity_shards == 0:
+            return [data_matrix[i].copy() for i in range(self._data_shards)]
+        parity_rows = self._matrix[self._data_shards :, :]
+        parity = gf_matmul_bytes(parity_rows, data_matrix)
+        shards = [data_matrix[i].copy() for i in range(self._data_shards)]
+        shards.extend(parity[i] for i in range(self._parity_shards))
+        return shards
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def decode_shards(self, available: dict[int, np.ndarray]) -> np.ndarray:
+        """Reconstruct the ``(k, shard_size)`` data matrix from any ``k`` shards.
+
+        Args:
+            available: mapping from shard index to payload; must contain at
+                least ``k`` entries of identical length.
+
+        Raises:
+            DecodingError: if fewer than ``k`` shards are supplied or the
+                shard sizes disagree.
+        """
+        if len(available) < self._data_shards:
+            raise DecodingError(
+                f"need {self._data_shards} shards to decode, got {len(available)}"
+            )
+        indices = sorted(available)[: self._data_shards]
+        arrays = []
+        shard_size = None
+        for index in indices:
+            if not 0 <= index < self.total_shards:
+                raise DecodingError(f"shard index {index} out of range 0..{self.total_shards - 1}")
+            array = np.asarray(available[index], dtype=np.uint8)
+            if shard_size is None:
+                shard_size = array.shape[0]
+            elif array.shape[0] != shard_size:
+                raise DecodingError("all shards must have the same length")
+            arrays.append(array)
+
+        # Fast path: all k data shards survived — nothing to invert.
+        if indices == list(range(self._data_shards)):
+            return np.stack(arrays)
+
+        inverse = decode_matrix(self._matrix, indices, self._data_shards)
+        stacked = np.stack(arrays)
+        return gf_matmul_bytes(inverse, stacked)
+
+    def decode_data(self, available: dict[int, np.ndarray | bytes], original_length: int) -> bytes:
+        """Reconstruct the original blob (trimmed to ``original_length`` bytes)."""
+        as_arrays = {
+            index: np.frombuffer(payload, dtype=np.uint8) if isinstance(payload, (bytes, bytearray)) else np.asarray(payload, dtype=np.uint8)
+            for index, payload in available.items()
+        }
+        data_matrix = self.decode_shards(as_arrays)
+        flat = data_matrix.reshape(-1)
+        if original_length > flat.shape[0]:
+            raise DecodingError(
+                f"original_length {original_length} exceeds decoded payload of {flat.shape[0]} bytes"
+            )
+        return flat[:original_length].tobytes()
+
+    def reconstruct_shard(self, available: dict[int, np.ndarray], target_index: int) -> np.ndarray:
+        """Rebuild one missing shard (data or parity) from any ``k`` survivors."""
+        if not 0 <= target_index < self.total_shards:
+            raise DecodingError(f"shard index {target_index} out of range")
+        data_matrix = self.decode_shards(available)
+        row = submatrix(self._matrix, [target_index])
+        return gf_matmul_bytes(row, data_matrix)[0]
+
+    def verify(self, shards: dict[int, np.ndarray]) -> bool:
+        """Check that a *complete* shard set is consistent with the code.
+
+        Returns False if any parity shard does not match the data shards.
+        """
+        if len(shards) != self.total_shards:
+            raise ValueError("verify() requires all k + m shards")
+        data_matrix = np.stack([np.asarray(shards[i], dtype=np.uint8) for i in range(self._data_shards)])
+        expected = self.encode_shards(data_matrix)
+        for index in range(self.total_shards):
+            if not np.array_equal(expected[index], np.asarray(shards[index], dtype=np.uint8)):
+                return False
+        return True

@@ -1,0 +1,106 @@
+"""Command-line entry point: regenerate any of the paper's tables and figures.
+
+Installed as ``agar-experiments``.  Examples::
+
+    agar-experiments table1
+    agar-experiments fig6 --quick
+    agar-experiments all --quick
+
+Each command prints the rows/series of the corresponding figure as a text
+table; ``--quick`` runs the reduced-scale settings used by the benchmark suite,
+the default is the paper's full scale (5 runs × 1,000 reads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig2_motivating import render_fig2, run_fig2
+from repro.experiments.fig6_policies import agar_advantage, render_fig6, render_fig7, run_policy_comparison
+from repro.experiments.fig8_sweeps import agar_lead_by_group, render_sweep, run_fig8a, run_fig8b
+from repro.experiments.fig9_popularity import render_fig9, run_fig9
+from repro.experiments.fig10_cache_contents import render_fig10, run_fig10
+from repro.experiments.microbench import run_capacity_scaling, run_microbench
+from repro.experiments.table1_latency import render_table1, run_table1
+
+EXPERIMENTS = ("table1", "fig2", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10", "microbench")
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings.quick() if args.quick else ExperimentSettings.paper()
+
+
+def _run_one(name: str, settings: ExperimentSettings, out) -> None:
+    if name == "table1":
+        print(render_table1(run_table1()).render(), file=out)
+    elif name == "fig2":
+        print(render_fig2(run_fig2(settings)).render(), file=out)
+    elif name in ("fig6", "fig7"):
+        rows = run_policy_comparison(settings)
+        if name == "fig6":
+            print(render_fig6(rows).render(), file=out)
+            for region in sorted({row.region for row in rows}):
+                summary = agar_advantage(rows, region)
+                print(
+                    f"{region}: Agar {summary['vs_best_pct']:.1f}% lower latency than the best "
+                    f"static policy ({summary['best_other']}), {summary['vs_worst_pct']:.1f}% lower "
+                    f"than the worst ({summary['worst_other']})",
+                    file=out,
+                )
+        else:
+            print(render_fig7(rows).render(), file=out)
+    elif name == "fig8a":
+        points = run_fig8a(settings)
+        print(render_sweep(points, "Figure 8a — average latency (ms) vs cache size").render(), file=out)
+        for group, lead in sorted(agar_lead_by_group(points).items()):
+            print(f"{group}: Agar {lead:+.1f}% vs best static policy", file=out)
+    elif name == "fig8b":
+        points = run_fig8b(settings)
+        print(render_sweep(points, "Figure 8b — average latency (ms) vs workload").render(), file=out)
+        for group, lead in sorted(agar_lead_by_group(points).items()):
+            print(f"{group}: Agar {lead:+.1f}% vs best static policy", file=out)
+    elif name == "fig9":
+        print(render_fig9(run_fig9(settings)).render(), file=out)
+    elif name == "fig10":
+        print(render_fig10(run_fig10(settings)).render(), file=out)
+    elif name == "microbench":
+        result = run_microbench(settings)
+        print(
+            f"request processing: {result.request_processing_ms:.3f} ms/request "
+            f"(paper: ~0.5 ms)\n"
+            f"reconfiguration:    {result.reconfiguration_ms:.1f} ms for a "
+            f"{result.cache_capacity_mb:.0f} MB cache, {result.candidate_keys} candidate objects "
+            f"(paper: ~5 ms)",
+            file=out,
+        )
+        for row in run_capacity_scaling(settings):
+            print(f"  cache {row.cache_capacity_mb:5.0f} MB -> reconfiguration {row.reconfiguration_ms:8.1f} ms", file=out)
+    else:
+        raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="agar-experiments",
+        description="Regenerate the tables and figures of the Agar paper (ICDCS 2017).",
+    )
+    parser.add_argument("experiment", choices=(*EXPERIMENTS, "all"),
+                        help="which table/figure to regenerate")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scale (2 runs x 400 reads) instead of the paper's 5 x 1000")
+    args = parser.parse_args(argv)
+    settings = _settings(args)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(f"=== {name} ===", file=out)
+        _run_one(name, settings, out)
+        print(file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

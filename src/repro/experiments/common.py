@@ -1,0 +1,111 @@
+"""Shared configuration for the paper-reproduction experiments.
+
+Every experiment driver in this package regenerates one table or figure of the
+paper.  They all consume an :class:`ExperimentSettings` instance so the same
+code can run either at the paper's scale (300 objects, 1,000 reads, 5 runs) or
+in a faster "quick" mode used by the benchmark suite and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.agar_node import AgarNodeConfig
+from repro.core.cache_manager import CacheManagerConfig
+from repro.geo.latency import DEFAULT_OBJECT_SIZE
+from repro.workload.workload import WorkloadSpec, uniform_workload, zipfian_workload
+
+#: 1 MiB, the paper's object size.
+MEGABYTE = 1024 * 1024
+
+#: The strategy line-up of Fig. 6 / Fig. 7.
+FIG6_STRATEGIES: tuple[str, ...] = (
+    "agar",
+    "lru-1", "lru-3", "lru-5", "lru-7", "lru-9",
+    "lfu-1", "lfu-3", "lfu-5", "lfu-7", "lfu-9",
+    "backend",
+)
+
+#: The reduced strategy line-up of Fig. 8 (the paper plots Agar, LRU/LFU-5/9).
+FIG8_STRATEGIES: tuple[str, ...] = ("agar", "lru-5", "lru-9", "lfu-5", "lfu-9")
+
+#: Cache sizes swept in Fig. 8a (MB).  The paper also shows the 0 MB backend bar.
+FIG8A_CACHE_SIZES_MB: tuple[int, ...] = (5, 10, 20, 50, 100)
+
+#: Zipfian skews swept in Fig. 8b (plus the uniform workload).
+FIG8B_SKEWS: tuple[float, ...] = (0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.4)
+
+#: Skews plotted in Fig. 9.
+FIG9_SKEWS: tuple[float, ...] = (0.5, 0.8, 1.1, 1.4)
+
+#: Chunk counts swept in the Fig. 2 motivating experiment.
+FIG2_CHUNK_COUNTS: tuple[int, ...] = (0, 1, 3, 5, 7, 9)
+
+#: Client regions used throughout the evaluation.
+EVALUATION_REGIONS: tuple[str, ...] = ("frankfurt", "sydney")
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scale knobs shared by all experiment drivers.
+
+    Attributes:
+        runs: repetitions per configuration (paper: 5).
+        request_count: reads per run (paper: 1,000).
+        object_count: objects in the store (paper: 300).
+        object_size: bytes per object (paper: 1 MB).
+        cache_capacity_bytes: default cache size (paper: 10 MB).
+        seed: base seed for workloads and latency jitter.
+    """
+
+    runs: int = 5
+    request_count: int = 1000
+    object_count: int = 300
+    object_size: int = DEFAULT_OBJECT_SIZE
+    cache_capacity_bytes: int = 10 * MEGABYTE
+    seed: int = 42
+
+    @classmethod
+    def paper(cls) -> "ExperimentSettings":
+        """The paper's full scale (§V-A)."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """A reduced scale for benchmarks and CI (same shapes, ~10× faster)."""
+        return cls(runs=2, request_count=400, object_count=300)
+
+    def workload(self, skew: float | None = 1.1) -> WorkloadSpec:
+        """Build the experiment workload (Zipfian by default, uniform if ``skew`` is None)."""
+        if skew is None:
+            return uniform_workload(
+                request_count=self.request_count,
+                object_count=self.object_count,
+                object_size=self.object_size,
+                seed=self.seed,
+            )
+        return zipfian_workload(
+            skew,
+            request_count=self.request_count,
+            object_count=self.object_count,
+            object_size=self.object_size,
+            seed=self.seed,
+        )
+
+    def with_requests(self, request_count: int) -> "ExperimentSettings":
+        """Copy of the settings with a different request count."""
+        return replace(self, request_count=request_count)
+
+
+def agar_config_for_capacity(cache_capacity_bytes: int) -> AgarNodeConfig:
+    """Agar tunables adapted to the cache size.
+
+    For very large caches (≥ 50 MB, several hundred chunk slots) the dynamic
+    program's early-stop window is tightened so reconfiguration time stays in
+    the few-second range the paper reports (§VI); the resulting configurations
+    are unchanged in practice because everything popular already fits.
+    """
+    if cache_capacity_bytes >= 50 * MEGABYTE:
+        manager = CacheManagerConfig(stop_after_extra_keys=10, max_candidate_keys=200)
+        return AgarNodeConfig(manager=manager)
+    return AgarNodeConfig()

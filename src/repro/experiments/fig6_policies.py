@@ -1,0 +1,100 @@
+"""Figures 6 and 7 — Agar vs. LRU-c, LFU-c and the backend.
+
+One experiment produces both figures: Fig. 6 plots the average read latency of
+every strategy in Frankfurt and Sydney with a 10 MB cache and the Zipf-1.1
+workload; Fig. 7 plots the corresponding hit ratios (full + partial hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import Table, improvement_summary
+from repro.experiments.common import (
+    EVALUATION_REGIONS,
+    FIG6_STRATEGIES,
+    ExperimentSettings,
+    agar_config_for_capacity,
+)
+from repro.sim.simulation import AggregatedResult, run_comparison
+
+
+@dataclass(frozen=True)
+class PolicyComparisonRow:
+    """One bar of Fig. 6 / Fig. 7."""
+
+    region: str
+    strategy: str
+    mean_latency_ms: float
+    hit_ratio: float
+    full_hit_ratio: float
+
+
+def run_policy_comparison(settings: ExperimentSettings | None = None,
+                          regions: tuple[str, ...] = EVALUATION_REGIONS,
+                          strategies: tuple[str, ...] = FIG6_STRATEGIES,
+                          cache_capacity_bytes: int | None = None) -> list[PolicyComparisonRow]:
+    """Run the Fig. 6 / Fig. 7 comparison and return one row per (region, strategy)."""
+    settings = settings or ExperimentSettings.quick()
+    capacity = cache_capacity_bytes or settings.cache_capacity_bytes
+    workload = settings.workload(skew=1.1)
+    rows: list[PolicyComparisonRow] = []
+    for region in regions:
+        comparison: dict[str, AggregatedResult] = run_comparison(
+            workload=workload,
+            strategies=list(strategies),
+            client_region=region,
+            cache_capacity_bytes=capacity,
+            runs=settings.runs,
+            agar_config=agar_config_for_capacity(capacity),
+            topology_seed=settings.seed,
+        )
+        for strategy, aggregate in comparison.items():
+            rows.append(
+                PolicyComparisonRow(
+                    region=region,
+                    strategy=strategy,
+                    mean_latency_ms=aggregate.mean_latency_ms,
+                    hit_ratio=aggregate.hit_ratio,
+                    full_hit_ratio=aggregate.full_hit_ratio,
+                )
+            )
+    return rows
+
+
+def render_fig6(rows: list[PolicyComparisonRow]) -> Table:
+    """Fig. 6: average read latency per strategy and region."""
+    regions = sorted({row.region for row in rows})
+    strategies = [row.strategy for row in rows if row.region == regions[0]]
+    lookup = {(row.region, row.strategy): row.mean_latency_ms for row in rows}
+    table = Table(
+        title="Figure 6 — average read latency (ms): Agar vs LRU/LFU vs Backend",
+        columns=("strategy", *regions),
+    )
+    for strategy in strategies:
+        table.add_row(strategy, *[lookup[(region, strategy)] for region in regions])
+    return table
+
+
+def render_fig7(rows: list[PolicyComparisonRow]) -> Table:
+    """Fig. 7: hit ratio (full + partial) per caching strategy and region."""
+    regions = sorted({row.region for row in rows})
+    strategies = [row.strategy for row in rows if row.region == regions[0] and row.strategy != "backend"]
+    lookup = {(row.region, row.strategy): row.hit_ratio for row in rows}
+    table = Table(
+        title="Figure 7 — cache hit ratio (full + partial hits)",
+        columns=("strategy", *[f"{region} (%)" for region in regions]),
+    )
+    for strategy in strategies:
+        table.add_row(strategy, *[lookup[(region, strategy)] * 100.0 for region in regions])
+    return table
+
+
+def agar_advantage(rows: list[PolicyComparisonRow], region: str) -> dict[str, float]:
+    """The paper's headline numbers for one region.
+
+    Returns how much lower Agar's latency is than the best and the worst
+    static caching policy (LRU-c / LFU-c), excluding the backend.
+    """
+    latencies = {row.strategy: row.mean_latency_ms for row in rows if row.region == region}
+    return improvement_summary(latencies, subject="agar", exclude=("backend",))

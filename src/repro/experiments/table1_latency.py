@@ -1,0 +1,64 @@
+"""Table I — per-region read latency estimates seen from Frankfurt.
+
+The paper's Table I lists the per-chunk read latency the Region Manager
+measures from Frankfurt to each of the six regions.  This experiment runs the
+Region Manager's warm-up probes against the ``table1`` topology preset (whose
+Frankfurt row uses the paper's values verbatim) and, for reference, against the
+calibrated evaluation topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import Table
+from repro.backend.object_store import ErasureCodedStore
+from repro.core.region_manager import RegionManager
+from repro.geo.topology import TABLE1_FRANKFURT_LATENCIES, Topology, default_topology, table1_topology
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One region's latency estimate."""
+
+    region: str
+    paper_ms: float | None
+    measured_ms: float
+
+
+def run_table1(client_region: str = "frankfurt", topology: Topology | None = None,
+               object_count: int = 10, object_size: int = 1024 * 1024) -> list[Table1Row]:
+    """Measure per-region chunk-read latency estimates via the Region Manager.
+
+    Args:
+        client_region: region to probe from (the paper reports Frankfurt).
+        topology: topology to probe; defaults to the ``table1`` preset.
+        object_count / object_size: small working set placed before probing so
+            the Region Manager has a catalog to describe.
+    """
+    topology = topology or table1_topology()
+    store = ErasureCodedStore(topology)
+    store.populate(object_count, object_size)
+    manager = RegionManager(client_region, store)
+    estimates = manager.latency_estimates()
+
+    rows = []
+    for region in topology.region_names:
+        paper = TABLE1_FRANKFURT_LATENCIES.get(region) if client_region == "frankfurt" else None
+        rows.append(Table1Row(region=region, paper_ms=paper, measured_ms=estimates[region]))
+    rows.sort(key=lambda row: row.measured_ms)
+    return rows
+
+
+def run_table1_calibrated(client_region: str = "frankfurt") -> list[Table1Row]:
+    """Same measurement on the calibrated evaluation topology (for EXPERIMENTS.md)."""
+    return run_table1(client_region=client_region, topology=default_topology())
+
+
+def render_table1(rows: list[Table1Row], title: str = "Table I — read latency from Frankfurt") -> Table:
+    """Render the rows as an aligned text table."""
+    table = Table(title=title, columns=("region", "paper (ms)", "measured (ms)"))
+    for row in rows:
+        paper = f"{row.paper_ms:.0f}" if row.paper_ms is not None else "-"
+        table.add_row(row.region, paper, row.measured_ms)
+    return table

@@ -1,0 +1,36 @@
+"""Extensions sketched in the paper's discussion section (§VI).
+
+* :mod:`repro.extensions.collaboration` — content exchange between nearby caches.
+* :mod:`repro.extensions.writes` — write-through writes with cache coherence.
+* :mod:`repro.extensions.tinylfu` — approximate request statistics (count-min sketch).
+"""
+
+from repro.extensions.collaboration import (
+    CollaborationCoordinator,
+    NeighborAnnouncement,
+    discount_options,
+)
+from repro.extensions.tinylfu import (
+    ApproximatePopularityTracker,
+    CountMinSketch,
+    SketchParameters,
+)
+from repro.extensions.writes import (
+    CoherenceStats,
+    StaleWriteError,
+    WriteCoordinator,
+    WriteRecord,
+)
+
+__all__ = [
+    "ApproximatePopularityTracker",
+    "CoherenceStats",
+    "CollaborationCoordinator",
+    "CountMinSketch",
+    "NeighborAnnouncement",
+    "SketchParameters",
+    "StaleWriteError",
+    "WriteCoordinator",
+    "WriteRecord",
+    "discount_options",
+]

@@ -1,0 +1,170 @@
+"""Cache collaboration between nearby regions (paper §VI).
+
+The paper sketches a first step towards collaborating caches: "Agar nodes
+could broadcast their contents and workload statistics periodically, in order
+to let nearby caches update the values of each cache option accordingly".
+
+This extension implements that step:
+
+* :class:`NeighborAnnouncement` — what a node broadcasts (its region and the
+  chunk ids its current configuration pins);
+* :func:`discount_options` — re-values a node's caching options given what
+  neighbours already cache: chunks available at a nearby cache can be fetched
+  at the neighbour-cache latency instead of the backend latency, so caching
+  them locally is worth less;
+* :class:`CollaborationCoordinator` — wires several :class:`AgarNode` instances
+  together, performing the periodic exchange and the discounted
+  reconfiguration for each node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from repro.core.agar_node import AgarNode
+from repro.core.knapsack import KnapsackSolver
+from repro.core.options import CachingOption
+from repro.erasure.chunk import ChunkId
+
+
+@dataclass(frozen=True)
+class NeighborAnnouncement:
+    """One node's periodic broadcast to its neighbours."""
+
+    region: str
+    pinned_chunks: frozenset[ChunkId]
+
+    def has_chunk(self, key: str, index: int) -> bool:
+        """True if the announcing cache pins this chunk."""
+        return ChunkId(key=key, index=index) in self.pinned_chunks
+
+
+def discount_options(options_by_key: Mapping[str, Sequence[CachingOption]],
+                     announcements: Sequence[NeighborAnnouncement],
+                     neighbor_read_ms: float,
+                     local_backend_floor_ms: float = 0.0) -> dict[str, list[CachingOption]]:
+    """Re-value caching options given what neighbouring caches already hold.
+
+    For each option, the chunks that a neighbour already pins could be read
+    from that neighbour at ``neighbor_read_ms`` instead of from the backend.
+    The option's latency improvement is therefore reduced in proportion to the
+    fraction of its chunks already available nearby (they were going to be
+    cheap anyway), but never below ``local_backend_floor_ms`` of improvement.
+
+    Args:
+        options_by_key: the node's locally generated options.
+        announcements: the latest broadcast of every neighbour.
+        neighbor_read_ms: estimated latency of reading a chunk from a
+            neighbouring region's cache.
+        local_backend_floor_ms: lower bound on the per-option improvement kept
+            after discounting (0 keeps pure proportional discounting).
+
+    Returns:
+        A new options map with adjusted ``latency_improvement_ms`` values.
+    """
+    if neighbor_read_ms < 0:
+        raise ValueError("neighbor_read_ms must be non-negative")
+
+    discounted: dict[str, list[CachingOption]] = {}
+    for key, options in options_by_key.items():
+        new_options = []
+        for option in options:
+            covered = sum(
+                1
+                for index in option.chunk_indices
+                if any(announcement.has_chunk(key, index) for announcement in announcements)
+            )
+            if covered == 0 or option.weight == 0:
+                new_options.append(option)
+                continue
+            coverage = covered / option.weight
+            adjusted = max(option.latency_improvement_ms * (1.0 - coverage), local_backend_floor_ms)
+            new_options.append(replace(option, latency_improvement_ms=adjusted))
+        discounted[key] = new_options
+    return discounted
+
+
+class CollaborationCoordinator:
+    """Periodic content exchange between the Agar nodes of nearby regions.
+
+    Args:
+        nodes: the participating Agar nodes (typically regions of the same
+            continent, e.g. Frankfurt and Dublin).
+        neighbor_read_ms: latency of a cross-region cache read used when
+            discounting option values.
+    """
+
+    def __init__(self, nodes: Sequence[AgarNode], neighbor_read_ms: float = 120.0) -> None:
+        if not nodes:
+            raise ValueError("at least one node is required")
+        regions = [node.local_region for node in nodes]
+        if len(set(regions)) != len(regions):
+            raise ValueError("each node must serve a distinct region")
+        self._nodes = list(nodes)
+        self._neighbor_read_ms = neighbor_read_ms
+        self._announcements: dict[str, NeighborAnnouncement] = {}
+
+    @property
+    def regions(self) -> list[str]:
+        """Regions participating in the collaboration."""
+        return [node.local_region for node in self._nodes]
+
+    def announcements(self) -> list[NeighborAnnouncement]:
+        """The latest announcement of every node."""
+        return list(self._announcements.values())
+
+    def broadcast(self) -> list[NeighborAnnouncement]:
+        """Collect every node's current configuration into announcements."""
+        self._announcements = {
+            node.local_region: NeighborAnnouncement(
+                region=node.local_region,
+                pinned_chunks=node.current_configuration.chunk_ids(),
+            )
+            for node in self._nodes
+        }
+        return self.announcements()
+
+    def reconfigure_all(self, now: float) -> dict[str, int]:
+        """Run one collaborative reconfiguration round.
+
+        Nodes reconfigure one at a time (a staggered round, which is how the
+        30-second periods of independent nodes interleave in practice): each
+        node closes its popularity period, generates options, discounts them by
+        the *current* configuration of every other node — including nodes that
+        already reconfigured earlier in this round — solves the knapsack and
+        installs the result.  Processing nodes sequentially avoids the
+        oscillation that simultaneous mutual discounting would cause.
+
+        Returns the number of configured chunks per region.
+        """
+        configured: dict[str, int] = {}
+        for node in self._nodes:
+            popularity = node.request_monitor.end_period()
+            manager = node.cache_manager
+            options = manager.generate_options(popularity)
+            neighbours = [
+                NeighborAnnouncement(
+                    region=other.local_region,
+                    pinned_chunks=other.current_configuration.chunk_ids(),
+                )
+                for other in self._nodes
+                if other.local_region != node.local_region
+            ]
+            discounted = discount_options(options, neighbours, self._neighbor_read_ms)
+            solver = KnapsackSolver(capacity_weight=manager.capacity_chunks)
+            best = solver.solve_configuration(discounted)
+            manager.install(best)
+            configured[node.local_region] = best.weight
+        self.broadcast()
+        return configured
+
+    def overlap_report(self) -> dict[tuple[str, str], int]:
+        """Number of identical pinned chunks per region pair (lower = better use of space)."""
+        report: dict[tuple[str, str], int] = {}
+        announcements = self.broadcast()
+        for i, first in enumerate(announcements):
+            for second in announcements[i + 1:]:
+                shared = len(first.pinned_chunks & second.pinned_chunks)
+                report[(first.region, second.region)] = shared
+        return report

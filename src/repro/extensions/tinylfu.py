@@ -1,0 +1,170 @@
+"""TinyLFU-style approximate request statistics (paper §III-b, §VII-A).
+
+The paper notes that for large deployments the Request Monitor could use
+TinyLFU-like approximate access statistics to avoid becoming a bottleneck.
+This module provides:
+
+* :class:`CountMinSketch` — a conservative-update count-min sketch;
+* :class:`ApproximatePopularityTracker` — a drop-in replacement for
+  :class:`repro.core.popularity.PopularityTracker` that keeps per-period
+  frequencies in the sketch instead of an exact dictionary, plus a bounded
+  catalog of "interesting" keys whose EWMA popularity is tracked exactly.
+
+The tracker can be handed to :class:`repro.core.request_monitor.RequestMonitor`
+via its ``tracker`` argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.popularity import DEFAULT_ALPHA, PopularityTracker
+
+
+@dataclass(frozen=True)
+class SketchParameters:
+    """Size of a count-min sketch.
+
+    Attributes:
+        width: counters per row (error ∝ total count / width).
+        depth: number of hash rows (failure probability ∝ exp(-depth)).
+    """
+
+    width: int = 1024
+    depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.depth <= 0:
+            raise ValueError("width and depth must be positive")
+
+
+class CountMinSketch:
+    """Count-min sketch with conservative update over string keys."""
+
+    #: Large odd multipliers for the per-row hash mix.
+    _MIXERS = (0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9, 0x27D4EB2F165667C5,
+               0x85EBCA77C2B2AE63, 0x2545F4914F6CDD1D, 0x9E3779B185EBCA87, 0xFF51AFD7ED558CCD)
+
+    def __init__(self, params: SketchParameters | None = None) -> None:
+        self._params = params or SketchParameters()
+        if self._params.depth > len(self._MIXERS):
+            raise ValueError(f"depth must not exceed {len(self._MIXERS)}")
+        self._table = np.zeros((self._params.depth, self._params.width), dtype=np.int64)
+        self._total = 0
+
+    @property
+    def params(self) -> SketchParameters:
+        """The sketch dimensions."""
+        return self._params
+
+    @property
+    def total_count(self) -> int:
+        """Total number of increments recorded."""
+        return self._total
+
+    def _indices(self, key: str) -> list[int]:
+        base = _fnv1a(key)
+        indices = []
+        for row in range(self._params.depth):
+            mixed = (base ^ self._MIXERS[row]) * 0x100000001B3 & 0xFFFFFFFFFFFFFFFF
+            indices.append(mixed % self._params.width)
+        return indices
+
+    def add(self, key: str, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``key`` (conservative update)."""
+        if count <= 0:
+            return
+        indices = self._indices(key)
+        current = min(int(self._table[row, index]) for row, index in enumerate(indices))
+        target = current + count
+        for row, index in enumerate(indices):
+            if self._table[row, index] < target:
+                self._table[row, index] = target
+        self._total += count
+
+    def estimate(self, key: str) -> int:
+        """Estimated count of ``key`` (never under-estimates)."""
+        return min(int(self._table[row, index]) for row, index in enumerate(self._indices(key)))
+
+    def halve(self) -> None:
+        """Divide all counters by two (TinyLFU's periodic aging)."""
+        self._table >>= 1
+        self._total //= 2
+
+    def reset(self) -> None:
+        """Clear the sketch."""
+        self._table.fill(0)
+        self._total = 0
+
+
+class ApproximatePopularityTracker(PopularityTracker):
+    """EWMA popularity on top of a count-min sketch and a bounded key catalog.
+
+    Per-period frequencies are recorded in the sketch (constant memory); only
+    keys that have been seen at least ``catalog_threshold`` times in the
+    current period enter the exact catalog whose EWMA popularity is reported
+    to the Cache Manager.  The catalog is capped at ``max_tracked_keys`` to
+    bound memory, evicting the least popular entries.
+
+    Args:
+        alpha: EWMA weight of the current period's frequency.
+        params: sketch dimensions.
+        max_tracked_keys: catalog capacity.
+        catalog_threshold: per-period estimate needed to enter the catalog.
+    """
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA, params: SketchParameters | None = None,
+                 max_tracked_keys: int = 256, catalog_threshold: int = 1) -> None:
+        super().__init__(alpha=alpha)
+        if max_tracked_keys <= 0:
+            raise ValueError("max_tracked_keys must be positive")
+        self._sketch = CountMinSketch(params)
+        self._max_tracked_keys = max_tracked_keys
+        self._catalog_threshold = catalog_threshold
+        self._candidates: set[str] = set()
+
+    @property
+    def sketch(self) -> CountMinSketch:
+        """The underlying count-min sketch."""
+        return self._sketch
+
+    def record_access(self, key: str, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._sketch.add(key, count)
+        if self._sketch.estimate(key) >= self._catalog_threshold:
+            self._candidates.add(key)
+
+    def current_frequency(self, key: str) -> int:
+        return self._sketch.estimate(key)
+
+    def known_keys(self) -> set[str]:
+        return set(self._popularity) | set(self._candidates)
+
+    def end_period(self) -> dict[str, float]:
+        # Fold the sketch estimates of catalogued keys into the exact EWMA.
+        for key in self._candidates:
+            super().record_access(key, self._sketch.estimate(key))
+        result = super().end_period()
+
+        # Cap the catalog, dropping the least popular keys.
+        if len(result) > self._max_tracked_keys:
+            ranked = sorted(result, key=lambda key: (-result[key], key))
+            for key in ranked[self._max_tracked_keys:]:
+                self.forget(key)
+                result.pop(key, None)
+
+        self._candidates.clear()
+        self._sketch.halve()
+        return result
+
+
+def _fnv1a(text: str) -> int:
+    """64-bit FNV-1a hash (stable across processes, unlike ``hash``)."""
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value

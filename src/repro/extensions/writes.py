@@ -1,0 +1,183 @@
+"""Write support with cache coherence (paper §VI).
+
+The paper's evaluation is read-only, but §VI envisions supporting writes by
+adding a cache-coherence mechanism.  This extension implements the design the
+related-work section attributes to CAROM: every object has a *primary region*
+that totally orders its writes; writes are encoded, written through to the
+backend with a new version number, and the primary then invalidates stale
+cached chunks in every region's cache.
+
+The extension is deliberately synchronous and single-writer-per-object — the
+simplest protocol that keeps the read path (which may serve cached chunks)
+version-consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.backend.object_store import ErasureCodedStore
+from repro.backend.placement import RoundRobinPlacement
+from repro.cache.chunk_cache import ChunkCache
+from repro.erasure.chunk import ChunkId
+
+
+class StaleWriteError(ValueError):
+    """Raised when a write presents a version older than the stored one."""
+
+
+@dataclass
+class WriteRecord:
+    """Book-keeping about one committed write."""
+
+    key: str
+    version: int
+    primary_region: str
+    invalidated_chunks: int
+    bytes_written: int
+
+
+@dataclass
+class CoherenceStats:
+    """Counters of the coherence protocol."""
+
+    writes: int = 0
+    invalidations_sent: int = 0
+    chunks_invalidated: int = 0
+    stale_writes_rejected: int = 0
+    history: list[WriteRecord] = field(default_factory=list)
+
+
+class WriteCoordinator:
+    """Write-through writes with primary-region invalidation.
+
+    Args:
+        store: the erasure-coded backend store.
+        caches: mapping region → that region's chunk cache (the caches Agar or
+            the baselines manage).  Caches are invalidated, never written, by
+            the coordinator — clients re-populate them on later reads.
+        primary_placement: optional explicit mapping key → primary region; by
+            default the primary is the region hosting the object's first chunk
+            (stable under the round-robin placement of Fig. 1).
+    """
+
+    def __init__(self, store: ErasureCodedStore, caches: Mapping[str, ChunkCache],
+                 primary_placement: Mapping[str, str] | None = None) -> None:
+        unknown = [region for region in caches if not store.topology.has_region(region)]
+        if unknown:
+            raise ValueError(f"caches reference unknown regions: {unknown}")
+        self._store = store
+        self._caches = dict(caches)
+        self._primaries = dict(primary_placement or {})
+        self._versions: dict[str, int] = {}
+        self.stats = CoherenceStats()
+
+    # ------------------------------------------------------------------ #
+    # Primary assignment and versions
+    # ------------------------------------------------------------------ #
+    def primary_region(self, key: str) -> str:
+        """The region that orders writes for ``key``."""
+        if key in self._primaries:
+            return self._primaries[key]
+        if key in self._store:
+            return self._store.chunk_region(key, 0)
+        placement = RoundRobinPlacement().place(key, self._store.params.total_chunks,
+                                                 self._store.topology.region_names)
+        return placement[0]
+
+    def current_version(self, key: str) -> int:
+        """Latest committed version of ``key`` (0 if never written here)."""
+        return self._versions.get(key, 0)
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def write(self, key: str, data: bytes, expected_version: int | None = None) -> WriteRecord:
+        """Write-through a new value of ``key`` and invalidate cached chunks.
+
+        Args:
+            key: object key.
+            data: new object payload (encoded through the store's codec).
+            expected_version: optional optimistic-concurrency check; the write
+                is rejected if the current version differs.
+
+        Raises:
+            StaleWriteError: if ``expected_version`` is given and stale.
+        """
+        current = self.current_version(key)
+        if expected_version is not None and expected_version != current:
+            self.stats.stale_writes_rejected += 1
+            raise StaleWriteError(
+                f"write to {key!r} expected version {expected_version}, current is {current}"
+            )
+
+        new_version = current + 1
+        self._store.put(key, data, version=new_version)
+        self._versions[key] = new_version
+        invalidated = self._invalidate(key)
+
+        record = WriteRecord(
+            key=key,
+            version=new_version,
+            primary_region=self.primary_region(key),
+            invalidated_chunks=invalidated,
+            bytes_written=len(data),
+        )
+        self.stats.writes += 1
+        self.stats.history.append(record)
+        return record
+
+    def write_virtual(self, key: str, object_size: int,
+                      expected_version: int | None = None) -> WriteRecord:
+        """Metadata-only variant of :meth:`write` for simulation-scale objects."""
+        current = self.current_version(key)
+        if expected_version is not None and expected_version != current:
+            self.stats.stale_writes_rejected += 1
+            raise StaleWriteError(
+                f"write to {key!r} expected version {expected_version}, current is {current}"
+            )
+        new_version = current + 1
+        self._store.put_virtual(key, object_size, version=new_version)
+        self._versions[key] = new_version
+        invalidated = self._invalidate(key)
+        record = WriteRecord(
+            key=key,
+            version=new_version,
+            primary_region=self.primary_region(key),
+            invalidated_chunks=invalidated,
+            bytes_written=object_size,
+        )
+        self.stats.writes += 1
+        self.stats.history.append(record)
+        return record
+
+    def _invalidate(self, key: str) -> int:
+        """Remove every cached chunk of ``key`` from every region's cache."""
+        invalidated = 0
+        for cache in self._caches.values():
+            for index in cache.cached_indices(key):
+                if cache.delete(ChunkId(key=key, index=index)):
+                    invalidated += 1
+        if self._caches:
+            self.stats.invalidations_sent += len(self._caches)
+        self.stats.chunks_invalidated += invalidated
+        return invalidated
+
+    # ------------------------------------------------------------------ #
+    # Read-side helper
+    # ------------------------------------------------------------------ #
+    def is_cache_consistent(self, key: str) -> bool:
+        """True if no cache holds chunks of an older version of ``key``.
+
+        With the synchronous invalidation above this always holds after a
+        write returns; the check exists for tests and for asynchronous
+        variants users may build on top.
+        """
+        current = self.current_version(key)
+        for cache in self._caches.values():
+            for index in cache.cached_indices(key):
+                chunk = cache.get(ChunkId(key=key, index=index))
+                if chunk is not None and chunk.version < current:
+                    return False
+        return True

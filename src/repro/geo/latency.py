@@ -1,0 +1,172 @@
+"""Wide-area latency model for chunk reads between regions.
+
+The paper's evaluation runs against real AWS inter-region links; offline we
+model each (client region, backend region) pair as a :class:`LinkProfile` with
+a fixed round-trip component, a bandwidth component proportional to the chunk
+size, and multiplicative log-normal jitter.  The model is deterministic given a
+seed, which keeps every experiment reproducible.
+
+Two families of reads exist:
+
+* **backend reads** — chunk fetches from a (possibly remote) region's bucket,
+  sampled via :meth:`LatencyModel.sample_backend_read`;
+* **cache reads** — fetches from the local in-memory cache, much faster,
+  sampled via :meth:`LatencyModel.sample_cache_read`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Size of the objects used throughout the paper's evaluation (1 MB).
+DEFAULT_OBJECT_SIZE = 1024 * 1024
+
+#: Chunk size for the paper's RS(9, 3) scheme applied to 1 MB objects.
+DEFAULT_CHUNK_SIZE = -(-DEFAULT_OBJECT_SIZE // 9)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkProfile:
+    """Latency characteristics of one directed client→backend link.
+
+    Attributes:
+        rtt_ms: fixed round-trip / request-setup component in milliseconds.
+        bandwidth_mbps: effective single-stream throughput in megabits per
+            second; the transfer component of a read is
+            ``size_bytes * 8 / (bandwidth_mbps * 1e3)`` milliseconds.
+        jitter: standard deviation of the multiplicative log-normal noise
+            applied to sampled reads (0 disables jitter).
+    """
+
+    rtt_ms: float
+    bandwidth_mbps: float
+    jitter: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms < 0:
+            raise ValueError("rtt_ms must be non-negative")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def expected_read_ms(self, size_bytes: int) -> float:
+        """Expected latency (no jitter) of reading ``size_bytes`` over this link."""
+        transfer_ms = size_bytes * 8.0 / (self.bandwidth_mbps * 1_000.0)
+        return self.rtt_ms + transfer_ms
+
+    @classmethod
+    def from_expected(cls, expected_ms: float, size_bytes: int = DEFAULT_CHUNK_SIZE,
+                      rtt_fraction: float = 0.35, jitter: float = 0.08) -> "LinkProfile":
+        """Build a profile whose expected read of ``size_bytes`` equals ``expected_ms``.
+
+        ``rtt_fraction`` of the target is attributed to the fixed component and
+        the rest to bandwidth, which keeps the model sensitive to chunk size.
+        """
+        if expected_ms <= 0:
+            raise ValueError("expected_ms must be positive")
+        rtt_ms = expected_ms * rtt_fraction
+        transfer_ms = expected_ms - rtt_ms
+        bandwidth_mbps = size_bytes * 8.0 / (transfer_ms * 1_000.0)
+        return cls(rtt_ms=rtt_ms, bandwidth_mbps=bandwidth_mbps, jitter=jitter)
+
+
+class LatencyModel:
+    """Samples chunk-read latencies between regions.
+
+    Args:
+        links: mapping ``(client_region, backend_region) -> LinkProfile``.
+        cache_links: mapping ``region -> LinkProfile`` describing reads from
+            the region's local cache server.
+        seed: seed for the jitter random number generator.
+    """
+
+    def __init__(
+        self,
+        links: dict[tuple[str, str], LinkProfile],
+        cache_links: dict[str, LinkProfile],
+        seed: int = 0,
+    ) -> None:
+        self._links = dict(links)
+        self._cache_links = dict(cache_links)
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        """The seed the jitter generator was initialised with."""
+        return self._seed
+
+    def reseed(self, seed: int) -> None:
+        """Reset the jitter generator (used to make runs independent)."""
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+
+    def regions(self) -> list[str]:
+        """All region names that appear as backend endpoints."""
+        return sorted({backend for (_, backend) in self._links})
+
+    def link(self, client_region: str, backend_region: str) -> LinkProfile:
+        """Return the profile of the ``client → backend`` link.
+
+        Raises:
+            KeyError: if the pair is unknown.
+        """
+        try:
+            return self._links[(client_region, backend_region)]
+        except KeyError:
+            raise KeyError(
+                f"no link profile for {client_region!r} -> {backend_region!r}"
+            ) from None
+
+    def cache_link(self, region: str) -> LinkProfile:
+        """Return the profile of reads from ``region``'s local cache."""
+        try:
+            return self._cache_links[region]
+        except KeyError:
+            raise KeyError(f"no cache link profile for region {region!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Expected (deterministic) latencies
+    # ------------------------------------------------------------------ #
+    def expected_backend_read(self, client_region: str, backend_region: str,
+                              size_bytes: int = DEFAULT_CHUNK_SIZE) -> float:
+        """Expected latency of one backend chunk read, without jitter."""
+        return self.link(client_region, backend_region).expected_read_ms(size_bytes)
+
+    def expected_cache_read(self, region: str, size_bytes: int = DEFAULT_CHUNK_SIZE) -> float:
+        """Expected latency of one local cache chunk read, without jitter."""
+        return self.cache_link(region).expected_read_ms(size_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Sampled latencies
+    # ------------------------------------------------------------------ #
+    def _apply_jitter(self, expected_ms: float, jitter: float) -> float:
+        if jitter <= 0:
+            return expected_ms
+        multiplier = float(self._rng.lognormal(mean=0.0, sigma=jitter))
+        return expected_ms * multiplier
+
+    def sample_backend_read(self, client_region: str, backend_region: str,
+                            size_bytes: int = DEFAULT_CHUNK_SIZE) -> float:
+        """Sample the latency of one backend chunk read (with jitter)."""
+        profile = self.link(client_region, backend_region)
+        return self._apply_jitter(profile.expected_read_ms(size_bytes), profile.jitter)
+
+    def sample_cache_read(self, region: str, size_bytes: int = DEFAULT_CHUNK_SIZE) -> float:
+        """Sample the latency of one local cache chunk read (with jitter)."""
+        profile = self.cache_link(region)
+        return self._apply_jitter(profile.expected_read_ms(size_bytes), profile.jitter)
+
+    def probe(self, client_region: str, backend_region: str, samples: int = 5,
+              size_bytes: int = DEFAULT_CHUNK_SIZE) -> float:
+        """Average of several sampled reads — the RegionManager's warm-up probe."""
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        total = sum(
+            self.sample_backend_read(client_region, backend_region, size_bytes)
+            for _ in range(samples)
+        )
+        return total / samples

@@ -1,0 +1,21 @@
+"""Simulation substrate: simulated clock and the experiment run driver."""
+
+from repro.sim.clock import SimulationClock
+from repro.sim.simulation import (
+    AggregatedResult,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    aggregate_results,
+    run_comparison,
+)
+
+__all__ = [
+    "AggregatedResult",
+    "Simulation",
+    "SimulationClock",
+    "SimulationConfig",
+    "SimulationResult",
+    "aggregate_results",
+    "run_comparison",
+]

@@ -1,0 +1,40 @@
+"""A simple simulated clock.
+
+The paper's evaluation runs in wall-clock time; offline we advance a simulated
+clock by each read's latency (a closed-loop client, like YCSB's).  The clock is
+shared with the caches and the Agar node so that recency information and the
+30-second reconfiguration period line up with simulated time.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        if start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        self._now_s = float(start_s)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_s
+
+    def advance_seconds(self, delta_s: float) -> float:
+        """Advance by ``delta_s`` seconds and return the new time."""
+        if delta_s < 0:
+            raise ValueError("cannot move the clock backwards")
+        self._now_s += delta_s
+        return self._now_s
+
+    def advance_ms(self, delta_ms: float) -> float:
+        """Advance by ``delta_ms`` milliseconds and return the new time."""
+        return self.advance_seconds(delta_ms / 1000.0)
+
+    def __call__(self) -> float:
+        """Clocks are callable so they can be injected wherever a time source is needed."""
+        return self._now_s
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(now={self._now_s:.3f}s)"

@@ -1,0 +1,37 @@
+"""Workload substrate: YCSB-style request generation (read-only, Zipfian/uniform)."""
+
+from repro.workload.workload import (
+    DEFAULT_KEY_PREFIX,
+    PAPER_WORKLOAD,
+    Request,
+    WorkloadSpec,
+    generate_requests,
+    iter_requests,
+    request_frequency,
+    uniform_workload,
+    zipfian_workload,
+)
+from repro.workload.zipfian import (
+    KeyDistribution,
+    UniformDistribution,
+    ZipfianDistribution,
+    top_k_share,
+    zipfian_cdf,
+)
+
+__all__ = [
+    "DEFAULT_KEY_PREFIX",
+    "KeyDistribution",
+    "PAPER_WORKLOAD",
+    "Request",
+    "UniformDistribution",
+    "WorkloadSpec",
+    "ZipfianDistribution",
+    "generate_requests",
+    "iter_requests",
+    "request_frequency",
+    "top_k_share",
+    "uniform_workload",
+    "zipfian_cdf",
+    "zipfian_workload",
+]

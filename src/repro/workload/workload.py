@@ -1,0 +1,147 @@
+"""Workload specifications and request streams (the YCSB stand-in).
+
+A :class:`WorkloadSpec` captures everything the paper's modified YCSB client is
+configured with: the object population (300 × 1 MB), the number of read
+operations (1,000 per run), and the request distribution (Zipfian with a given
+skew, or uniform).  :func:`generate_requests` turns a spec into a deterministic
+request stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.geo.latency import DEFAULT_OBJECT_SIZE
+from repro.workload.zipfian import KeyDistribution, UniformDistribution, ZipfianDistribution
+
+#: Key prefix used for generated objects, matching ``ErasureCodedStore.populate``.
+DEFAULT_KEY_PREFIX = "object"
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One client operation.
+
+    Attributes:
+        key: object key.
+        operation: ``"read"`` (the paper's workloads are read-only) or
+            ``"write"`` (used only by the writes extension).
+        sequence: position of the request in the stream.
+    """
+
+    key: str
+    operation: str = "read"
+    sequence: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of one experiment workload.
+
+    Attributes:
+        name: label used in reports ("zipf-1.1", "uniform", ...).
+        object_count: number of objects in the store (paper: 300).
+        object_size: size of each object in bytes (paper: 1 MB).
+        request_count: number of read operations per run (paper: 1,000).
+        distribution: ``"zipfian"`` or ``"uniform"``.
+        skew: Zipfian exponent (ignored for uniform).
+        key_prefix: object key prefix.
+        seed: base RNG seed; per-run seeds derive from it.
+    """
+
+    name: str = "zipf-1.1"
+    object_count: int = 300
+    object_size: int = DEFAULT_OBJECT_SIZE
+    request_count: int = 1000
+    distribution: str = "zipfian"
+    skew: float = 1.1
+    key_prefix: str = DEFAULT_KEY_PREFIX
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.object_count <= 0:
+            raise ValueError("object_count must be positive")
+        if self.object_size <= 0:
+            raise ValueError("object_size must be positive")
+        if self.request_count < 0:
+            raise ValueError("request_count must be non-negative")
+        if self.distribution not in ("zipfian", "uniform"):
+            raise ValueError("distribution must be 'zipfian' or 'uniform'")
+
+    def key_for_rank(self, rank: int) -> str:
+        """Object key for popularity rank ``rank`` (rank 0 = most popular)."""
+        if not 0 <= rank < self.object_count:
+            raise ValueError(f"rank {rank} out of range 0..{self.object_count - 1}")
+        return f"{self.key_prefix}-{rank}"
+
+    def build_distribution(self, seed: int | None = None) -> KeyDistribution:
+        """Instantiate the key distribution with the given (or spec) seed."""
+        effective_seed = self.seed if seed is None else seed
+        if self.distribution == "uniform":
+            return UniformDistribution(self.object_count, seed=effective_seed)
+        return ZipfianDistribution(self.object_count, skew=self.skew, seed=effective_seed)
+
+    def with_seed(self, seed: int) -> "WorkloadSpec":
+        """Copy of the spec with a different seed (used for repeated runs)."""
+        return replace(self, seed=seed)
+
+    def total_data_bytes(self) -> int:
+        """Total unencoded bytes in the working set."""
+        return self.object_count * self.object_size
+
+
+#: The paper's default workload (§V-A): 300 × 1 MB objects, 1,000 reads, Zipf 1.1.
+PAPER_WORKLOAD = WorkloadSpec()
+
+
+def uniform_workload(request_count: int = 1000, object_count: int = 300,
+                     object_size: int = DEFAULT_OBJECT_SIZE, seed: int = 42) -> WorkloadSpec:
+    """The paper's uniform workload variant (§V-C)."""
+    return WorkloadSpec(
+        name="uniform",
+        object_count=object_count,
+        object_size=object_size,
+        request_count=request_count,
+        distribution="uniform",
+        seed=seed,
+    )
+
+
+def zipfian_workload(skew: float, request_count: int = 1000, object_count: int = 300,
+                     object_size: int = DEFAULT_OBJECT_SIZE, seed: int = 42) -> WorkloadSpec:
+    """A Zipfian workload with the given skew (§V-C sweeps 0.2 – 1.4)."""
+    return WorkloadSpec(
+        name=f"zipf-{skew:g}",
+        object_count=object_count,
+        object_size=object_size,
+        request_count=request_count,
+        distribution="zipfian",
+        skew=skew,
+        seed=seed,
+    )
+
+
+def generate_requests(spec: WorkloadSpec, seed: int | None = None) -> list[Request]:
+    """Materialise the full request stream for one run (deterministic)."""
+    distribution = spec.build_distribution(seed)
+    ranks = distribution.sample_many(spec.request_count)
+    return [
+        Request(key=spec.key_for_rank(int(rank)), operation="read", sequence=index)
+        for index, rank in enumerate(ranks)
+    ]
+
+
+def iter_requests(spec: WorkloadSpec, seed: int | None = None) -> Iterator[Request]:
+    """Lazily iterate the request stream (memory-friendly for large runs)."""
+    distribution = spec.build_distribution(seed)
+    for index in range(spec.request_count):
+        yield Request(key=spec.key_for_rank(distribution.sample()), operation="read", sequence=index)
+
+
+def request_frequency(requests: list[Request]) -> dict[str, int]:
+    """Access counts per key for a materialised request stream."""
+    counts: dict[str, int] = {}
+    for request in requests:
+        counts[request.key] = counts.get(request.key, 0) + 1
+    return counts

@@ -1,0 +1,117 @@
+"""Request-distribution generators: Zipfian and uniform (YCSB-style).
+
+The paper's workloads are read-only and drawn either from a uniform
+distribution or from Zipfian distributions with skew exponents between 0.2 and
+1.4 (§V-A, §V-C).  The Zipfian generator here uses the standard finite-support
+form ``P(rank i) ∝ 1 / i^s`` over ``n`` items, sampled through a precomputed
+CDF, which matches YCSB's definition for the purposes of the evaluation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class KeyDistribution(ABC):
+    """A distribution over item ranks ``0 .. n-1`` (rank 0 = most popular)."""
+
+    def __init__(self, item_count: int, seed: int = 0) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self._item_count = item_count
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+
+    @property
+    def item_count(self) -> int:
+        """Number of distinct items."""
+        return self._item_count
+
+    @property
+    def seed(self) -> int:
+        """Seed the generator was created with."""
+        return self._seed
+
+    def reseed(self, seed: int) -> None:
+        """Restart the random stream."""
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+
+    @abstractmethod
+    def probabilities(self) -> np.ndarray:
+        """Per-rank probabilities (length ``item_count``, sums to 1)."""
+
+    def sample(self) -> int:
+        """Draw a single rank."""
+        return int(self.sample_many(1)[0])
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """Draw ``count`` ranks as an ``int64`` array."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self._rng.choice(self._item_count, size=count, p=self.probabilities())
+
+    def cdf(self) -> np.ndarray:
+        """Cumulative distribution over ranks (what Fig. 9 plots)."""
+        return np.cumsum(self.probabilities())
+
+
+class ZipfianDistribution(KeyDistribution):
+    """Finite Zipfian distribution ``P(i) ∝ 1 / (i + 1)^s``.
+
+    Args:
+        item_count: number of items (the paper uses 300 objects).
+        skew: the Zipf exponent ``s`` (the paper's default workload uses 1.1).
+        seed: RNG seed.
+    """
+
+    def __init__(self, item_count: int, skew: float = 1.1, seed: int = 0) -> None:
+        super().__init__(item_count, seed)
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self._skew = skew
+        ranks = np.arange(1, item_count + 1, dtype=np.float64)
+        weights = 1.0 / np.power(ranks, skew)
+        self._probabilities = weights / weights.sum()
+
+    @property
+    def skew(self) -> float:
+        """The Zipf exponent."""
+        return self._skew
+
+    def probabilities(self) -> np.ndarray:
+        return self._probabilities.copy()
+
+
+class UniformDistribution(KeyDistribution):
+    """Every item equally likely (the paper's uniform workload)."""
+
+    def probabilities(self) -> np.ndarray:
+        return np.full(self._item_count, 1.0 / self._item_count)
+
+    def sample_many(self, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self._rng.integers(0, self._item_count, size=count)
+
+
+def zipfian_cdf(item_count: int, skew: float) -> np.ndarray:
+    """Analytic CDF of the finite Zipfian distribution (no sampling).
+
+    Convenience used by the Fig. 9 experiment: the fraction of requests that
+    target the ``x`` most popular objects.
+    """
+    if skew == 0:
+        return np.arange(1, item_count + 1) / item_count
+    distribution = ZipfianDistribution(item_count=item_count, skew=skew)
+    return distribution.cdf()
+
+
+def top_k_share(item_count: int, skew: float, top_k: int) -> float:
+    """Fraction of requests that go to the ``top_k`` most popular objects."""
+    if top_k <= 0:
+        return 0.0
+    cdf = zipfian_cdf(item_count, skew)
+    return float(cdf[min(top_k, item_count) - 1])

@@ -1,0 +1,81 @@
+"""Tests for the analysis helpers (tables, summaries, CDFs)."""
+
+import pytest
+
+from repro.analysis.cdf import cdf_table, empirical_cdf, popularity_cdf
+from repro.analysis.report import (
+    Table,
+    format_milliseconds,
+    format_ratio,
+    improvement_summary,
+    percent_difference,
+)
+
+
+class TestTable:
+    def test_render_contains_rows(self):
+        table = Table(title="T", columns=("name", "value"))
+        table.add_row("agar", 416.0)
+        table.add_row("lfu-7", 489.0)
+        text = table.render()
+        assert "agar" in text and "489.0" in text
+        assert text.splitlines()[0] == "T"
+
+    def test_row_arity_checked(self):
+        table = Table(title="T", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_to_dicts(self):
+        table = Table(title="T", columns=("a", "b"))
+        table.add_row(1, 2)
+        assert table.to_dicts() == [{"a": 1, "b": 2}]
+
+
+class TestSummaries:
+    def test_percent_difference(self):
+        assert percent_difference(100.0, 84.0) == pytest.approx(16.0)
+        assert percent_difference(0.0, 10.0) == 0.0
+
+    def test_improvement_summary_headline(self):
+        """The paper's headline: Agar 16 %–41 % lower latency than LRU/LFU."""
+        latencies = {"agar": 416.0, "lfu-7": 489.0, "lru-1": 705.0, "backend": 1050.0}
+        summary = improvement_summary(latencies, subject="agar")
+        assert summary["best_other"] == "lfu-7"
+        assert summary["worst_other"] == "lru-1"
+        assert summary["vs_best_pct"] == pytest.approx(14.9, abs=0.1)
+        assert summary["vs_worst_pct"] == pytest.approx(41.0, abs=0.1)
+
+    def test_improvement_summary_validation(self):
+        with pytest.raises(KeyError):
+            improvement_summary({"lfu": 1.0}, subject="agar")
+        with pytest.raises(ValueError):
+            improvement_summary({"agar": 1.0, "backend": 2.0}, subject="agar")
+
+    def test_formatters(self):
+        assert format_milliseconds(1234.5) == "1,234 ms"
+        assert format_ratio(0.525) == "52.5%"
+
+
+class TestCdf:
+    def test_empirical(self):
+        series = empirical_cdf([30.0, 10.0, 20.0])
+        assert series.x == (10.0, 20.0, 30.0)
+        assert series.y[-1] == pytest.approx(1.0)
+        assert series.value_at(15.0) == pytest.approx(1 / 3)
+        assert series.value_at(5.0) == 0.0
+
+    def test_empty_empirical(self):
+        assert empirical_cdf([]).x == ()
+
+    def test_popularity_cdf_normalises(self):
+        series = popularity_cdf([4, 3, 2, 1])
+        assert series.y[0] == pytest.approx(0.4)
+        assert series.y[-1] == pytest.approx(1.0)
+        assert series.x == (1.0, 2.0, 3.0, 4.0)
+
+    def test_cdf_table(self):
+        series = [popularity_cdf([1, 1, 1, 1], label="flat")]
+        rows = cdf_table(series, x_points=[2, 4])
+        assert rows[0]["flat"] == pytest.approx(0.5)
+        assert rows[1]["flat"] == pytest.approx(1.0)

@@ -1,0 +1,66 @@
+"""Tests for per-region buckets."""
+
+import pytest
+
+from repro.backend.bucket import ChunkNotFoundError, RegionBucket
+from repro.erasure import Chunk, ChunkId
+
+
+@pytest.fixture
+def bucket():
+    return RegionBucket(region="frankfurt")
+
+
+def make_chunk(key: str, index: int, size: int = 10) -> Chunk:
+    return Chunk(ChunkId(key, index), size=size)
+
+
+class TestBucket:
+    def test_put_get(self, bucket):
+        chunk = make_chunk("a", 0)
+        bucket.put(chunk)
+        assert bucket.get(ChunkId("a", 0)) is chunk
+        assert bucket.contains(ChunkId("a", 0))
+        assert bucket.chunk_count == 1
+        assert bucket.used_bytes == 10
+
+    def test_get_missing_raises(self, bucket):
+        with pytest.raises(ChunkNotFoundError):
+            bucket.get(ChunkId("missing", 0))
+
+    def test_delete(self, bucket):
+        bucket.put(make_chunk("a", 0))
+        assert bucket.delete(ChunkId("a", 0))
+        assert not bucket.delete(ChunkId("a", 0))
+        assert bucket.chunk_count == 0
+
+    def test_overwrite_same_id(self, bucket):
+        bucket.put(make_chunk("a", 0, size=10))
+        bucket.put(make_chunk("a", 0, size=20))
+        assert bucket.chunk_count == 1
+        assert bucket.used_bytes == 20
+
+    def test_chunks_for_key_sorted(self, bucket):
+        bucket.put(make_chunk("a", 5))
+        bucket.put(make_chunk("a", 1))
+        bucket.put(make_chunk("b", 0))
+        indices = [chunk.index for chunk in bucket.chunks_for_key("a")]
+        assert indices == [1, 5]
+        assert bucket.keys() == {"a", "b"}
+
+    def test_stats_counters(self, bucket):
+        bucket.put(make_chunk("a", 0, size=7))
+        bucket.get(ChunkId("a", 0))
+        bucket.get(ChunkId("a", 0))
+        bucket.delete(ChunkId("a", 0))
+        assert bucket.stats.puts == 1
+        assert bucket.stats.gets == 2
+        assert bucket.stats.deletes == 1
+        assert bucket.stats.bytes_written == 7
+        assert bucket.stats.bytes_read == 14
+
+    def test_clear(self, bucket):
+        bucket.put(make_chunk("a", 0))
+        bucket.clear()
+        assert bucket.chunk_count == 0
+        assert bucket.used_bytes == 0

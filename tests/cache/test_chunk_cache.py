@@ -1,0 +1,133 @@
+"""Tests for the bounded chunk cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import ChunkCache, FIFOEvictionPolicy, LRUEvictionPolicy
+from repro.erasure import Chunk, ChunkId
+
+
+def make_chunk(key: str, index: int, size: int = 100) -> Chunk:
+    return Chunk(ChunkId(key, index), size=size)
+
+
+class TestBasicOperations:
+    def test_put_get_hit_miss_counters(self):
+        cache = ChunkCache(capacity_bytes=1000)
+        assert cache.put(make_chunk("a", 0))
+        assert cache.get(ChunkId("a", 0)) is not None
+        assert cache.get(ChunkId("a", 1)) is None
+        assert cache.stats.chunk_hits == 1
+        assert cache.stats.chunk_misses == 1
+        assert cache.stats.chunk_hit_ratio == pytest.approx(0.5)
+
+    def test_capacity_accounting(self):
+        cache = ChunkCache(capacity_bytes=250)
+        cache.put(make_chunk("a", 0))
+        cache.put(make_chunk("a", 1))
+        assert cache.used_bytes == 200
+        assert cache.free_bytes == 50
+        assert len(cache) == 2
+
+    def test_oversized_chunk_rejected(self):
+        cache = ChunkCache(capacity_bytes=50)
+        assert not cache.put(make_chunk("a", 0, size=100))
+        assert cache.stats.rejections == 1
+
+    def test_eviction_when_full(self):
+        cache = ChunkCache(capacity_bytes=200, policy=LRUEvictionPolicy())
+        cache.put(make_chunk("a", 0))
+        cache.put(make_chunk("a", 1))
+        cache.put(make_chunk("a", 2))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert not cache.contains(ChunkId("a", 0))
+
+    def test_put_refreshes_existing(self):
+        cache = ChunkCache(capacity_bytes=200)
+        cache.put(make_chunk("a", 0, size=100))
+        cache.put(make_chunk("a", 0, size=50))
+        assert cache.used_bytes == 50
+        assert len(cache) == 1
+
+    def test_delete_and_clear(self):
+        cache = ChunkCache(capacity_bytes=500)
+        cache.put(make_chunk("a", 0))
+        assert cache.delete(ChunkId("a", 0))
+        assert not cache.delete(ChunkId("a", 0))
+        cache.put(make_chunk("b", 0))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            ChunkCache(capacity_bytes=-1)
+
+    def test_zero_capacity_rejects_everything(self):
+        cache = ChunkCache(capacity_bytes=0)
+        assert not cache.put(make_chunk("a", 0, size=1))
+
+
+class TestObjectLevelHelpers:
+    def test_cached_indices_and_keys(self):
+        cache = ChunkCache(capacity_bytes=1000)
+        cache.put(make_chunk("a", 3))
+        cache.put(make_chunk("a", 1))
+        cache.put(make_chunk("b", 0))
+        assert cache.cached_indices("a") == [1, 3]
+        assert cache.cached_keys() == {"a", "b"}
+
+    def test_evict_key(self):
+        cache = ChunkCache(capacity_bytes=1000)
+        for index in range(3):
+            cache.put(make_chunk("a", index))
+        cache.put(make_chunk("b", 0))
+        assert cache.evict_key("a") == 3
+        assert cache.cached_indices("a") == []
+        assert cache.cached_keys() == {"b"}
+
+    def test_snapshot_histogram(self):
+        cache = ChunkCache(capacity_bytes=10_000)
+        for index in range(9):
+            cache.put(make_chunk("full", index))
+        for index in range(5):
+            cache.put(make_chunk("partial", index))
+        snapshot = cache.snapshot()
+        assert snapshot.chunk_count("full") == 9
+        assert snapshot.chunk_count("missing") == 0
+        assert snapshot.chunk_count_histogram() == {9: 1, 5: 1}
+        assert snapshot.occupancy_by_chunk_count() == {9: 9, 5: 5}
+        assert snapshot.used_bytes == 1400
+
+    def test_clock_injection(self):
+        times = iter([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        cache = ChunkCache(capacity_bytes=200, clock=lambda: next(times))
+        cache.put(make_chunk("a", 0))
+        cache.put(make_chunk("b", 0))
+        cache.get(ChunkId("a", 0))  # refresh a's recency
+        cache.put(make_chunk("c", 0))  # evicts b, the least recently used
+        assert cache.contains(ChunkId("a", 0))
+        assert not cache.contains(ChunkId("b", 0))
+
+
+class TestEvictionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["put", "get"]), st.integers(0, 30)),
+            min_size=1, max_size=200,
+        ),
+        capacity_chunks=st.integers(min_value=1, max_value=10),
+    )
+    def test_capacity_never_exceeded(self, operations, capacity_chunks):
+        """Invariant: used bytes never exceed capacity, whatever the op sequence."""
+        chunk_size = 10
+        cache = ChunkCache(capacity_bytes=capacity_chunks * chunk_size, policy=FIFOEvictionPolicy())
+        for operation, index in operations:
+            if operation == "put":
+                cache.put(make_chunk("key", index, size=chunk_size))
+            else:
+                cache.get(ChunkId("key", index))
+            assert cache.used_bytes <= cache.capacity_bytes
+            assert cache.used_bytes == len(cache) * chunk_size

@@ -1,0 +1,127 @@
+"""Tests for the eviction policies (LRU, LFU, FIFO, pinned configuration)."""
+
+import pytest
+
+from repro.cache import (
+    ChunkCache,
+    FIFOEvictionPolicy,
+    LFUEvictionPolicy,
+    LRUEvictionPolicy,
+    PinnedConfigurationPolicy,
+    policy_by_name,
+)
+from repro.erasure import Chunk, ChunkId
+
+
+def make_chunk(key: str, index: int, size: int = 100) -> Chunk:
+    return Chunk(ChunkId(key, index), size=size)
+
+
+class TestLRU:
+    def test_least_recently_used_evicted(self):
+        cache = ChunkCache(capacity_bytes=300, policy=LRUEvictionPolicy())
+        cache.put(make_chunk("a", 0))
+        cache.put(make_chunk("b", 0))
+        cache.put(make_chunk("c", 0))
+        cache.get(ChunkId("a", 0))
+        cache.put(make_chunk("d", 0))  # evicts b (oldest untouched)
+        assert cache.contains(ChunkId("a", 0))
+        assert not cache.contains(ChunkId("b", 0))
+
+    def test_reset(self):
+        policy = LRUEvictionPolicy()
+        cache = ChunkCache(capacity_bytes=300, policy=policy)
+        cache.put(make_chunk("a", 0))
+        cache.clear()
+        cache.put(make_chunk("b", 0))
+        assert cache.contains(ChunkId("b", 0))
+
+
+class TestFIFO:
+    def test_insertion_order_eviction(self):
+        cache = ChunkCache(capacity_bytes=200, policy=FIFOEvictionPolicy())
+        cache.put(make_chunk("first", 0))
+        cache.put(make_chunk("second", 0))
+        cache.get(ChunkId("first", 0))  # access does not protect under FIFO
+        cache.put(make_chunk("third", 0))
+        assert not cache.contains(ChunkId("first", 0))
+        assert cache.contains(ChunkId("second", 0))
+
+
+class TestLFU:
+    def test_least_frequent_object_evicted(self):
+        policy = LFUEvictionPolicy()
+        cache = ChunkCache(capacity_bytes=300, policy=policy)
+        for _ in range(3):
+            cache.record_request("hot")
+        cache.record_request("cold")
+        cache.put(make_chunk("hot", 0))
+        cache.put(make_chunk("hot", 1))
+        cache.put(make_chunk("cold", 0))
+        cache.record_request("new")
+        cache.put(make_chunk("new", 0))  # evicts a chunk of 'cold'
+        assert cache.cached_indices("hot") == [0, 1]
+        assert cache.cached_indices("cold") == []
+        assert policy.frequency_of("hot") == 3
+
+    def test_ties_broken_by_recency(self):
+        policy = LFUEvictionPolicy()
+        cache = ChunkCache(capacity_bytes=200, policy=policy)
+        cache.record_request("a")
+        cache.put(make_chunk("a", 0))
+        cache.record_request("b")
+        cache.put(make_chunk("b", 0))
+        cache.record_request("c")
+        cache.put(make_chunk("c", 0))  # a and b tie at frequency 1; a is older
+        assert not cache.contains(ChunkId("a", 0))
+        assert cache.contains(ChunkId("b", 0))
+
+
+class TestPinnedConfiguration:
+    def test_admission_control(self):
+        policy = PinnedConfigurationPolicy()
+        cache = ChunkCache(capacity_bytes=1000, policy=policy)
+        policy.set_configuration({ChunkId("wanted", 0)})
+        assert cache.put(make_chunk("wanted", 0))
+        assert not cache.put(make_chunk("unwanted", 0))
+        assert cache.stats.rejections == 1
+
+    def test_non_strict_admission(self):
+        policy = PinnedConfigurationPolicy(strict_admission=False)
+        cache = ChunkCache(capacity_bytes=1000, policy=policy)
+        assert cache.put(make_chunk("anything", 0))
+
+    def test_unpinned_evicted_first(self):
+        policy = PinnedConfigurationPolicy()
+        cache = ChunkCache(capacity_bytes=300, policy=policy)
+        policy.set_configuration({ChunkId("old", 0), ChunkId("old", 1), ChunkId("old", 2)})
+        for index in range(3):
+            cache.put(make_chunk("old", index))
+        # New configuration drops old#1; the next admitted chunk evicts it first.
+        policy.set_configuration({ChunkId("old", 0), ChunkId("old", 2), ChunkId("new", 0)})
+        assert cache.put(make_chunk("new", 0))
+        assert not cache.contains(ChunkId("old", 1))
+        assert cache.contains(ChunkId("old", 0))
+        assert cache.contains(ChunkId("old", 2))
+
+    def test_pinned_property(self):
+        policy = PinnedConfigurationPolicy()
+        policy.set_configuration({ChunkId("a", 0)})
+        assert policy.is_pinned(ChunkId("a", 0))
+        assert not policy.is_pinned(ChunkId("a", 1))
+        assert policy.pinned == frozenset({ChunkId("a", 0)})
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,expected", [
+        ("lru", LRUEvictionPolicy),
+        ("lfu", LFUEvictionPolicy),
+        ("fifo", FIFOEvictionPolicy),
+        ("agar-pinned", PinnedConfigurationPolicy),
+    ])
+    def test_known_names(self, name, expected):
+        assert isinstance(policy_by_name(name), expected)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            policy_by_name("random")

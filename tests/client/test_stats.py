@@ -1,0 +1,70 @@
+"""Tests for read results and latency statistics."""
+
+import pytest
+
+from repro.client.stats import HitType, LatencyStats, ReadResult
+
+
+def result(latency: float, hit: HitType, cache_chunks: int = 0, backend_chunks: int = 9) -> ReadResult:
+    return ReadResult(
+        key="object-0", latency_ms=latency, hit_type=hit,
+        chunks_from_cache=cache_chunks, chunks_from_backend=backend_chunks,
+    )
+
+
+class TestHitType:
+    def test_is_hit(self):
+        assert HitType.FULL.is_hit
+        assert HitType.PARTIAL.is_hit
+        assert not HitType.MISS.is_hit
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.mean_latency_ms == 0.0
+        assert stats.hit_ratio == 0.0
+        assert stats.percentile(99) == 0.0
+
+    def test_mean_and_hit_ratio(self):
+        stats = LatencyStats()
+        stats.record(result(100.0, HitType.FULL, cache_chunks=9, backend_chunks=0))
+        stats.record(result(300.0, HitType.PARTIAL, cache_chunks=5, backend_chunks=4))
+        stats.record(result(1100.0, HitType.MISS))
+        assert stats.count == 3
+        assert stats.mean_latency_ms == pytest.approx(500.0)
+        assert stats.hit_ratio == pytest.approx(2 / 3)
+        assert stats.full_hit_ratio == pytest.approx(1 / 3)
+        assert stats.partial_hit_ratio == pytest.approx(1 / 3)
+        assert stats.cache_chunks_total == 14
+        assert stats.backend_chunks_total == 13
+
+    def test_percentiles(self):
+        stats = LatencyStats()
+        for value in range(1, 101):
+            stats.record(result(float(value), HitType.MISS))
+        assert stats.median_latency_ms == pytest.approx(50.0)
+        assert stats.percentile(99) == pytest.approx(99.0)
+        assert stats.p99_latency_ms == pytest.approx(99.0)
+        with pytest.raises(ValueError):
+            stats.percentile(150)
+
+    def test_summary_keys(self):
+        stats = LatencyStats()
+        stats.record(result(10.0, HitType.FULL))
+        summary = stats.summary()
+        assert summary["reads"] == 1.0
+        assert set(summary) >= {"mean_latency_ms", "hit_ratio", "p99_latency_ms"}
+
+    def test_merge(self):
+        first = LatencyStats()
+        first.record(result(100.0, HitType.MISS))
+        second = LatencyStats()
+        second.record(result(200.0, HitType.FULL))
+        merged = first.merge(second)
+        assert merged.count == 2
+        assert merged.mean_latency_ms == pytest.approx(150.0)
+        assert merged.hit_ratio == pytest.approx(0.5)
+        # Originals untouched.
+        assert first.count == 1 and second.count == 1

@@ -1,0 +1,172 @@
+"""Tests for the read strategies (Backend, LRU-c, LFU-c, Agar)."""
+
+import pytest
+
+from repro.client.stats import HitType
+from repro.client.strategies import (
+    AgarReadStrategy,
+    BackendReadStrategy,
+    ClientConfig,
+    FixedChunkCachingStrategy,
+    PeriodicLFUStrategy,
+    make_strategy,
+)
+
+MEGABYTE = 1024 * 1024
+
+
+class TestBackendStrategy:
+    def test_reads_k_chunks_from_backend(self, store):
+        strategy = BackendReadStrategy(store, "frankfurt")
+        result = strategy.read("object-0", now=0.0)
+        assert result.hit_type is HitType.MISS
+        assert result.chunks_from_backend == 9
+        assert result.chunks_from_cache == 0
+        assert result.latency_ms > 0
+        assert strategy.cache_snapshot() is None
+
+    def test_does_not_contact_discarded_furthest_regions(self, store):
+        strategy = BackendReadStrategy(store, "frankfurt")
+        result = strategy.read("object-0", now=0.0)
+        assert "sydney" not in result.backend_regions
+        assert "tokyo" in result.backend_regions
+
+    def test_latency_dominated_by_furthest_contacted(self, store):
+        strategy = BackendReadStrategy(store, "frankfurt", ClientConfig(overhead_ms=0.0,
+                                                                        include_decode_cost=False))
+        result = strategy.read("object-0", now=0.0)
+        expected = store.topology.expected_read_latencies("frankfurt")
+        assert result.latency_ms >= expected["tokyo"] * 0.95
+
+    def test_unknown_region(self, store):
+        with pytest.raises(KeyError):
+            BackendReadStrategy(store, "mars")
+
+
+class TestFixedChunkStrategies:
+    def test_miss_then_partial_hit(self, store):
+        strategy = FixedChunkCachingStrategy(store, "frankfurt", 10 * MEGABYTE,
+                                             chunks_per_object=5, policy="lru")
+        first = strategy.read("object-0", now=0.0)
+        assert first.hit_type is HitType.MISS
+        second = strategy.read("object-0", now=1.0)
+        assert second.hit_type is HitType.PARTIAL
+        assert second.chunks_from_cache == 5
+        assert second.chunks_from_backend == 4
+        assert second.latency_ms < first.latency_ms
+
+    def test_full_hit_with_nine_chunks(self, store):
+        strategy = FixedChunkCachingStrategy(store, "frankfurt", 10 * MEGABYTE,
+                                             chunks_per_object=9, policy="lfu")
+        strategy.read("object-0", now=0.0)
+        second = strategy.read("object-0", now=1.0)
+        assert second.hit_type is HitType.FULL
+        assert second.chunks_from_backend == 0
+
+    def test_caches_most_distant_chunks(self, store):
+        strategy = FixedChunkCachingStrategy(store, "frankfurt", 10 * MEGABYTE,
+                                             chunks_per_object=1, policy="lru")
+        strategy.read("object-0", now=0.0)
+        cached = strategy.cache.cached_indices("object-0")
+        tokyo_chunks = store.chunks_by_region("object-0")["tokyo"]
+        assert len(cached) == 1
+        assert cached[0] in tokyo_chunks
+
+    def test_eviction_under_small_cache(self, store):
+        chunk_size = store.metadata("object-0").chunk_size
+        strategy = FixedChunkCachingStrategy(store, "frankfurt", 3 * chunk_size,
+                                             chunks_per_object=1, policy="lru")
+        for index in range(5):
+            strategy.read(f"object-{index}", now=float(index))
+        assert len(strategy.cache) <= 3
+        snapshot = strategy.cache_snapshot()
+        assert sum(snapshot.chunk_count_histogram().values()) <= 3
+
+    def test_invalid_chunk_count(self, store):
+        with pytest.raises(ValueError):
+            FixedChunkCachingStrategy(store, "frankfurt", MEGABYTE, chunks_per_object=0)
+        with pytest.raises(ValueError):
+            FixedChunkCachingStrategy(store, "frankfurt", MEGABYTE, chunks_per_object=10)
+        with pytest.raises(ValueError):
+            FixedChunkCachingStrategy(store, "frankfurt", MEGABYTE, chunks_per_object=3, policy="mru")
+
+
+class TestPeriodicLFUStrategy:
+    def test_reconfigures_and_hits(self, store):
+        strategy = PeriodicLFUStrategy(store, "frankfurt", 10 * MEGABYTE, chunks_per_object=7,
+                                       reconfiguration_period_s=10.0)
+        now = 0.0
+        for _ in range(5):
+            strategy.read("object-0", now=now)
+            now += 3.0
+        # After the first reconfiguration, object-0 is pinned and later reads hit.
+        result = strategy.read("object-0", now=now)
+        assert result.hit_type in (HitType.PARTIAL, HitType.FULL)
+        assert result.chunks_from_cache == 7
+
+    def test_unpopular_objects_not_pinned(self, store):
+        strategy = PeriodicLFUStrategy(store, "frankfurt", 2 * MEGABYTE, chunks_per_object=9,
+                                       reconfiguration_period_s=5.0)
+        now = 0.0
+        for _ in range(10):
+            strategy.read("object-0", now=now)
+            now += 1.0
+        strategy.read("object-15", now=now)
+        # Capacity fits two full objects; the popular one must be cached.
+        assert strategy.read("object-0", now=now + 1.0).hit_type is not HitType.MISS
+
+    def test_validation(self, store):
+        with pytest.raises(ValueError):
+            PeriodicLFUStrategy(store, "frankfurt", MEGABYTE, chunks_per_object=0)
+
+
+class TestAgarStrategy:
+    def test_cold_then_hit_after_reconfiguration(self, store):
+        strategy = AgarReadStrategy(store, "frankfurt", 10 * MEGABYTE)
+        now = 0.0
+        first = strategy.read("object-0", now=now)
+        assert first.hit_type is HitType.MISS
+        for _ in range(5):
+            now += 8.0
+            strategy.read("object-0", now=now)
+        # A reconfiguration happened (> 30 s elapsed); the object is configured,
+        # the hinted chunks were written back, and the next read hits.
+        result = strategy.read("object-0", now=now + 1.0)
+        assert result.hit_type in (HitType.PARTIAL, HitType.FULL)
+        assert result.chunks_from_cache > 0
+        assert strategy.node.current_configuration.has_key("object-0")
+
+    def test_agar_read_includes_processing_overhead(self, store):
+        config = ClientConfig(overhead_ms=0.0, include_decode_cost=False)
+        strategy = AgarReadStrategy(store, "frankfurt", 10 * MEGABYTE, config=config)
+        result = strategy.read("object-0", now=0.0)
+        expected = store.topology.expected_read_latencies("frankfurt")
+        assert result.latency_ms >= expected["tokyo"]
+
+    def test_snapshot_reflects_configuration(self, store):
+        strategy = AgarReadStrategy(store, "sydney", 5 * MEGABYTE)
+        now = 0.0
+        for index in (0, 0, 0, 1, 1, 2):
+            strategy.read(f"object-{index}", now=now)
+            now += 10.0
+        strategy.read("object-0", now=now + 30.0)
+        snapshot = strategy.cache_snapshot()
+        assert snapshot.used_bytes <= 5 * MEGABYTE
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,expected_type", [
+        ("backend", BackendReadStrategy),
+        ("agar", AgarReadStrategy),
+        ("lru-5", FixedChunkCachingStrategy),
+        ("lfu-7", PeriodicLFUStrategy),
+        ("lfu-online-7", FixedChunkCachingStrategy),
+        ("lru-online-3", FixedChunkCachingStrategy),
+    ])
+    def test_known_names(self, store, name, expected_type):
+        strategy = make_strategy(name, store, "frankfurt", MEGABYTE)
+        assert isinstance(strategy, expected_type)
+
+    def test_unknown_name(self, store):
+        with pytest.raises(ValueError):
+            make_strategy("arc-5", store, "frankfurt", MEGABYTE)

@@ -1,0 +1,93 @@
+"""Tests for chunk and object-metadata value types."""
+
+import pytest
+
+from repro.erasure.chunk import (
+    Chunk,
+    ChunkId,
+    ErasureCodingParams,
+    ObjectMetadata,
+    PAPER_PARAMS,
+)
+
+
+class TestErasureCodingParams:
+    def test_paper_params(self):
+        assert PAPER_PARAMS.data_chunks == 9
+        assert PAPER_PARAMS.parity_chunks == 3
+        assert PAPER_PARAMS.total_chunks == 12
+        assert PAPER_PARAMS.storage_overhead == pytest.approx(12 / 9)
+
+    def test_chunk_size_ceiling(self):
+        params = ErasureCodingParams(9, 3)
+        assert params.chunk_size(9) == 1
+        assert params.chunk_size(10) == 2
+        assert params.chunk_size(1024 * 1024) == 116509
+
+    def test_chunk_size_negative(self):
+        with pytest.raises(ValueError):
+            ErasureCodingParams(4, 2).chunk_size(-1)
+
+    @pytest.mark.parametrize("k,m", [(0, 1), (-2, 1), (2, -1), (250, 100)])
+    def test_invalid(self, k, m):
+        with pytest.raises(ValueError):
+            ErasureCodingParams(k, m)
+
+
+class TestChunkId:
+    def test_str(self):
+        assert str(ChunkId("photo", 3)) == "photo#3"
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            ChunkId("photo", -1)
+
+    def test_hashable_and_equal(self):
+        assert ChunkId("a", 1) == ChunkId("a", 1)
+        assert len({ChunkId("a", 1), ChunkId("a", 1), ChunkId("a", 2)}) == 2
+
+
+class TestChunk:
+    def test_payload_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Chunk(ChunkId("a", 0), size=4, payload=b"abcde")
+
+    def test_without_payload(self):
+        chunk = Chunk(ChunkId("a", 10), size=3, payload=b"xyz", is_parity=True, version=2)
+        stripped = chunk.without_payload()
+        assert stripped.payload is None
+        assert stripped.size == 3
+        assert stripped.is_parity
+        assert stripped.version == 2
+        assert stripped.key == "a"
+        assert stripped.index == 10
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            Chunk(ChunkId("a", 0), size=-1)
+
+
+class TestObjectMetadata:
+    def make(self):
+        params = ErasureCodingParams(4, 2)
+        return ObjectMetadata(
+            key="obj", size=100, params=params, chunk_size=25,
+            chunk_locations={0: "r1", 1: "r2", 2: "r1", 3: "r3", 4: "r2", 5: "r3"},
+        )
+
+    def test_index_partition(self):
+        meta = self.make()
+        assert meta.data_chunk_indices == [0, 1, 2, 3]
+        assert meta.parity_chunk_indices == [4, 5]
+
+    def test_chunks_in_region(self):
+        meta = self.make()
+        assert meta.chunks_in_region("r1") == [0, 2]
+        assert meta.chunks_in_region("r2") == [1, 4]
+        assert meta.chunks_in_region("missing") == []
+
+    def test_region_of(self):
+        meta = self.make()
+        assert meta.region_of(3) == "r3"
+        with pytest.raises(KeyError):
+            meta.region_of(99)

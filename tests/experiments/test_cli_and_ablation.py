@@ -1,0 +1,55 @@
+"""Tests for the CLI entry point and the ablation experiments."""
+
+import io
+
+import pytest
+
+from repro.experiments.ablation import mean_gap, run_agar_variants, run_solver_quality
+from repro.experiments.cli import main
+from repro.experiments.common import ExperimentSettings
+
+
+class TestSolverQualityAblation:
+    def test_heuristic_better_than_greedy(self):
+        rows = run_solver_quality(capacities=(18, 45), object_count=30)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.heuristic_gap_pct <= row.greedy_density_gap_pct + 1e-9
+            assert 0 <= row.heuristic_gap_pct <= 15.0
+        assert mean_gap(rows, "heuristic_gap_pct") <= mean_gap(rows, "greedy_density_gap_pct")
+
+    def test_relax_never_hurts(self):
+        rows = run_solver_quality(capacities=(27,), object_count=30)
+        assert rows[0].heuristic_gap_pct <= rows[0].heuristic_no_relax_gap_pct + 1e-9
+
+
+class TestAgarVariantsAblation:
+    def test_variants_run(self):
+        tiny = ExperimentSettings(runs=1, request_count=60, object_count=30, seed=3,
+                                  cache_capacity_bytes=3 * 1024 * 1024)
+        rows = run_agar_variants(tiny)
+        labels = {row.variant for row in rows}
+        assert "default (alpha=0.2, 30s)" in labels
+        assert "paper LFU-7 (periodic)" in labels
+        assert all(row.mean_latency_ms > 0 for row in rows)
+
+
+class TestCli:
+    def test_table1_command(self):
+        out = io.StringIO()
+        assert main(["table1"], out=out) == 0
+        assert "Table I" in out.getvalue()
+
+    def test_fig9_quick(self):
+        out = io.StringIO()
+        assert main(["fig9", "--quick"], out=out) == 0
+        assert "zipf-1.1" in out.getvalue()
+
+    def test_microbench_quick(self):
+        out = io.StringIO()
+        assert main(["microbench", "--quick"], out=out) == 0
+        assert "reconfiguration" in out.getvalue()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"], out=io.StringIO())

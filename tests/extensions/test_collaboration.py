@@ -1,0 +1,112 @@
+"""Tests for the cache-collaboration extension (§VI)."""
+
+import pytest
+
+from repro.core.agar_node import AgarNode
+from repro.core.options import CachingOption
+from repro.erasure import ChunkId
+from repro.extensions.collaboration import (
+    CollaborationCoordinator,
+    NeighborAnnouncement,
+    discount_options,
+)
+
+MEGABYTE = 1024 * 1024
+
+
+def option(key: str, weight: int, improvement: float) -> CachingOption:
+    return CachingOption(
+        key=key, chunk_indices=tuple(range(weight)), weight=weight,
+        latency_improvement_ms=improvement, marginal_improvement_ms=improvement,
+        popularity=10.0, residual_latency_ms=100.0,
+    )
+
+
+class TestDiscountOptions:
+    def test_uncovered_options_unchanged(self):
+        options = {"a": [option("a", 3, 600.0)]}
+        announcement = NeighborAnnouncement("dublin", frozenset({ChunkId("b", 0)}))
+        result = discount_options(options, [announcement], neighbor_read_ms=100.0)
+        assert result["a"][0].latency_improvement_ms == pytest.approx(600.0)
+
+    def test_fully_covered_option_discounted_to_zero(self):
+        options = {"a": [option("a", 2, 500.0)]}
+        announcement = NeighborAnnouncement("dublin", frozenset({ChunkId("a", 0), ChunkId("a", 1)}))
+        result = discount_options(options, [announcement], neighbor_read_ms=100.0)
+        assert result["a"][0].latency_improvement_ms == pytest.approx(0.0)
+
+    def test_partial_coverage_scales_value(self):
+        options = {"a": [option("a", 4, 800.0)]}
+        announcement = NeighborAnnouncement("dublin", frozenset({ChunkId("a", 0), ChunkId("a", 1)}))
+        result = discount_options(options, [announcement], neighbor_read_ms=100.0)
+        assert result["a"][0].latency_improvement_ms == pytest.approx(400.0)
+
+    def test_floor_respected(self):
+        options = {"a": [option("a", 1, 300.0)]}
+        announcement = NeighborAnnouncement("dublin", frozenset({ChunkId("a", 0)}))
+        result = discount_options(options, [announcement], neighbor_read_ms=50.0,
+                                  local_backend_floor_ms=75.0)
+        assert result["a"][0].latency_improvement_ms == pytest.approx(75.0)
+
+    def test_negative_neighbor_latency_rejected(self):
+        with pytest.raises(ValueError):
+            discount_options({}, [], neighbor_read_ms=-1.0)
+
+
+class TestCoordinator:
+    @pytest.fixture
+    def nodes(self, store):
+        return [
+            AgarNode("frankfurt", store, cache_capacity_bytes=3 * MEGABYTE),
+            AgarNode("dublin", store, cache_capacity_bytes=3 * MEGABYTE),
+        ]
+
+    def test_validation(self, store, nodes):
+        with pytest.raises(ValueError):
+            CollaborationCoordinator([])
+        with pytest.raises(ValueError):
+            CollaborationCoordinator([nodes[0], nodes[0]])
+
+    def test_broadcast_collects_configurations(self, nodes):
+        coordinator = CollaborationCoordinator(nodes)
+        announcements = coordinator.broadcast()
+        assert {a.region for a in announcements} == {"frankfurt", "dublin"}
+        assert all(a.pinned_chunks == frozenset() for a in announcements)
+
+    def _feed_identical_workload(self, nodes):
+        for node in nodes:
+            for _ in range(20):
+                node.request_monitor.record_request("object-0")
+            for _ in range(10):
+                node.request_monitor.record_request("object-1")
+
+    def test_collaborative_reconfiguration_reduces_overlap(self, store, nodes):
+        """Neighbouring caches should duplicate fewer chunks than independent ones."""
+        from repro.core.agar_node import AgarNode
+
+        # Baseline: two independent nodes under the same workload.
+        independent = [
+            AgarNode("frankfurt", store, cache_capacity_bytes=3 * MEGABYTE),
+            AgarNode("dublin", store, cache_capacity_bytes=3 * MEGABYTE),
+        ]
+        self._feed_identical_workload(independent)
+        for node in independent:
+            node.reconfigure(now=30.0)
+        independent_overlap = len(
+            independent[0].current_configuration.chunk_ids()
+            & independent[1].current_configuration.chunk_ids()
+        )
+
+        # Collaborative round over the same workload.
+        coordinator = CollaborationCoordinator(nodes, neighbor_read_ms=120.0)
+        self._feed_identical_workload(nodes)
+        configured = coordinator.reconfigure_all(now=30.0)
+        assert configured["frankfurt"] > 0
+        collaborative_overlap = coordinator.overlap_report()[("frankfurt", "dublin")]
+
+        assert independent_overlap > 0
+        assert collaborative_overlap < independent_overlap
+
+    def test_regions_property(self, nodes):
+        coordinator = CollaborationCoordinator(nodes)
+        assert coordinator.regions == ["frankfurt", "dublin"]

@@ -1,0 +1,117 @@
+"""Tests for the TinyLFU-style approximate request statistics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extensions.tinylfu import (
+    ApproximatePopularityTracker,
+    CountMinSketch,
+    SketchParameters,
+)
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(SketchParameters(width=64, depth=4))
+        for index in range(200):
+            sketch.add(f"key-{index % 50}")
+        for index in range(50):
+            assert sketch.estimate(f"key-{index}") >= 4
+
+    def test_exact_for_sparse_keys(self):
+        sketch = CountMinSketch()
+        sketch.add("hot", 10)
+        sketch.add("cold", 1)
+        assert sketch.estimate("hot") == 10
+        assert sketch.estimate("cold") == 1
+        assert sketch.estimate("absent") == 0
+        assert sketch.total_count == 11
+
+    def test_halve(self):
+        sketch = CountMinSketch()
+        sketch.add("a", 9)
+        sketch.halve()
+        assert sketch.estimate("a") == 4
+        assert sketch.total_count == 4
+
+    def test_reset(self):
+        sketch = CountMinSketch()
+        sketch.add("a", 5)
+        sketch.reset()
+        assert sketch.estimate("a") == 0
+        assert sketch.total_count == 0
+
+    def test_zero_or_negative_add_ignored(self):
+        sketch = CountMinSketch()
+        sketch.add("a", 0)
+        sketch.add("a", -5)
+        assert sketch.estimate("a") == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SketchParameters(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(SketchParameters(depth=100))
+
+    @settings(max_examples=30, deadline=None)
+    @given(counts=st.dictionaries(st.text(min_size=1, max_size=8), st.integers(1, 50),
+                                  min_size=1, max_size=30))
+    def test_overestimate_only_property(self, counts):
+        sketch = CountMinSketch(SketchParameters(width=256, depth=4))
+        for key, count in counts.items():
+            sketch.add(key, count)
+        for key, count in counts.items():
+            assert sketch.estimate(key) >= count
+
+
+class TestApproximateTracker:
+    def test_matches_exact_tracker_on_skewed_stream(self):
+        tracker = ApproximatePopularityTracker(alpha=0.8)
+        for _ in range(100):
+            tracker.record_access("hot")
+        for index in range(10):
+            tracker.record_access(f"cold-{index}")
+        popularity = tracker.end_period()
+        assert popularity["hot"] == pytest.approx(80.0, rel=0.05)
+        assert popularity["cold-3"] <= popularity["hot"]
+
+    def test_catalog_capped(self):
+        tracker = ApproximatePopularityTracker(max_tracked_keys=5)
+        for index in range(50):
+            tracker.record_access(f"key-{index}", count=index + 1)
+        popularity = tracker.end_period()
+        assert len(popularity) <= 5
+        # The most frequent keys survive the cap.
+        assert any(key in popularity for key in ("key-49", "key-48", "key-47"))
+
+    def test_sketch_aged_between_periods(self):
+        tracker = ApproximatePopularityTracker(alpha=1.0)
+        tracker.record_access("a", 8)
+        tracker.end_period()
+        assert tracker.sketch.estimate("a") == 4
+
+    def test_drop_in_for_request_monitor(self, store):
+        from repro.cache import ChunkCache, PinnedConfigurationPolicy
+        from repro.core.cache_manager import CacheManager
+        from repro.core.region_manager import RegionManager
+        from repro.core.request_monitor import RequestMonitor
+
+        chunk_size = store.metadata("object-0").chunk_size
+        manager = CacheManager(
+            RegionManager("frankfurt", store),
+            ChunkCache(5 * 1024 * 1024, policy=PinnedConfigurationPolicy()),
+            chunk_size=chunk_size,
+        )
+        monitor = RequestMonitor(manager, tracker=ApproximatePopularityTracker(alpha=0.5))
+        for _ in range(20):
+            monitor.record_request("object-0")
+        popularity = monitor.end_period()
+        manager.reconfigure(popularity)
+        assert manager.current_configuration.has_key("object-0")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproximatePopularityTracker(max_tracked_keys=0)
+        tracker = ApproximatePopularityTracker()
+        with pytest.raises(ValueError):
+            tracker.record_access("a", count=-1)

@@ -1,0 +1,101 @@
+"""Tests for the write-support / cache-coherence extension (§VI)."""
+
+import pytest
+
+from repro.backend import ErasureCodedStore
+from repro.cache import ChunkCache
+from repro.erasure import Chunk, ChunkId, ErasureCodingParams
+from repro.extensions.writes import StaleWriteError, WriteCoordinator
+
+MEGABYTE = 1024 * 1024
+
+
+@pytest.fixture
+def caches(topology):
+    return {region: ChunkCache(capacity_bytes=MEGABYTE) for region in topology.region_names}
+
+
+@pytest.fixture
+def writable(topology, caches):
+    store = ErasureCodedStore(topology, params=ErasureCodingParams(4, 2))
+    return WriteCoordinator(store, caches), store, caches
+
+
+class TestWritePath:
+    def test_write_creates_versioned_object(self, writable):
+        coordinator, store, _ = writable
+        record = coordinator.write("doc", b"version one" * 10)
+        assert record.version == 1
+        assert coordinator.current_version("doc") == 1
+        assert store.metadata("doc").version == 1
+        assert store.get_object("doc") == b"version one" * 10
+
+    def test_versions_increment(self, writable):
+        coordinator, store, _ = writable
+        coordinator.write("doc", b"v1")
+        record = coordinator.write("doc", b"v2--")
+        assert record.version == 2
+        assert store.get_object("doc") == b"v2--"
+
+    def test_optimistic_concurrency(self, writable):
+        coordinator, _, _ = writable
+        coordinator.write("doc", b"v1")
+        with pytest.raises(StaleWriteError):
+            coordinator.write("doc", b"v2", expected_version=0)
+        assert coordinator.stats.stale_writes_rejected == 1
+        coordinator.write("doc", b"v2", expected_version=1)
+
+    def test_virtual_write(self, writable):
+        coordinator, store, _ = writable
+        record = coordinator.write_virtual("big", 2 * MEGABYTE)
+        assert record.version == 1
+        assert store.metadata("big").size == 2 * MEGABYTE
+
+
+class TestInvalidation:
+    def test_cached_chunks_invalidated_on_write(self, writable):
+        coordinator, store, caches = writable
+        coordinator.write("doc", b"version one" * 10)
+        chunk = store.get_chunk("doc", 0)
+        caches["frankfurt"].put(chunk)
+        caches["sydney"].put(store.get_chunk("doc", 1))
+
+        record = coordinator.write("doc", b"version two" * 10)
+        assert record.invalidated_chunks == 2
+        assert caches["frankfurt"].cached_indices("doc") == []
+        assert caches["sydney"].cached_indices("doc") == []
+        assert coordinator.is_cache_consistent("doc")
+
+    def test_stale_chunk_detected(self, writable):
+        coordinator, store, caches = writable
+        coordinator.write("doc", b"v1v1v1v1")
+        stale = store.get_chunk("doc", 0)
+        coordinator.write("doc", b"v2v2v2v2")
+        # Simulate a racy client writing an old chunk back after the invalidation.
+        caches["tokyo"].put(Chunk(ChunkId("doc", 0), size=stale.size, payload=stale.payload,
+                                  version=stale.version))
+        assert not coordinator.is_cache_consistent("doc")
+
+    def test_primary_region_stable(self, writable):
+        coordinator, store, _ = writable
+        before = coordinator.primary_region("doc")
+        coordinator.write("doc", b"payload")
+        assert coordinator.primary_region("doc") == before
+        assert before in store.topology.region_names
+
+    def test_explicit_primary_placement(self, topology, caches):
+        store = ErasureCodedStore(topology, params=ErasureCodingParams(4, 2))
+        coordinator = WriteCoordinator(store, caches, primary_placement={"doc": "tokyo"})
+        assert coordinator.primary_region("doc") == "tokyo"
+
+    def test_unknown_cache_region_rejected(self, topology):
+        store = ErasureCodedStore(topology)
+        with pytest.raises(ValueError):
+            WriteCoordinator(store, {"atlantis": ChunkCache(MEGABYTE)})
+
+    def test_stats_history(self, writable):
+        coordinator, _, _ = writable
+        coordinator.write("a", b"1")
+        coordinator.write("b", b"2")
+        assert coordinator.stats.writes == 2
+        assert [record.key for record in coordinator.stats.history] == ["a", "b"]

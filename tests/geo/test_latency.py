@@ -1,0 +1,95 @@
+"""Tests for link profiles and the latency model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.latency import DEFAULT_CHUNK_SIZE, LatencyModel, LinkProfile
+
+
+class TestLinkProfile:
+    def test_expected_read_decomposition(self):
+        profile = LinkProfile(rtt_ms=100.0, bandwidth_mbps=8.0)
+        # 1 MB over 8 Mbit/s = 1,048,576 * 8 / 8,000 ms ≈ 1048.6 ms of transfer.
+        assert profile.expected_read_ms(1024 * 1024) == pytest.approx(100.0 + 1048.576)
+
+    def test_zero_size_read_is_rtt(self):
+        profile = LinkProfile(rtt_ms=42.0, bandwidth_mbps=100.0)
+        assert profile.expected_read_ms(0) == pytest.approx(42.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rtt_ms": -1.0, "bandwidth_mbps": 1.0},
+        {"rtt_ms": 1.0, "bandwidth_mbps": 0.0},
+        {"rtt_ms": 1.0, "bandwidth_mbps": 1.0, "jitter": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkProfile(**kwargs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(expected=st.floats(min_value=1.0, max_value=5000.0),
+           rtt_fraction=st.floats(min_value=0.05, max_value=0.95))
+    def test_from_expected_inverts(self, expected, rtt_fraction):
+        profile = LinkProfile.from_expected(expected, rtt_fraction=rtt_fraction)
+        assert profile.expected_read_ms(DEFAULT_CHUNK_SIZE) == pytest.approx(expected, rel=1e-9)
+
+    def test_from_expected_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile.from_expected(0.0)
+
+
+@pytest.fixture
+def model():
+    links = {
+        ("a", "a"): LinkProfile.from_expected(50.0, jitter=0.0),
+        ("a", "b"): LinkProfile.from_expected(500.0, jitter=0.0),
+        ("b", "a"): LinkProfile.from_expected(500.0, jitter=0.1),
+        ("b", "b"): LinkProfile.from_expected(50.0, jitter=0.0),
+    }
+    caches = {
+        "a": LinkProfile.from_expected(10.0, jitter=0.0),
+        "b": LinkProfile.from_expected(10.0, jitter=0.0),
+    }
+    return LatencyModel(links, caches, seed=3)
+
+
+class TestLatencyModel:
+    def test_regions(self, model):
+        assert model.regions() == ["a", "b"]
+
+    def test_expected_reads(self, model):
+        assert model.expected_backend_read("a", "b") == pytest.approx(500.0)
+        assert model.expected_cache_read("a") == pytest.approx(10.0)
+
+    def test_unknown_link(self, model):
+        with pytest.raises(KeyError):
+            model.link("a", "z")
+        with pytest.raises(KeyError):
+            model.cache_link("z")
+
+    def test_sampling_without_jitter_is_deterministic(self, model):
+        samples = [model.sample_backend_read("a", "b") for _ in range(10)]
+        assert all(sample == pytest.approx(500.0) for sample in samples)
+
+    def test_sampling_with_jitter_varies(self, model):
+        samples = {round(model.sample_backend_read("b", "a"), 6) for _ in range(20)}
+        assert len(samples) > 1
+        for sample in samples:
+            assert 250.0 < sample < 1000.0
+
+    def test_reseed_reproduces_stream(self, model):
+        model.reseed(77)
+        first = [model.sample_backend_read("b", "a") for _ in range(5)]
+        model.reseed(77)
+        second = [model.sample_backend_read("b", "a") for _ in range(5)]
+        assert first == second
+        assert model.seed == 77
+
+    def test_probe_averages(self, model):
+        assert model.probe("a", "b", samples=3) == pytest.approx(500.0)
+        with pytest.raises(ValueError):
+            model.probe("a", "b", samples=0)
+
+    def test_chunk_size_affects_latency(self, model):
+        small = model.expected_backend_read("a", "b", size_bytes=1000)
+        large = model.expected_backend_read("a", "b", size_bytes=DEFAULT_CHUNK_SIZE * 4)
+        assert large > small

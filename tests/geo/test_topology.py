@@ -1,0 +1,84 @@
+"""Tests for topologies and presets."""
+
+import pytest
+
+from repro.geo.regions import PAPER_REGIONS, Region, region_by_name, region_names
+from repro.geo.topology import (
+    DEFAULT_LATENCY_MATRIX,
+    TABLE1_FRANKFURT_LATENCIES,
+    Topology,
+    default_topology,
+    table1_topology,
+    topology_from_matrix,
+    uniform_topology,
+)
+
+
+class TestRegions:
+    def test_paper_regions(self):
+        assert len(PAPER_REGIONS) == 6
+        assert region_names()[0] == "frankfurt"
+
+    def test_lookup(self):
+        assert region_by_name("tokyo").aws_name == "ap-northeast-1"
+        with pytest.raises(KeyError):
+            region_by_name("mars")
+
+
+class TestDefaultTopology:
+    def test_regions_and_validation(self, topology):
+        assert topology.region_names == [region.name for region in PAPER_REGIONS]
+        assert topology.has_region("sydney")
+        assert not topology.has_region("mars")
+        with pytest.raises(KeyError):
+            topology.validate_region("mars")
+
+    def test_expected_latencies_match_matrix(self, topology):
+        for client, row in DEFAULT_LATENCY_MATRIX.items():
+            measured = topology.expected_read_latencies(client)
+            for backend, expected in row.items():
+                assert measured[backend] == pytest.approx(expected, rel=1e-9)
+
+    def test_local_region_is_nearest(self, topology):
+        for region in topology.region_names:
+            assert topology.regions_by_distance(region)[0] == region
+
+    def test_frankfurt_ordering_matches_table1(self, topology):
+        """The calibrated matrix preserves Table I's distance ordering from Frankfurt."""
+        calibrated_order = topology.regions_by_distance("frankfurt")
+        table1_order = sorted(TABLE1_FRANKFURT_LATENCIES, key=TABLE1_FRANKFURT_LATENCIES.get)
+        assert calibrated_order == table1_order
+
+
+class TestTable1Topology:
+    def test_frankfurt_row_is_verbatim(self, paper_table1):
+        measured = paper_table1.expected_read_latencies("frankfurt")
+        for region, expected in TABLE1_FRANKFURT_LATENCIES.items():
+            assert measured[region] == pytest.approx(expected, rel=1e-9)
+
+
+class TestOtherBuilders:
+    def test_uniform_topology(self, flat_topology):
+        latencies = flat_topology.expected_read_latencies("frankfurt")
+        remote = {region: value for region, value in latencies.items() if region != "frankfurt"}
+        assert len(set(round(value, 6) for value in remote.values())) == 1
+
+    def test_topology_from_matrix(self):
+        matrix = {
+            "x": {"x": 10.0, "y": 100.0},
+            "y": {"x": 100.0, "y": 10.0},
+        }
+        topology = topology_from_matrix(matrix, name="tiny")
+        assert topology.name == "tiny"
+        assert topology.region_names == ["x", "y"]
+        assert topology.expected_read_latencies("x")["y"] == pytest.approx(100.0)
+
+    def test_duplicate_regions_rejected(self):
+        region = Region("dup", "dup", "nowhere")
+        model = default_topology().latency
+        with pytest.raises(ValueError):
+            Topology(regions=[region, region], latency=model)
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(regions=[], latency=default_topology().latency)

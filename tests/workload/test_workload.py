@@ -1,0 +1,78 @@
+"""Tests for workload specifications and request generation."""
+
+import pytest
+
+from repro.workload.workload import (
+    PAPER_WORKLOAD,
+    WorkloadSpec,
+    generate_requests,
+    iter_requests,
+    request_frequency,
+    uniform_workload,
+    zipfian_workload,
+)
+
+
+class TestWorkloadSpec:
+    def test_paper_defaults(self):
+        assert PAPER_WORKLOAD.object_count == 300
+        assert PAPER_WORKLOAD.object_size == 1024 * 1024
+        assert PAPER_WORKLOAD.request_count == 1000
+        assert PAPER_WORKLOAD.distribution == "zipfian"
+        assert PAPER_WORKLOAD.skew == pytest.approx(1.1)
+        assert PAPER_WORKLOAD.total_data_bytes() == 300 * 1024 * 1024
+
+    def test_key_for_rank(self):
+        assert PAPER_WORKLOAD.key_for_rank(0) == "object-0"
+        with pytest.raises(ValueError):
+            PAPER_WORKLOAD.key_for_rank(300)
+
+    def test_builders(self):
+        uniform = uniform_workload(request_count=10)
+        assert uniform.distribution == "uniform"
+        zipf = zipfian_workload(0.9)
+        assert zipf.name == "zipf-0.9"
+        assert zipf.skew == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(object_count=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(distribution="pareto")
+        with pytest.raises(ValueError):
+            WorkloadSpec(request_count=-1)
+
+    def test_with_seed(self):
+        spec = PAPER_WORKLOAD.with_seed(7)
+        assert spec.seed == 7
+        assert spec.object_count == PAPER_WORKLOAD.object_count
+
+
+class TestRequestGeneration:
+    def test_deterministic_per_seed(self):
+        spec = zipfian_workload(1.1, request_count=50, object_count=30)
+        assert generate_requests(spec, seed=3) == generate_requests(spec, seed=3)
+        assert generate_requests(spec, seed=3) != generate_requests(spec, seed=4)
+
+    def test_iter_matches_generate(self):
+        spec = zipfian_workload(1.1, request_count=40, object_count=30, seed=5)
+        assert list(iter_requests(spec)) == generate_requests(spec)
+
+    def test_sequence_numbers_and_operations(self):
+        spec = uniform_workload(request_count=20, object_count=10)
+        requests = generate_requests(spec)
+        assert [request.sequence for request in requests] == list(range(20))
+        assert all(request.operation == "read" for request in requests)
+        assert all(request.key.startswith("object-") for request in requests)
+
+    def test_request_frequency(self):
+        spec = zipfian_workload(1.4, request_count=300, object_count=20, seed=2)
+        counts = request_frequency(generate_requests(spec))
+        assert sum(counts.values()) == 300
+        # The most popular object should dominate under a 1.4 skew.
+        assert counts.get("object-0", 0) >= max(counts.values()) * 0.9
+
+    def test_zipf_keys_within_population(self):
+        spec = zipfian_workload(1.1, request_count=200, object_count=25, seed=1)
+        ranks = {int(request.key.split("-")[1]) for request in generate_requests(spec)}
+        assert max(ranks) < 25

@@ -1,0 +1,89 @@
+"""Tests for the Zipfian/uniform request distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.zipfian import (
+    UniformDistribution,
+    ZipfianDistribution,
+    top_k_share,
+    zipfian_cdf,
+)
+
+
+class TestZipfian:
+    def test_probabilities_sum_to_one(self):
+        distribution = ZipfianDistribution(300, skew=1.1)
+        assert distribution.probabilities().sum() == pytest.approx(1.0)
+
+    def test_rank_zero_most_popular(self):
+        probabilities = ZipfianDistribution(300, skew=1.1).probabilities()
+        assert np.all(np.diff(probabilities) <= 0)
+
+    def test_paper_fig9_example(self):
+        """Fig. 9 caption example: the top 5 objects of a skewed workload ≈ 40 % of requests."""
+        share = top_k_share(300, skew=1.1, top_k=5)
+        assert 0.35 <= share <= 0.50
+
+    def test_higher_skew_concentrates(self):
+        assert top_k_share(300, 1.4, 10) > top_k_share(300, 0.8, 10) > top_k_share(300, 0.2, 10)
+
+    def test_zero_skew_is_uniform(self):
+        cdf = zipfian_cdf(100, 0.0)
+        assert cdf[9] == pytest.approx(0.1)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        first = ZipfianDistribution(50, 1.1, seed=9).sample_many(100)
+        second = ZipfianDistribution(50, 1.1, seed=9).sample_many(100)
+        assert np.array_equal(first, second)
+
+    def test_reseed_changes_stream(self):
+        distribution = ZipfianDistribution(50, 1.1, seed=9)
+        first = distribution.sample_many(50)
+        distribution.reseed(10)
+        second = distribution.sample_many(50)
+        assert not np.array_equal(first, second)
+        assert distribution.seed == 10
+
+    def test_empirical_frequencies_track_probabilities(self):
+        distribution = ZipfianDistribution(20, skew=1.1, seed=1)
+        samples = distribution.sample_many(20_000)
+        counts = np.bincount(samples, minlength=20) / 20_000
+        assert counts[0] == pytest.approx(distribution.probabilities()[0], rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianDistribution(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfianDistribution(10, -0.5)
+        with pytest.raises(ValueError):
+            ZipfianDistribution(10, 1.0).sample_many(-1)
+
+    def test_top_k_share_edges(self):
+        assert top_k_share(10, 1.1, 0) == 0.0
+        assert top_k_share(10, 1.1, 10) == pytest.approx(1.0)
+        assert top_k_share(10, 1.1, 99) == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(item_count=st.integers(2, 200), skew=st.floats(0.0, 2.0))
+    def test_cdf_monotone_and_normalised(self, item_count, skew):
+        cdf = zipfian_cdf(item_count, skew)
+        assert len(cdf) == item_count
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestUniform:
+    def test_probabilities(self):
+        distribution = UniformDistribution(40)
+        assert np.allclose(distribution.probabilities(), 1 / 40)
+
+    def test_samples_in_range(self):
+        samples = UniformDistribution(40, seed=2).sample_many(1000)
+        assert samples.min() >= 0
+        assert samples.max() < 40
+
+    def test_single_sample(self):
+        assert 0 <= UniformDistribution(5, seed=1).sample() < 5
