@@ -1,0 +1,17 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench bench-baseline
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Run the guarded hot-path benchmarks, write BENCH_<date>.json and fail on
+## a >20% regression vs benchmarks/baseline.json.
+bench:
+	$(PYTHON) benchmarks/run_bench.py
+
+## Re-measure and rewrite the committed baseline (use after intentional
+## performance changes, and commit the result).
+bench-baseline:
+	$(PYTHON) benchmarks/run_bench.py --update

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Benchmark regression guard for the Agar hot paths.
+
+Runs the pytest-benchmark micro-suite (knapsack solver, Reed-Solomon encode
+and decode), writes the results to ``BENCH_<date>.json`` in the repository
+root, and compares the guarded benchmarks against ``benchmarks/baseline.json``.
+The run fails (exit code 1) if a guarded benchmark's mean regresses more than
+``--tolerance`` (default 20 %) relative to its committed baseline.
+
+Usage::
+
+    python benchmarks/run_bench.py             # run, record, compare
+    python benchmarks/run_bench.py --update    # additionally rewrite the baseline
+    make bench                                 # the same, via the Makefile
+
+The baseline stores mean runtimes (seconds) per benchmark plus the machine's
+seed-era numbers for context; see docs/performance.md for the measured
+speedups this guard protects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline.json"
+
+#: Benchmarks guarded against regression (ISSUE 1 acceptance criteria).
+GUARDED_BENCHMARKS = (
+    "test_bench_knapsack_solver",
+    "test_bench_reed_solomon_encode",
+    "test_bench_reed_solomon_decode_with_parity",
+)
+
+#: The tests executed by the guard (kept narrow so `make bench` stays fast).
+BENCH_SELECTORS = [
+    f"benchmarks/test_bench_algorithm.py::{name}" for name in GUARDED_BENCHMARKS
+]
+
+
+def run_suite(json_path: pathlib.Path) -> int:
+    """Run the benchmark subset, writing pytest-benchmark JSON to ``json_path``."""
+    command = [
+        sys.executable, "-m", "pytest", *BENCH_SELECTORS,
+        "-q", "--benchmark-json", str(json_path),
+    ]
+    environment = dict(**__import__("os").environ)
+    src = str(REPO_ROOT / "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=environment)
+    return completed.returncode
+
+
+def load_means(json_path: pathlib.Path) -> dict[str, float]:
+    """Extract {benchmark name: mean seconds} from a pytest-benchmark JSON."""
+    payload = json.loads(json_path.read_text())
+    return {entry["name"]: entry["stats"]["mean"] for entry in payload["benchmarks"]}
+
+
+def compare(means: dict[str, float], baseline: dict[str, float],
+            tolerance: float) -> list[str]:
+    """Return a list of human-readable regression failures."""
+    failures = []
+    for name in GUARDED_BENCHMARKS:
+        mean = means.get(name)
+        base = baseline.get(name)
+        if mean is None:
+            failures.append(f"{name}: missing from the benchmark run")
+            continue
+        if base is None:
+            failures.append(f"{name}: missing from the committed baseline")
+            continue
+        limit = base * (1.0 + tolerance)
+        status = "OK" if mean <= limit else "REGRESSION"
+        print(f"  {name}: {mean * 1000:8.3f} ms  (baseline {base * 1000:8.3f} ms, "
+              f"limit {limit * 1000:8.3f} ms) {status}")
+        if mean > limit:
+            failures.append(
+                f"{name}: mean {mean * 1000:.3f} ms exceeds baseline "
+                f"{base * 1000:.3f} ms by more than {tolerance:.0%}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative regression (default 0.20 = 20%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite benchmarks/baseline.json with this run's means")
+    parser.add_argument("--output", type=pathlib.Path, default=None,
+                        help="result path (default BENCH_<date>.json in the repo root)")
+    arguments = parser.parse_args(argv)
+
+    date = _datetime.date.today().isoformat()
+    # Resolve against the invoker's cwd before handing to pytest (which runs
+    # with cwd=REPO_ROOT); the result may live anywhere, including outside
+    # the repository.
+    json_path = (arguments.output or (REPO_ROOT / f"BENCH_{date}.json")).resolve()
+
+    return_code = run_suite(json_path)
+    if return_code != 0:
+        print(f"benchmark suite failed with exit code {return_code}", file=sys.stderr)
+        return return_code
+
+    means = load_means(json_path)
+    try:
+        display_path = json_path.relative_to(REPO_ROOT)
+    except ValueError:
+        display_path = json_path
+    print(f"\nwrote {display_path}")
+
+    if arguments.update or not BASELINE_PATH.exists():
+        baseline_payload = {
+            "updated": date,
+            "tolerance": arguments.tolerance,
+            "means_s": {name: means[name] for name in GUARDED_BENCHMARKS if name in means},
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline_payload, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH.relative_to(REPO_ROOT)}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())["means_s"]
+    print(f"comparing against baseline (tolerance {arguments.tolerance:.0%}):")
+    failures = compare(means, baseline, arguments.tolerance)
+    if failures:
+        print("\nbenchmark regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("no regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

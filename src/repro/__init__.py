@@ -48,6 +48,7 @@ from repro.core import (
     CacheManager,
     CachingOption,
     KnapsackSolver,
+    ReferenceKnapsackSolver,
     PopularityTracker,
     RegionManager,
     RequestMonitor,
@@ -88,6 +89,7 @@ __all__ = [
     "FixedChunkCachingStrategy",
     "HitType",
     "KnapsackSolver",
+    "ReferenceKnapsackSolver",
     "LFUEvictionPolicy",
     "LRUEvictionPolicy",
     "LatencyModel",

@@ -5,13 +5,20 @@ object* (not individual chunks) and classifies cache usage into total hits,
 partial hits and misses (§V-A, §V-B).  :class:`LatencyStats` aggregates those
 measurements into the quantities the figures report: average latency and hit
 ratio.
+
+The aggregator is on the simulation driver's per-request path, so it records
+into a preallocated, geometrically grown NumPy buffer instead of appending to
+a Python list — the request replay loop performs no per-request allocations
+beyond the :class:`ReadResult` itself.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
+
+import numpy as np
 
 
 class HitType(str, Enum):
@@ -50,66 +57,106 @@ class ReadResult:
     started_at_s: float = 0.0
 
 
-@dataclass
+#: Initial capacity of the latency buffer (doubles as it fills).
+_INITIAL_BUFFER = 1024
+
+
 class LatencyStats:
-    """Streaming aggregation of read results."""
+    """Streaming aggregation of read results.
 
-    latencies_ms: list[float] = field(default_factory=list)
-    full_hits: int = 0
-    partial_hits: int = 0
-    misses: int = 0
-    cache_chunks_total: int = 0
-    backend_chunks_total: int = 0
+    Latencies live in a preallocated ``float64`` buffer that doubles when
+    full; counters are plain ints.  :meth:`record` therefore allocates only
+    on the (amortized O(1)) growth path.
+    """
 
+    __slots__ = ("_buffer", "_count", "full_hits", "partial_hits", "misses",
+                 "cache_chunks_total", "backend_chunks_total")
+
+    def __init__(self, capacity: int = _INITIAL_BUFFER) -> None:
+        self._buffer = np.empty(max(int(capacity), 1), dtype=np.float64)
+        self._count = 0
+        self.full_hits = 0
+        self.partial_hits = 0
+        self.misses = 0
+        self.cache_chunks_total = 0
+        self.backend_chunks_total = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
     def record(self, result: ReadResult) -> None:
         """Add one read result."""
-        self.latencies_ms.append(result.latency_ms)
-        if result.hit_type is HitType.FULL:
+        self.record_read(result.latency_ms, result.hit_type,
+                         result.chunks_from_cache, result.chunks_from_backend)
+
+    def record_read(self, latency_ms: float, hit_type: HitType,
+                    chunks_from_cache: int = 0, chunks_from_backend: int = 0) -> None:
+        """Scalar fast path: add one read without a :class:`ReadResult`."""
+        count = self._count
+        buffer = self._buffer
+        if count == buffer.shape[0]:
+            buffer = np.empty(count * 2, dtype=np.float64)
+            buffer[:count] = self._buffer
+            self._buffer = buffer
+        buffer[count] = latency_ms
+        self._count = count + 1
+        if hit_type is HitType.FULL:
             self.full_hits += 1
-        elif result.hit_type is HitType.PARTIAL:
+        elif hit_type is HitType.PARTIAL:
             self.partial_hits += 1
         else:
             self.misses += 1
-        self.cache_chunks_total += result.chunks_from_cache
-        self.backend_chunks_total += result.chunks_from_backend
+        self.cache_chunks_total += chunks_from_cache
+        self.backend_chunks_total += chunks_from_backend
 
     # ------------------------------------------------------------------ #
     # Aggregates
     # ------------------------------------------------------------------ #
     @property
+    def latencies_ms(self) -> list[float]:
+        """Recorded latencies, oldest first (materialized as a list)."""
+        return self._buffer[: self._count].tolist()
+
+    def latencies_array(self) -> np.ndarray:
+        """Read-only view of the recorded latencies (no copy)."""
+        view = self._buffer[: self._count]
+        view.flags.writeable = False
+        return view
+
+    @property
     def count(self) -> int:
         """Number of reads recorded."""
-        return len(self.latencies_ms)
+        return self._count
 
     @property
     def mean_latency_ms(self) -> float:
         """Average read latency (0 when empty) — the y-axis of Figs. 2, 6, 8."""
-        return sum(self.latencies_ms) / self.count if self.count else 0.0
+        return float(self._buffer[: self._count].mean()) if self._count else 0.0
 
     @property
     def hit_ratio(self) -> float:
         """(full + partial hits) / reads — the y-axis of Fig. 7."""
-        return (self.full_hits + self.partial_hits) / self.count if self.count else 0.0
+        return (self.full_hits + self.partial_hits) / self._count if self._count else 0.0
 
     @property
     def full_hit_ratio(self) -> float:
         """full hits / reads."""
-        return self.full_hits / self.count if self.count else 0.0
+        return self.full_hits / self._count if self._count else 0.0
 
     @property
     def partial_hit_ratio(self) -> float:
         """partial hits / reads."""
-        return self.partial_hits / self.count if self.count else 0.0
+        return self.partial_hits / self._count if self._count else 0.0
 
     def percentile(self, percentile: float) -> float:
         """Latency percentile in [0, 100] using nearest-rank interpolation."""
-        if not self.latencies_ms:
+        if not self._count:
             return 0.0
         if not 0.0 <= percentile <= 100.0:
             raise ValueError("percentile must be between 0 and 100")
-        ordered = sorted(self.latencies_ms)
-        rank = max(0, math.ceil(percentile / 100.0 * len(ordered)) - 1)
-        return ordered[rank]
+        ordered = np.sort(self._buffer[: self._count])
+        rank = max(0, math.ceil(percentile / 100.0 * self._count) - 1)
+        return float(ordered[rank])
 
     @property
     def median_latency_ms(self) -> float:
@@ -137,8 +184,11 @@ class LatencyStats:
 
     def merge(self, other: "LatencyStats") -> "LatencyStats":
         """Combine two stats objects (e.g. several clients of one run)."""
-        merged = LatencyStats()
-        merged.latencies_ms = self.latencies_ms + other.latencies_ms
+        total = self._count + other._count
+        merged = LatencyStats(capacity=max(total, 1))
+        merged._buffer[: self._count] = self._buffer[: self._count]
+        merged._buffer[self._count: total] = other._buffer[: other._count]
+        merged._count = total
         merged.full_hits = self.full_hits + other.full_hits
         merged.partial_hits = self.partial_hits + other.partial_hits
         merged.misses = self.misses + other.misses

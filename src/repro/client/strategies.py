@@ -65,6 +65,7 @@ class ReadStrategy(ABC):
         self._latency = store.topology.latency
         self._expected_latencies = store.topology.expected_read_latencies(client_region)
         self._needed_cache: dict[str, list[PlacedChunk]] = {}
+        self._nearest_cache: dict[str, list[PlacedChunk]] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -112,15 +113,19 @@ class ReadStrategy(ABC):
                         extra_overhead_ms: float = 0.0) -> ReadResult:
         """Sample per-chunk latencies and build the read result."""
         chunk_size = self._chunk_size(key)
-        fetch_latencies = [0.0]
+        latency = self._latency
+        region = self._region
+        slowest = 0.0
         for _ in cache_chunks:
-            fetch_latencies.append(self._latency.sample_cache_read(self._region, chunk_size))
+            sample = latency.sample_cache_read(region, chunk_size)
+            if sample > slowest:
+                slowest = sample
         for placed in backend_chunks:
-            fetch_latencies.append(
-                self._latency.sample_backend_read(self._region, placed.region, chunk_size)
-            )
+            sample = latency.sample_backend_read(region, placed.region, chunk_size)
+            if sample > slowest:
+                slowest = sample
 
-        total = self._config.overhead_ms + extra_overhead_ms + max(fetch_latencies)
+        total = self._config.overhead_ms + extra_overhead_ms + slowest
         if self._config.include_decode_cost:
             total += self._store.codec.decoding_cost_estimate(self._store.metadata(key).size)
 
@@ -151,7 +156,12 @@ class ReadStrategy(ABC):
         required = params.data_chunks - len(exclude_indices)
         if required <= 0:
             return []
-        nearest_first = list(reversed(self._needed(key)))
+        nearest_first = self._nearest_cache.get(key)
+        if nearest_first is None:
+            nearest_first = list(reversed(self._needed(key)))
+            self._nearest_cache[key] = nearest_first
+        if not exclude_indices:
+            return nearest_first[:required]
         plan = [placed for placed in nearest_first if placed.index not in exclude_indices]
         return plan[:required]
 

@@ -21,6 +21,7 @@ from repro.core.knapsack import (
     CacheConfiguration,
     EMPTY_CONFIGURATION,
     KnapsackSolver,
+    ReferenceKnapsackSolver,
     SolverResult,
     configuration_summary,
 )
@@ -32,6 +33,7 @@ from repro.core.options import (
     needed_chunks,
     option_with_weight,
     option_with_weight_at_most,
+    options_by_weight,
 )
 from repro.core.popularity import DEFAULT_ALPHA, PopularityRecord, PopularityTracker
 from repro.core.region_manager import RegionEstimate, RegionManager
@@ -52,6 +54,7 @@ __all__ = [
     "PopularityRecord",
     "PopularityTracker",
     "ReadHints",
+    "ReferenceKnapsackSolver",
     "ReconfigurationRecord",
     "RegionEstimate",
     "RegionManager",
@@ -64,6 +67,7 @@ __all__ = [
     "optimality_gap",
     "option_with_weight",
     "option_with_weight_at_most",
+    "options_by_weight",
     "solve_exact",
     "solve_greedy_density",
     "solve_greedy_marginal",

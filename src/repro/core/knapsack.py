@@ -15,9 +15,20 @@ programming heuristic:
   first reached, making the run time depend on the cache size rather than on
   the dataset size.
 
-:class:`KnapsackSolver` implements that heuristic; :mod:`repro.core.exact` and
-:mod:`repro.core.greedy` provide an exact MCKP solver and a greedy baseline for
-the ablation benchmarks.
+Two implementations are provided:
+
+* :class:`KnapsackSolver` — the optimized solver.  The DP state is scalar: a
+  weight-indexed array of ``(value, weight, key-bitmask, option-chain)``
+  records, so the inner loops touch only floats, ints and tuple cells.  Full
+  :class:`CacheConfiguration` objects are materialized exactly once, from the
+  option chains, after the DP finishes.
+* :class:`ReferenceKnapsackSolver` — the original direct transcription of the
+  paper's pseudo-code, which derives an immutable :class:`CacheConfiguration`
+  for every intermediate state.  It is kept as the ground truth for the
+  equivalence test-suite and for the ablation benchmarks.
+
+:mod:`repro.core.exact` and :mod:`repro.core.greedy` provide an exact MCKP
+solver and a greedy baseline for the ablation benchmarks.
 """
 
 from __future__ import annotations
@@ -25,7 +36,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from repro.core.options import CachingOption, best_option_value, option_with_weight
+from repro.core.options import (
+    CachingOption,
+    best_option_value,
+    option_with_weight,
+    options_by_weight,
+)
 from repro.erasure.chunk import ChunkId
 
 
@@ -34,11 +50,14 @@ class CacheConfiguration:
     """An assignment of caching options to objects (at most one per object).
 
     Configurations are immutable; the solver derives new ones via
-    :meth:`with_option` and :meth:`replace`.
+    :meth:`with_option` and :meth:`replace`.  Weight, value and the key index
+    are computed once at construction time, so the properties are O(1).
     """
 
     options: tuple[CachingOption, ...] = ()
     _by_key: dict[str, CachingOption] = field(init=False, repr=False, compare=False)
+    _weight: int = field(init=False, repr=False, compare=False)
+    _value: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         by_key: dict[str, CachingOption] = {}
@@ -47,17 +66,19 @@ class CacheConfiguration:
                 raise ValueError(f"configuration contains two options for key {option.key!r}")
             by_key[option.key] = option
         object.__setattr__(self, "_by_key", by_key)
+        object.__setattr__(self, "_weight", sum(option.weight for option in self.options))
+        object.__setattr__(self, "_value", sum(option.value for option in self.options))
 
     # -- inspection ---------------------------------------------------- #
     @property
     def weight(self) -> int:
         """Total number of chunks the configuration caches."""
-        return sum(option.weight for option in self.options)
+        return self._weight
 
     @property
     def value(self) -> float:
         """Total value (popularity-weighted latency improvement)."""
-        return sum(option.value for option in self.options)
+        return self._value
 
     def has_key(self, key: str) -> bool:
         """True if the configuration already caches chunks of ``key``."""
@@ -104,19 +125,32 @@ class CacheConfiguration:
         paper Fig. 5); ``added`` is an option for another object appended at
         the end (the option that the relaxation made room for).
         """
-        new_options = []
-        for option in self.options:
-            if option is old or option == old:
-                if replacement is not None:
-                    new_options.append(replacement)
+        position = -1
+        for index, option in enumerate(self.options):
+            if option is old:
+                position = index
+                break
+        if position < 0:
+            # Identity miss: fall back to a single equality scan.
+            for index, option in enumerate(self.options):
+                if option == old:
+                    position = index
+                    break
+        new_options = list(self.options)
+        if position >= 0:
+            if replacement is not None:
+                new_options[position] = replacement
             else:
-                new_options.append(option)
+                del new_options[position]
         if added is not None:
             new_options.append(added)
         return CacheConfiguration(options=tuple(new_options))
 
 
 EMPTY_CONFIGURATION = CacheConfiguration()
+
+#: Shared empty exact-weight index used when a relaxed key has no options.
+_EMPTY_WEIGHT_INDEX: dict[int, CachingOption] = {}
 
 
 @dataclass(frozen=True)
@@ -125,7 +159,7 @@ class SolverResult:
 
     Attributes:
         best: the configuration to install (highest value with weight ≤ capacity).
-        table: the final ``MaxV`` table (weight → best configuration seen).
+        table: the final ``MaxV`` table (weight slot → best configuration seen).
         keys_processed: how many objects the solver examined.
         stopped_early: whether the §VI early-stop optimisation triggered.
     """
@@ -136,8 +170,50 @@ class SolverResult:
     stopped_early: bool
 
 
+class _State:
+    """One scalar DP record: the configuration at a ``MaxV`` weight slot.
+
+    ``chain`` is a singly linked chain of
+    ``(option, value, weight, key_bit, parent)`` tuples in reverse insertion
+    order, so the relax scan touches only tuple cells — no property calls, no
+    dict lookups.  Materializing a :class:`CacheConfiguration` happens only
+    after the DP converged.  ``mask`` is a bitmask over the solver's key
+    indices — an O(1) replacement for ``has_key``.
+    """
+
+    __slots__ = ("value", "weight", "mask", "chain")
+
+    def __init__(self, value: float, weight: int, mask: int, chain: tuple | None) -> None:
+        self.value = value
+        self.weight = weight
+        self.mask = mask
+        self.chain = chain
+
+    def nodes_in_order(self) -> list[tuple]:
+        """The chain's nodes in insertion order."""
+        nodes: list[tuple] = []
+        node = self.chain
+        while node is not None:
+            nodes.append(node)
+            node = node[4]
+        nodes.reverse()
+        return nodes
+
+    def materialize(self) -> CacheConfiguration:
+        """Build the full configuration object (done once, after the DP)."""
+        return CacheConfiguration(options=tuple(node[0] for node in self.nodes_in_order()))
+
+
 class KnapsackSolver:
     """The paper's dynamic-programming heuristic for cache configuration.
+
+    This is the optimized solver: the DP operates on scalar
+    ``(value, weight, mask, chain)`` records in a weight-indexed array, with
+    per-option weight/value read once, O(1) key-membership checks and
+    parent-pointer reconstruction.  It is exactly equivalent (same best value
+    and weight) to :class:`ReferenceKnapsackSolver`, which transcribes the
+    paper's pseudo-code directly; the equivalence suite asserts this on
+    randomized instances.
 
     Args:
         capacity_weight: cache capacity expressed in chunks.
@@ -172,6 +248,207 @@ class KnapsackSolver:
         Objects are processed in decreasing order of their best option value
         (Fig. 4 line 8: "iterate through keys in decreasing value order").
         """
+        if self._capacity == 0 or not options_by_key:
+            return SolverResult(best=EMPTY_CONFIGURATION, table={0: EMPTY_CONFIGURATION},
+                                keys_processed=0, stopped_early=False)
+
+        capacity = self._capacity
+        usable = {
+            key: [option for option in options if option.weight <= capacity]
+            for key, options in options_by_key.items()
+        }
+        usable = {key: options for key, options in usable.items() if options}
+        ordered_keys = sorted(usable, key=lambda key: (-best_option_value(usable[key]), key))
+
+        # Per-key exact-weight lookup (SearchOption of Fig. 5) and key bits.
+        weight_index = {key: options_by_weight(usable[key]) for key in ordered_keys}
+        key_bit = {key: 1 << index for index, key in enumerate(ordered_keys)}
+
+        # MaxV: weight slot -> scalar state.  Slot 0 is the empty configuration.
+        states: list[_State | None] = [None] * (capacity + 1)
+        states[0] = _State(0.0, 0, 0, None)
+        max_slot = 0
+
+        keys_since_full: int | None = None
+        keys_processed = 0
+        stopped_early = False
+
+        for key in ordered_keys:
+            bit = key_bit[key]
+            for option in sorted(usable[key], key=lambda opt: opt.weight):
+                if self._use_relax:
+                    self._relax_pass(states, option, bit, weight_index)
+                max_slot = self._addition_pass(states, option, bit, max_slot)
+            keys_processed += 1
+
+            if self._stop_after_extra_keys is not None:
+                if keys_since_full is None and max_slot >= capacity:
+                    keys_since_full = 0
+                elif keys_since_full is not None:
+                    keys_since_full += 1
+                    if keys_since_full >= self._stop_after_extra_keys:
+                        stopped_early = True
+                        break
+
+        table = {slot: state.materialize()
+                 for slot, state in enumerate(states) if state is not None}
+        best = max(table.values(), key=lambda config: (config.value, -config.weight))
+        return SolverResult(best=best, table=table, keys_processed=keys_processed,
+                            stopped_early=stopped_early)
+
+    def solve_configuration(self, options_by_key: Mapping[str, Sequence[CachingOption]]) -> CacheConfiguration:
+        """Convenience wrapper returning only the best configuration."""
+        return self.solve(options_by_key).best
+
+    # ------------------------------------------------------------------ #
+    # DP passes
+    # ------------------------------------------------------------------ #
+    def _addition_pass(self, states: list[_State | None], option: CachingOption,
+                       bit: int, max_slot: int) -> int:
+        """Fig. 4 lines 14–21: extend existing configurations with ``option``.
+
+        Returns the (possibly grown) maximum occupied weight slot, tracked
+        incrementally so the §VI early-stop check never rescans the table.
+        """
+        capacity = self._capacity
+        option_weight = option.weight
+        option_value = option.value
+        # Snapshot of the occupied slots, ascending — additions inside this
+        # pass must not feed further additions of the same option.
+        snapshot = [state for state in states if state is not None]
+        for state in snapshot:
+            if state.mask & bit:
+                continue
+            new_weight = state.weight + option_weight
+            if new_weight > capacity:
+                continue
+            new_value = state.value + option_value
+            existing = states[new_weight]
+            if existing is None or existing.value < new_value:
+                states[new_weight] = _State(
+                    new_value, new_weight, state.mask | bit,
+                    (option, option_value, option_weight, bit, state.chain),
+                )
+                if new_weight > max_slot:
+                    max_slot = new_weight
+        return max_slot
+
+    def _relax_pass(self, states: list[_State | None], option: CachingOption, bit: int,
+                    weight_index: Mapping[str, Mapping[int, CachingOption]]) -> None:
+        """Fig. 4 lines 10–12 / Fig. 5: improve configurations at constant weight slot."""
+        option_weight = option.weight
+        option_value = option.value
+        snapshot = [(slot, state) for slot, state in enumerate(states) if state is not None]
+        for slot, state in snapshot:
+            if state.mask & bit or state.chain is None:
+                continue
+            improved = self._relax(state, option, option_value, option_weight,
+                                   bit, weight_index)
+            if improved is not None and improved.value > state.value:
+                states[slot] = improved
+
+    def _relax(self, state: _State, option: CachingOption, option_value: float,
+               option_weight: int, bit: int,
+               weight_index: Mapping[str, Mapping[int, CachingOption]]) -> _State | None:
+        """Fig. 5: make room for ``option`` by shrinking one already-chosen object.
+
+        The replacement option must have *exactly* the weight freed by the
+        swap (``OldOption.Weight − Option.Weight``), so the configuration's
+        total weight never changes — the invariant that keeps ``MaxV[w]`` a
+        weight-``w`` configuration.  When no such option exists the old object
+        may be evicted entirely ("the replacement can be total"), which keeps
+        the weight bounded by ``w``.
+
+        Returns the best improved state, or ``None`` if no replacement
+        increases the value.
+        """
+        base_value = state.value
+        best_value = base_value
+        best_node: tuple | None = None
+        best_replacement: CachingOption | None = None
+
+        # The chain is in reverse insertion order.  The reference scans in
+        # insertion order and keeps the *first* candidate achieving the best
+        # value, so here a later (= earlier-inserted) candidate may take over
+        # on equality: strictly-better than the base, at-least-as-good as the
+        # incumbent.
+        node = state.chain
+        while node is not None:
+            freed_weight = node[2] - option_weight
+            if freed_weight >= 0:
+                # A negative freed weight means the new option is larger than
+                # the old one; swapping would exceed the slot's weight.
+                replacement = None
+                replacement_value = 0.0
+                if freed_weight >= 1:
+                    replacement = weight_index.get(node[0].key, _EMPTY_WEIGHT_INDEX).get(freed_weight)
+                    if replacement is not None:
+                        replacement_value = replacement.value
+                candidate_value = base_value - node[1] + replacement_value + option_value
+                if candidate_value > base_value and candidate_value >= best_value:
+                    best_value = candidate_value
+                    best_node = node
+                    best_replacement = replacement
+            node = node[4]
+
+        if best_node is None:
+            return None
+
+        # Rebuild the chain in insertion order with the swap applied, exactly
+        # as CacheConfiguration.replace would, and recompute the scalar value
+        # as the ordered sum so floats match the reference bit for bit.
+        value = 0.0
+        weight = 0
+        mask = 0
+        chain: tuple | None = None
+        for existing in state.nodes_in_order():
+            if existing is best_node:
+                if best_replacement is None:
+                    continue
+                entry = (best_replacement, best_replacement.value,
+                         best_replacement.weight, existing[3], chain)
+            else:
+                entry = (existing[0], existing[1], existing[2], existing[3], chain)
+            value += entry[1]
+            weight += entry[2]
+            mask |= entry[3]
+            chain = entry
+        value += option_value
+        weight += option_weight
+        mask |= bit
+        chain = (option, option_value, option_weight, bit, chain)
+        return _State(value, weight, mask, chain)
+
+
+class ReferenceKnapsackSolver:
+    """Direct transcription of the paper's pseudo-code (Figs. 4 and 5).
+
+    Each intermediate ``MaxV`` entry is a full immutable
+    :class:`CacheConfiguration`.  This is the original, slow implementation;
+    it serves as ground truth for :class:`KnapsackSolver`'s equivalence tests
+    and accepts the same constructor arguments.
+    """
+
+    def __init__(self, capacity_weight: int, use_relax: bool = True,
+                 stop_after_extra_keys: int | None = 25) -> None:
+        if capacity_weight < 0:
+            raise ValueError("capacity_weight must be non-negative")
+        if stop_after_extra_keys is not None and stop_after_extra_keys < 0:
+            raise ValueError("stop_after_extra_keys must be non-negative or None")
+        self._capacity = capacity_weight
+        self._use_relax = use_relax
+        self._stop_after_extra_keys = stop_after_extra_keys
+
+    @property
+    def capacity_weight(self) -> int:
+        """Cache capacity in chunks."""
+        return self._capacity
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(self, options_by_key: Mapping[str, Sequence[CachingOption]]) -> SolverResult:
+        """Compute a cache configuration from per-object caching options."""
         if self._capacity == 0 or not options_by_key:
             return SolverResult(best=EMPTY_CONFIGURATION, table={0: EMPTY_CONFIGURATION},
                                 keys_processed=0, stopped_early=False)
@@ -241,18 +518,7 @@ class KnapsackSolver:
 
     def _relax(self, config: CacheConfiguration, option: CachingOption,
                options_by_key: Mapping[str, Sequence[CachingOption]]) -> CacheConfiguration | None:
-        """Fig. 5: make room for ``option`` by shrinking one already-chosen object.
-
-        The replacement option must have *exactly* the weight freed by the
-        swap (``OldOption.Weight − Option.Weight``), so the configuration's
-        total weight never changes — the invariant that keeps ``MaxV[w]`` a
-        weight-``w`` configuration.  When no such option exists the old object
-        may be evicted entirely ("the replacement can be total"), which keeps
-        the weight bounded by ``w``.
-
-        Returns the best improved configuration, or ``None`` if no replacement
-        increases the value.
-        """
+        """Fig. 5: make room for ``option`` by shrinking one already-chosen object."""
         if config.has_key(option.key) or not config.options:
             return None
 

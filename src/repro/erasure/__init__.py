@@ -14,7 +14,7 @@ from repro.erasure.chunk import (
     PAPER_PARAMS,
 )
 from repro.erasure.codec import EncodedObject, ErasureCodec
-from repro.erasure.galois import GaloisError
+from repro.erasure.galois import GaloisError, PackedGFMatrix
 from repro.erasure.matrix import SingularMatrixError
 from repro.erasure.reed_solomon import DecodingError, ReedSolomon
 
@@ -26,6 +26,7 @@ __all__ = [
     "ErasureCodec",
     "ErasureCodingParams",
     "GaloisError",
+    "PackedGFMatrix",
     "ObjectMetadata",
     "PAPER_PARAMS",
     "ReedSolomon",

@@ -13,6 +13,8 @@ the matrix routines and vectorised NumPy kernels (``gf_mul_bytes``,
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 #: Order of the field (number of elements).
@@ -50,11 +52,16 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 _EXP_TABLE, _LOG_TABLE = _build_tables()
 
 #: Full 256x256 multiplication table; 64 KiB, lets NumPy multiply chunk
-#: payloads by a constant with a single fancy-indexing pass.
-_MUL_TABLE = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
-for _a in range(1, FIELD_SIZE):
-    for _b in range(1, FIELD_SIZE):
-        _MUL_TABLE[_a, _b] = _EXP_TABLE[_LOG_TABLE[_a] + _LOG_TABLE[_b]]
+#: payloads by a constant with a single fancy-indexing pass.  Built with one
+#: vectorised outer sum of logarithms instead of a 65k-iteration Python loop;
+#: the zero row/column are patched afterwards (log(0) is undefined).
+_MUL_TABLE = _EXP_TABLE[_LOG_TABLE[:, None] + _LOG_TABLE[None, :]].astype(np.uint8)
+_MUL_TABLE[0, :] = 0
+_MUL_TABLE[:, 0] = 0
+
+#: Byte order of the packed gather kernels below (uint32/uint64 lanes are
+#: unpacked back to bytes through a view).
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 class GaloisError(ArithmeticError):
@@ -158,12 +165,129 @@ def gf_addmul_bytes(accumulator: np.ndarray, coefficient: int, data: np.ndarray)
     np.bitwise_xor(accumulator, _MUL_TABLE[coefficient][data], out=accumulator)
 
 
-def gf_matmul_bytes(matrix: np.ndarray, shards: np.ndarray) -> np.ndarray:
+#: Block length (elements) for the packed gather kernel: bounds the transient
+#: index/accumulator buffers to a few MiB regardless of shard length.
+GF_MATMUL_BLOCK = 1 << 20
+
+
+class PackedGFMatrix:
+    """A GF(256) coefficient matrix compiled into gather tables.
+
+    The product ``matrix @ shards`` is computed row-group by row-group: up to
+    eight output rows are packed into one ``uint32``/``uint64`` lane, and each
+    input shard contributes via a *single* 256-entry table gather whose entries
+    hold the packed products of the shard byte with every coefficient of the
+    group's column (``_MUL_TABLE[matrix[:, :, None], shards[None, :, :]]``
+    folded into per-column tables).  The per-byte work therefore drops from
+    ``rows`` gathers to ``ceil(rows / 8)``, and the XOR reduction over the
+    shard axis runs on wide lanes.
+
+    Rows whose coefficients are all 0/1 never touch the tables: they are pure
+    XOR combinations of input shards (or plain copies), the fast path taken by
+    systematic decode matrices where surviving data shards pass through.
+
+    Building the tables costs a few microseconds; callers with a fixed matrix
+    (the Reed-Solomon encoder, cached decode matrices) reuse the instance.
+    """
+
+    __slots__ = ("matrix", "rows", "cols", "_simple_rows", "_groups")
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8))
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be a 2-D array")
+        self.matrix = matrix
+        self.rows, self.cols = matrix.shape
+
+        # XOR-only rows: every coefficient is 0 or 1.
+        simple = (matrix <= 1).all(axis=1) if self.cols else np.ones(self.rows, dtype=bool)
+        self._simple_rows = [
+            (row, np.flatnonzero(matrix[row]).astype(np.intp))
+            for row in np.flatnonzero(simple)
+        ]
+
+        # Remaining rows in packed groups of up to 8.
+        dense_rows = np.flatnonzero(~simple)
+        self._groups = []
+        for start in range(0, dense_rows.size, 8):
+            rows = dense_rows[start:start + 8]
+            group = matrix[rows]  # (g, cols)
+            lane = np.uint32 if rows.size <= 4 else np.uint64
+            # (g, cols, 256) products, packed into one lane per column entry.
+            products = _MUL_TABLE[group].astype(lane)
+            shifts = np.arange(rows.size, dtype=lane) * lane(8)
+            tables = np.bitwise_or.reduce(
+                products << shifts[:, None, None], axis=0
+            )  # (cols, 256)
+            self._groups.append((rows, group, tables, lane))
+
+    def apply(self, shards: np.ndarray, block: int = GF_MATMUL_BLOCK) -> np.ndarray:
+        """Compute ``matrix @ shards`` over GF(256).
+
+        Args:
+            shards: ``(cols, shard_len)`` ``uint8`` array, one shard per row.
+            block: shard-axis chunk length bounding transient memory.
+
+        Returns:
+            ``(rows, shard_len)`` ``uint8`` array of output shards.
+        """
+        shards = np.asarray(shards, dtype=np.uint8)
+        if shards.ndim != 2:
+            raise ValueError("shards must be a 2-D array")
+        if shards.shape[0] != self.cols:
+            raise ValueError(
+                f"shape mismatch: matrix has {self.cols} columns but "
+                f"{shards.shape[0]} shards were provided"
+            )
+        length = shards.shape[1]
+        # Every row is fully written below (dense groups cover their span,
+        # simple rows are copied/reduced/zeroed), so skip the upfront memset.
+        out = np.empty((self.rows, length), dtype=np.uint8)
+
+        for row, sources in self._simple_rows:
+            if sources.size == 1:
+                np.copyto(out[row], shards[sources[0]])
+            elif sources.size > 1:
+                np.bitwise_xor.reduce(shards[sources], axis=0, out=out[row])
+            else:
+                out[row] = 0
+
+        if not self._groups:
+            return out
+
+        block = max(int(block), 1)
+        for start in range(0, length, block):
+            end = min(start + block, length)
+            span = end - start
+            index = np.empty(span, dtype=np.intp)
+            for rows, group, tables, lane in self._groups:
+                accumulator = np.zeros(span, dtype=lane)
+                gathered = np.empty(span, dtype=lane)
+                for col in range(self.cols):
+                    if not group[:, col].any():
+                        continue
+                    np.copyto(index, shards[col, start:end], casting="unsafe")
+                    np.take(tables[col], index, out=gathered, mode="clip")
+                    accumulator ^= gathered
+                lanes = accumulator.view(np.uint8).reshape(span, accumulator.itemsize)
+                if not _LITTLE_ENDIAN:
+                    lanes = lanes[:, ::-1]
+                out[rows, start:end] = lanes[:, :rows.size].T
+        return out
+
+
+def gf_matmul_bytes(matrix: np.ndarray, shards: np.ndarray,
+                    block: int = GF_MATMUL_BLOCK) -> np.ndarray:
     """Multiply a coefficient matrix by a stack of shards.
+
+    This is the gather-based kernel: see :class:`PackedGFMatrix`.  Callers
+    that reuse the same matrix across calls should build a
+    :class:`PackedGFMatrix` once and call :meth:`PackedGFMatrix.apply`.
 
     Args:
         matrix: ``(rows, cols)`` ``uint8`` coefficient matrix.
         shards: ``(cols, shard_len)`` ``uint8`` array, one shard per row.
+        block: shard-axis chunk length bounding transient memory.
 
     Returns:
         ``(rows, shard_len)`` ``uint8`` array of output shards.
@@ -177,13 +301,7 @@ def gf_matmul_bytes(matrix: np.ndarray, shards: np.ndarray) -> np.ndarray:
             f"shape mismatch: matrix has {matrix.shape[1]} columns but "
             f"{shards.shape[0]} shards were provided"
         )
-    rows = matrix.shape[0]
-    out = np.zeros((rows, shards.shape[1]), dtype=np.uint8)
-    for row in range(rows):
-        accumulator = out[row]
-        for col in range(matrix.shape[1]):
-            gf_addmul_bytes(accumulator, int(matrix[row, col]), shards[col])
-    return out
+    return PackedGFMatrix(matrix).apply(shards, block=block)
 
 
 def is_field_element(value: int) -> bool:

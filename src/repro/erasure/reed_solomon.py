@@ -13,12 +13,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.erasure.galois import gf_matmul_bytes
+from repro.erasure.galois import PackedGFMatrix, gf_matmul_bytes
 from repro.erasure.matrix import (
     decode_matrix,
     submatrix,
     systematic_encoding_matrix,
 )
+
+#: Maximum number of decode operators kept per codec (one per distinct
+#: surviving-shard pattern; tiny tables, bounded to stay O(1) in memory).
+_DECODE_CACHE_LIMIT = 256
 
 
 class DecodingError(ValueError):
@@ -73,6 +77,14 @@ class ReedSolomon:
         self._parity_shards = parity_shards
         self._construction = construction
         self._matrix = systematic_encoding_matrix(data_shards, parity_shards, construction)
+        # The parity rows never change: compile their gather tables once.
+        self._parity_op = (
+            PackedGFMatrix(self._matrix[data_shards:, :]) if parity_shards else None
+        )
+        # Decode operators per surviving-shard pattern, built on demand.
+        self._decode_ops: dict[tuple[int, ...], tuple[np.ndarray, PackedGFMatrix]] = {}
+        # Per-parity-row operators for verify()'s short-circuit, built lazily.
+        self._parity_row_ops: list[PackedGFMatrix] | None = None
 
     @property
     def data_shards(self) -> int:
@@ -106,9 +118,10 @@ class ReedSolomon:
     def split(self, data: bytes) -> np.ndarray:
         """Split (and zero-pad) a blob into a ``(k, shard_size)`` array."""
         shard_size = self.shard_size(len(data))
-        padded = np.zeros(self._data_shards * max(shard_size, 1), dtype=np.uint8)
+        padded = np.empty(self._data_shards * max(shard_size, 1), dtype=np.uint8)
         if data:
             padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        padded[len(data):] = 0
         return padded.reshape(self._data_shards, max(shard_size, 1))
 
     def encode(self, data: bytes) -> list[np.ndarray]:
@@ -117,8 +130,10 @@ class ReedSolomon:
         The first ``k`` shards are the original data (zero-padded); the last
         ``m`` shards are parity.
         """
+        # The split matrix is freshly allocated and private, so the data
+        # shards can be returned as views without an extra copy per shard.
         data_matrix = self.split(data)
-        return self.encode_shards(data_matrix)
+        return self._encode_matrix(data_matrix, copy_data=False)
 
     def encode_shards(self, data_matrix: np.ndarray) -> list[np.ndarray]:
         """Encode a pre-split ``(k, shard_size)`` array into ``k + m`` shards."""
@@ -127,12 +142,16 @@ class ReedSolomon:
             raise ValueError(
                 f"expected {self._data_shards} data shards, got {data_matrix.shape[0]}"
             )
-        if self._parity_shards == 0:
-            return [data_matrix[i].copy() for i in range(self._data_shards)]
-        parity_rows = self._matrix[self._data_shards :, :]
-        parity = gf_matmul_bytes(parity_rows, data_matrix)
-        shards = [data_matrix[i].copy() for i in range(self._data_shards)]
-        shards.extend(parity[i] for i in range(self._parity_shards))
+        return self._encode_matrix(data_matrix, copy_data=True)
+
+    def _encode_matrix(self, data_matrix: np.ndarray, copy_data: bool) -> list[np.ndarray]:
+        shards = [
+            data_matrix[i].copy() if copy_data else data_matrix[i]
+            for i in range(self._data_shards)
+        ]
+        if self._parity_op is not None:
+            parity = self._parity_op.apply(data_matrix)
+            shards.extend(parity[i] for i in range(self._parity_shards))
         return shards
 
     # ------------------------------------------------------------------ #
@@ -170,9 +189,20 @@ class ReedSolomon:
         if indices == list(range(self._data_shards)):
             return np.stack(arrays)
 
-        inverse = decode_matrix(self._matrix, indices, self._data_shards)
+        _, operator = self._decode_op(tuple(indices))
         stacked = np.stack(arrays)
-        return gf_matmul_bytes(inverse, stacked)
+        return operator.apply(stacked)
+
+    def _decode_op(self, indices: tuple[int, ...]) -> tuple[np.ndarray, PackedGFMatrix]:
+        """The (inverse matrix, compiled operator) pair for a survivor pattern."""
+        cached = self._decode_ops.get(indices)
+        if cached is None:
+            if len(self._decode_ops) >= _DECODE_CACHE_LIMIT:
+                self._decode_ops.clear()
+            inverse = decode_matrix(self._matrix, list(indices), self._data_shards)
+            cached = (inverse, PackedGFMatrix(inverse))
+            self._decode_ops[indices] = cached
+        return cached
 
     def decode_data(self, available: dict[int, np.ndarray | bytes], original_length: int) -> bytes:
         """Reconstruct the original blob (trimmed to ``original_length`` bytes)."""
@@ -200,12 +230,22 @@ class ReedSolomon:
         """Check that a *complete* shard set is consistent with the code.
 
         Returns False if any parity shard does not match the data shards.
+        Only the ``m`` parity rows are recomputed (the data rows of a
+        systematic code trivially match themselves), one row at a time so a
+        corrupt early parity shard short-circuits the remaining work.
         """
         if len(shards) != self.total_shards:
             raise ValueError("verify() requires all k + m shards")
         data_matrix = np.stack([np.asarray(shards[i], dtype=np.uint8) for i in range(self._data_shards)])
-        expected = self.encode_shards(data_matrix)
-        for index in range(self.total_shards):
-            if not np.array_equal(expected[index], np.asarray(shards[index], dtype=np.uint8)):
+        if self._parity_row_ops is None:
+            self._parity_row_ops = [
+                PackedGFMatrix(self._matrix[self._data_shards + offset:
+                                            self._data_shards + offset + 1, :])
+                for offset in range(self._parity_shards)
+            ]
+        for offset, row_op in enumerate(self._parity_row_ops):
+            index = self._data_shards + offset
+            expected = row_op.apply(data_matrix)[0]
+            if not np.array_equal(expected, np.asarray(shards[index], dtype=np.uint8)):
                 return False
         return True

@@ -12,6 +12,8 @@ paper's "averages of 5 runs" — and returns per-strategy aggregates.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.backend.object_store import ErasureCodedStore
@@ -142,20 +144,34 @@ class Simulation:
         return store, clock, strategy
 
     def _execute(self, strategy, clock, seed: int) -> SimulationResult:
-        """Replay one request stream against an existing deployment."""
+        """Replay one request stream against an existing deployment.
+
+        The loop is allocation-free on the driver side: statistics go into
+        :class:`LatencyStats`' preallocated buffers and per-request
+        :class:`ReadResult` objects are retained only when ``keep_results``
+        was requested.
+        """
         config = self._config
         requests = generate_requests(config.workload, seed=seed)
-        stats = LatencyStats()
+        stats = LatencyStats(capacity=max(len(requests), 1))
         kept: list[ReadResult] = []
         start = clock.now()
 
+        read = strategy.read
+        now = clock.now
+        advance = clock.advance_ms
+        record = stats.record
+        warmup = config.warmup_requests
+        keep = self._keep_results
+        append = kept.append
+
         for request in requests:
-            result = strategy.read(request.key, now=clock.now())
-            clock.advance_ms(result.latency_ms)
-            if request.sequence >= config.warmup_requests:
-                stats.record(result)
-            if self._keep_results:
-                kept.append(result)
+            result = read(request.key, now=now())
+            advance(result.latency_ms)
+            if request.sequence >= warmup:
+                record(result)
+            if keep:
+                append(result)
 
         return SimulationResult(
             strategy=config.strategy,
@@ -232,19 +248,35 @@ def aggregate_results(results: list[SimulationResult]) -> AggregatedResult:
     )
 
 
+def _run_strategy_comparison(config: SimulationConfig, runs: int,
+                             topology: Topology | None) -> AggregatedResult:
+    """Worker body for one strategy (module-level so it pickles)."""
+    simulation = Simulation(config, topology=topology)
+    return simulation.run_many(runs=runs)
+
+
 def run_comparison(workload: WorkloadSpec, strategies: list[str], client_region: str,
                    cache_capacity_bytes: int, runs: int = 5,
                    agar_config: AgarNodeConfig | None = None,
                    client_config: ClientConfig | None = None,
                    topology: Topology | None = None,
-                   topology_seed: int = 0) -> dict[str, AggregatedResult]:
+                   topology_seed: int = 0,
+                   parallel: bool = False,
+                   max_workers: int | None = None) -> dict[str, AggregatedResult]:
     """Run several strategies under identical conditions and aggregate each.
 
     This is the workhorse of the Fig. 6/7/8 experiments.
+
+    Args:
+        parallel: fan the per-strategy simulations out across worker
+            processes.  Results are identical to the sequential path — every
+            strategy reseeds its topology jitter before running, so the only
+            shared state between strategies is read-only.
+        max_workers: worker-process cap for ``parallel`` (defaults to
+            ``min(len(strategies), cpu_count)``).
     """
-    comparison: dict[str, AggregatedResult] = {}
-    for strategy in strategies:
-        config = SimulationConfig(
+    configs = {
+        strategy: SimulationConfig(
             workload=workload,
             client_region=client_region,
             strategy=strategy,
@@ -253,6 +285,20 @@ def run_comparison(workload: WorkloadSpec, strategies: list[str], client_region:
             client=client_config or ClientConfig(),
             topology_seed=topology_seed,
         )
-        simulation = Simulation(config, topology=topology)
-        comparison[strategy] = simulation.run_many(runs=runs)
-    return comparison
+        for strategy in strategies
+    }
+
+    if parallel and len(configs) > 1:
+        workers = max_workers or min(len(configs), os.cpu_count() or 1)
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    strategy: pool.submit(_run_strategy_comparison, config, runs, topology)
+                    for strategy, config in configs.items()
+                }
+                return {strategy: future.result() for strategy, future in futures.items()}
+
+    return {
+        strategy: _run_strategy_comparison(config, runs, topology)
+        for strategy, config in configs.items()
+    }

@@ -57,6 +57,31 @@ class TestLatencyStats:
         assert summary["reads"] == 1.0
         assert set(summary) >= {"mean_latency_ms", "hit_ratio", "p99_latency_ms"}
 
+    def test_buffer_growth_beyond_initial_capacity(self):
+        """The preallocated buffer doubles transparently when it fills."""
+        stats = LatencyStats(capacity=4)
+        for value in range(1, 11):
+            stats.record(result(float(value), HitType.MISS))
+        assert stats.count == 10
+        assert stats.latencies_ms == [float(v) for v in range(1, 11)]
+        assert stats.mean_latency_ms == pytest.approx(5.5)
+
+    def test_record_read_scalar_fast_path(self):
+        stats = LatencyStats()
+        stats.record_read(12.5, HitType.PARTIAL, chunks_from_cache=3, chunks_from_backend=6)
+        assert stats.count == 1
+        assert stats.partial_hits == 1
+        assert stats.cache_chunks_total == 3
+        assert stats.backend_chunks_total == 6
+
+    def test_latencies_array_is_read_only_view(self):
+        stats = LatencyStats()
+        stats.record(result(5.0, HitType.MISS))
+        view = stats.latencies_array()
+        assert view.shape == (1,)
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
     def test_merge(self):
         first = LatencyStats()
         first.record(result(100.0, HitType.MISS))
