@@ -1,0 +1,49 @@
+"""Benchmark of the discrete-event engine's multi-client replay loop.
+
+Guards the engine's per-event overhead: a two-region deployment with four
+open-loop clients per region, collaboration on — the ISSUE 2 acceptance
+scenario at benchmark scale.  The measured body excludes deployment
+construction (store population and warm-up probes) so the number tracks the
+event loop itself.
+"""
+
+from conftest import emit
+
+from repro.sim.engine import EngineConfig, EventEngine, RegionSpec
+from repro.workload.workload import poisson_arrivals, zipfian_workload
+
+MEGABYTE = 1024 * 1024
+
+
+def test_bench_engine_multi_client(benchmark, settings):
+    """Event-loop cost of a 2-region x 4-client Poisson run with collaboration."""
+    workload = zipfian_workload(
+        1.1, request_count=200, object_count=settings.object_count, seed=settings.seed,
+    )
+    config = EngineConfig(
+        workload=workload,
+        regions=(
+            RegionSpec(region="frankfurt", clients=4),
+            RegionSpec(region="sydney", clients=4),
+        ),
+        cache_capacity_bytes=10 * MEGABYTE,
+        topology_seed=settings.seed,
+        arrival=poisson_arrivals(2.0),
+        collaboration=True,
+    )
+    engine = EventEngine(config)
+    engine.topology.latency.reseed(config.topology_seed + 1)
+    deployment = engine.build_deployment()
+
+    result = benchmark(engine.execute, deployment, 1)
+
+    total = result.total_requests
+    emit(
+        "engine multi-client replay",
+        f"{total} requests over {len(config.regions)} regions x 4 clients, "
+        f"simulated {result.duration_s:.1f} s, "
+        f"throughput {result.throughput_rps:.1f} req/s (simulated)",
+    )
+    assert total == 8 * workload.request_count
+    for region_result in result.regions.values():
+        assert region_result.stats.count == 4 * workload.request_count

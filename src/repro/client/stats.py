@@ -164,9 +164,25 @@ class LatencyStats:
         return self.percentile(50.0)
 
     @property
+    def p50_latency_ms(self) -> float:
+        """50th percentile latency (alias of :attr:`median_latency_ms`)."""
+        return self.median_latency_ms
+
+    @property
+    def p95_latency_ms(self) -> float:
+        """95th percentile latency."""
+        return self.percentile(95.0)
+
+    @property
     def p99_latency_ms(self) -> float:
         """99th percentile latency."""
         return self.percentile(99.0)
+
+    def throughput_rps(self, duration_s: float) -> float:
+        """Requests per second of simulated time (0 for an empty duration)."""
+        if duration_s <= 0:
+            return 0.0
+        return self._count / duration_s
 
     def summary(self) -> dict[str, float]:
         """Dictionary summary used by the experiment reports."""
@@ -174,6 +190,7 @@ class LatencyStats:
             "reads": float(self.count),
             "mean_latency_ms": self.mean_latency_ms,
             "median_latency_ms": self.median_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
             "p99_latency_ms": self.p99_latency_ms,
             "hit_ratio": self.hit_ratio,
             "full_hit_ratio": self.full_hit_ratio,

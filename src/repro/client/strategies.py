@@ -49,6 +49,14 @@ class ClientConfig:
 class ReadStrategy(ABC):
     """Base class for the four read strategies.
 
+    Strategies are re-entrant with respect to interleaved clients: one
+    instance serves every client of its region, so :meth:`read` must only
+    touch state that is safe under arbitrary request interleavings.  The
+    per-key plan caches (``_needed_cache`` / ``_nearest_cache``) qualify —
+    they memoise pure functions of the key — and cache writes happen
+    atomically within one read event, so the discrete-event engine can
+    interleave any number of clients through one strategy.
+
     Args:
         store: the erasure-coded object store.
         client_region: region the client (and its local cache) runs in.
@@ -83,6 +91,25 @@ class ReadStrategy(ABC):
     def cache_snapshot(self) -> CacheSnapshot | None:
         """Snapshot of the strategy's cache contents (None for Backend)."""
         return None
+
+    # ------------------------------------------------------------------ #
+    # Periodic maintenance (timer events of the discrete-event engine)
+    # ------------------------------------------------------------------ #
+    @property
+    def reconfiguration_period_s(self) -> float | None:
+        """Period of the strategy's timer-driven maintenance (None = none)."""
+        return None
+
+    def set_external_reconfiguration(self, external: bool) -> None:
+        """Hand periodic reconfiguration over to an external driver.
+
+        When external, the strategy must not check its reconfiguration period
+        on the read path; the engine calls :meth:`tick` at exact period
+        boundaries instead.  A no-op for strategies without periodic work.
+        """
+
+    def tick(self, now: float) -> None:
+        """Run one round of periodic maintenance at simulated time ``now``."""
 
     # ------------------------------------------------------------------ #
     # Read path
@@ -310,6 +337,7 @@ class PeriodicLFUStrategy(ReadStrategy):
             region=client_region,
         )
         self._last_reconfiguration: float | None = None
+        self._external_reconfiguration = False
 
     @property
     def cache(self) -> ChunkCache:
@@ -323,6 +351,19 @@ class PeriodicLFUStrategy(ReadStrategy):
 
     def cache_snapshot(self) -> CacheSnapshot:
         return self._cache.snapshot()
+
+    @property
+    def reconfiguration_period_s(self) -> float | None:
+        return self._period_s
+
+    def set_external_reconfiguration(self, external: bool) -> None:
+        self._external_reconfiguration = bool(external)
+
+    def tick(self, now: float) -> None:
+        keys = self._store.keys()
+        if keys:
+            self._reconfigure(keys[0])
+        self._last_reconfiguration = now
 
     def _capacity_objects(self, key: str) -> int:
         chunk_size = self._chunk_size(key)
@@ -348,7 +389,8 @@ class PeriodicLFUStrategy(ReadStrategy):
             self._last_reconfiguration = now
 
     def read(self, key: str, now: float) -> ReadResult:
-        self._maybe_reconfigure(key, now)
+        if not self._external_reconfiguration:
+            self._maybe_reconfigure(key, now)
         self._tracker.record_access(key)
 
         targets = self._needed(key)[: self._chunks_per_object]
@@ -408,6 +450,16 @@ class AgarReadStrategy(ReadStrategy):
 
     def cache_snapshot(self) -> CacheSnapshot:
         return self._node.cache.snapshot()
+
+    @property
+    def reconfiguration_period_s(self) -> float | None:
+        return self._node.config.reconfiguration_period_s
+
+    def set_external_reconfiguration(self, external: bool) -> None:
+        self._node.auto_reconfigure = not external
+
+    def tick(self, now: float) -> None:
+        self._node.reconfigure(now)
 
     def read(self, key: str, now: float) -> ReadResult:
         hints = self._node.on_request(key, now)

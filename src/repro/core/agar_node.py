@@ -112,6 +112,7 @@ class AgarNode:
             processing_overhead_ms=self._config.processing_overhead_ms,
         )
         self._last_reconfiguration_time: float | None = None
+        self._auto_reconfigure = True
 
         if self._config.warm_start:
             uniform = {key: 1.0 for key in store.keys()}
@@ -127,6 +128,11 @@ class AgarNode:
     # ------------------------------------------------------------------ #
     # Components
     # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> AgarNodeConfig:
+        """The node's tunables."""
+        return self._config
+
     @property
     def local_region(self) -> str:
         """Region this node serves."""
@@ -157,6 +163,22 @@ class AgarNode:
         """The currently installed cache configuration."""
         return self._cache_manager.current_configuration
 
+    @property
+    def auto_reconfigure(self) -> bool:
+        """Whether the node checks the reconfiguration period on each request.
+
+        True (the default) reproduces the prototype's behaviour of
+        piggybacking the period check on the read path.  The discrete-event
+        engine sets this to False and drives :meth:`reconfigure` from timer
+        events instead, so reconfigurations fire at exact period boundaries
+        even when no client happens to read at that moment.
+        """
+        return self._auto_reconfigure
+
+    @auto_reconfigure.setter
+    def auto_reconfigure(self, enabled: bool) -> None:
+        self._auto_reconfigure = bool(enabled)
+
     # ------------------------------------------------------------------ #
     # Request path
     # ------------------------------------------------------------------ #
@@ -167,7 +189,8 @@ class AgarNode:
             key: the object being read.
             now: current simulated time in seconds.
         """
-        self.maybe_reconfigure(now)
+        if self._auto_reconfigure:
+            self.maybe_reconfigure(now)
         return self._request_monitor.record_request(key)
 
     def maybe_reconfigure(self, now: float) -> ReconfigurationRecord | None:

@@ -13,8 +13,17 @@ from repro.experiments.common import (
     FIG8_STRATEGIES,
     FIG9_SKEWS,
     MEGABYTE,
+    EngineOptions,
     ExperimentSettings,
     agar_config_for_capacity,
+)
+from repro.experiments.multiregion import (
+    MultiRegionRow,
+    RegionAggregate,
+    render_multiregion,
+    run_engine_comparison,
+    run_engine_many,
+    run_multiregion_scaling,
 )
 from repro.experiments.ablation import (
     run_agar_variants,
@@ -62,12 +71,15 @@ __all__ = [
     "FIG8B_SKEWS",
     "FIG8_STRATEGIES",
     "FIG9_SKEWS",
+    "EngineOptions",
     "Fig10Snapshot",
     "Fig2Point",
     "Fig9Series",
     "MEGABYTE",
     "MicrobenchResult",
+    "MultiRegionRow",
     "PolicyComparisonRow",
+    "RegionAggregate",
     "SweepPoint",
     "Table1Row",
     "agar_advantage",
@@ -80,16 +92,20 @@ __all__ = [
     "render_fig6",
     "render_fig7",
     "render_fig9",
+    "render_multiregion",
     "render_sweep",
     "render_table1",
     "run_agar_variants",
     "run_capacity_scaling",
+    "run_engine_comparison",
+    "run_engine_many",
     "run_fig10",
     "run_fig2",
     "run_fig8a",
     "run_fig8b",
     "run_fig9",
     "run_microbench",
+    "run_multiregion_scaling",
     "run_policy_comparison",
     "run_solver_quality",
     "run_table1",

@@ -4,11 +4,18 @@ Installed as ``agar-experiments``.  Examples::
 
     agar-experiments table1
     agar-experiments fig6 --quick
+    agar-experiments fig6 --quick --regions frankfurt,sydney --clients-per-region 4
+    agar-experiments multiregion --quick --arrival-rate 2 --collaboration
     agar-experiments all --quick
 
 Each command prints the rows/series of the corresponding figure as a text
 table; ``--quick`` runs the reduced-scale settings used by the benchmark suite,
 the default is the paper's full scale (5 runs × 1,000 reads).
+
+The engine flags (``--regions``, ``--clients-per-region``, ``--arrival-rate``,
+``--collaboration``) route the Fig. 6/7/8 runners and the ``multiregion``
+experiment through the multi-region discrete-event engine instead of the
+classic single-client loop.
 """
 
 from __future__ import annotations
@@ -16,29 +23,66 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.common import ExperimentSettings
+from repro.experiments.common import EVALUATION_REGIONS, EngineOptions, ExperimentSettings
 from repro.experiments.fig2_motivating import render_fig2, run_fig2
 from repro.experiments.fig6_policies import agar_advantage, render_fig6, render_fig7, run_policy_comparison
 from repro.experiments.fig8_sweeps import agar_lead_by_group, render_sweep, run_fig8a, run_fig8b
 from repro.experiments.fig9_popularity import render_fig9, run_fig9
 from repro.experiments.fig10_cache_contents import render_fig10, run_fig10
 from repro.experiments.microbench import run_capacity_scaling, run_microbench
+from repro.experiments.multiregion import (
+    DEFAULT_ARRIVAL_RATE_RPS,
+    render_multiregion,
+    run_multiregion_scaling,
+)
 from repro.experiments.table1_latency import render_table1, run_table1
 
-EXPERIMENTS = ("table1", "fig2", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10", "microbench")
+EXPERIMENTS = ("table1", "fig2", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10",
+               "microbench", "multiregion")
+
+#: Experiments that understand the engine flags.
+ENGINE_EXPERIMENTS = ("fig6", "fig7", "fig8a", "fig8b", "multiregion")
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return ExperimentSettings.quick() if args.quick else ExperimentSettings.paper()
 
 
-def _run_one(name: str, settings: ExperimentSettings, out) -> None:
+def _engine_options(args: argparse.Namespace, for_multiregion: bool) -> EngineOptions | None:
+    """Build engine options from the CLI flags.
+
+    ``multiregion`` always runs on the engine, so missing flags fall back to
+    the acceptance scenario's defaults (two regions, 4 clients each, Poisson
+    arrivals, collaboration on); the figure runners only leave the classic
+    path when a flag is given explicitly.
+    """
+    regions = None
+    if args.regions:
+        regions = tuple(name.strip() for name in args.regions.split(",") if name.strip())
+    if for_multiregion:
+        return EngineOptions(
+            regions=regions or EVALUATION_REGIONS,
+            clients_per_region=args.clients_per_region or 4,
+            arrival_rate_rps=args.arrival_rate or DEFAULT_ARRIVAL_RATE_RPS,
+            collaboration=True if args.collaboration is None else args.collaboration,
+        )
+    options = EngineOptions(
+        regions=regions,
+        clients_per_region=args.clients_per_region or 1,
+        arrival_rate_rps=args.arrival_rate,
+        collaboration=bool(args.collaboration),
+    )
+    return options if options.active else None
+
+
+def _run_one(name: str, settings: ExperimentSettings, out,
+             engine: EngineOptions | None = None) -> None:
     if name == "table1":
         print(render_table1(run_table1()).render(), file=out)
     elif name == "fig2":
         print(render_fig2(run_fig2(settings)).render(), file=out)
     elif name in ("fig6", "fig7"):
-        rows = run_policy_comparison(settings)
+        rows = run_policy_comparison(settings, engine=engine)
         if name == "fig6":
             print(render_fig6(rows).render(), file=out)
             for region in sorted({row.region for row in rows}):
@@ -52,12 +96,12 @@ def _run_one(name: str, settings: ExperimentSettings, out) -> None:
         else:
             print(render_fig7(rows).render(), file=out)
     elif name == "fig8a":
-        points = run_fig8a(settings)
+        points = run_fig8a(settings, engine=engine)
         print(render_sweep(points, "Figure 8a — average latency (ms) vs cache size").render(), file=out)
         for group, lead in sorted(agar_lead_by_group(points).items()):
             print(f"{group}: Agar {lead:+.1f}% vs best static policy", file=out)
     elif name == "fig8b":
-        points = run_fig8b(settings)
+        points = run_fig8b(settings, engine=engine)
         print(render_sweep(points, "Figure 8b — average latency (ms) vs workload").render(), file=out)
         for group, lead in sorted(agar_lead_by_group(points).items()):
             print(f"{group}: Agar {lead:+.1f}% vs best static policy", file=out)
@@ -65,6 +109,9 @@ def _run_one(name: str, settings: ExperimentSettings, out) -> None:
         print(render_fig9(run_fig9(settings)).render(), file=out)
     elif name == "fig10":
         print(render_fig10(run_fig10(settings)).render(), file=out)
+    elif name == "multiregion":
+        rows = run_multiregion_scaling(settings, options=engine)
+        print(render_multiregion(rows, options=engine).render(), file=out)
     elif name == "microbench":
         result = run_microbench(settings)
         print(
@@ -91,13 +138,32 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
                         help="which table/figure to regenerate")
     parser.add_argument("--quick", action="store_true",
                         help="reduced scale (2 runs x 400 reads) instead of the paper's 5 x 1000")
+    parser.add_argument("--regions", default=None, metavar="R1,R2,...",
+                        help="client regions of the simulated deployment "
+                             "(comma separated; engine experiments only)")
+    parser.add_argument("--clients-per-region", type=int, default=None, metavar="N",
+                        help="concurrent clients per region (engine experiments only)")
+    parser.add_argument("--arrival-rate", type=float, default=None, metavar="RPS",
+                        help="open-loop Poisson arrival rate per client in req/s "
+                             "(default: closed loop; engine experiments only)")
+    parser.add_argument("--collaboration", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="enable §VI cache collaboration between the regions' "
+                             "Agar nodes (multiregion default: on; engine "
+                             "experiments only)")
     args = parser.parse_args(argv)
+    if args.clients_per_region is not None and args.clients_per_region <= 0:
+        parser.error("--clients-per-region must be positive")
+    if args.arrival_rate is not None and args.arrival_rate <= 0:
+        parser.error("--arrival-rate must be positive")
     settings = _settings(args)
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
+        engine = (_engine_options(args, for_multiregion=(name == "multiregion"))
+                  if name in ENGINE_EXPERIMENTS else None)
         print(f"=== {name} ===", file=out)
-        _run_one(name, settings, out)
+        _run_one(name, settings, out, engine=engine)
         print(file=out)
     return 0
 

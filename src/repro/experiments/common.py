@@ -13,7 +13,13 @@ from dataclasses import dataclass, replace
 from repro.core.agar_node import AgarNodeConfig
 from repro.core.cache_manager import CacheManagerConfig
 from repro.geo.latency import DEFAULT_OBJECT_SIZE
-from repro.workload.workload import WorkloadSpec, uniform_workload, zipfian_workload
+from repro.workload.workload import (
+    ArrivalSpec,
+    WorkloadSpec,
+    poisson_arrivals,
+    uniform_workload,
+    zipfian_workload,
+)
 
 #: 1 MiB, the paper's object size.
 MEGABYTE = 1024 * 1024
@@ -95,6 +101,52 @@ class ExperimentSettings:
     def with_requests(self, request_count: int) -> "ExperimentSettings":
         """Copy of the settings with a different request count."""
         return replace(self, request_count=request_count)
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Discrete-event engine knobs shared by the experiment CLIs.
+
+    The default (1 client, closed loop, no collaboration, figure-default
+    regions) routes an experiment through the classic single-client driver;
+    any other setting routes it through the multi-region event engine.
+
+    Attributes:
+        regions: client regions of the deployment (None = the figure's
+            default regions).
+        clients_per_region: concurrent clients per region.
+        arrival_rate_rps: per-client open-loop Poisson arrival rate (None =
+            closed loop).
+        collaboration: §VI cache collaboration between the regions' Agar
+            nodes (applies to the ``agar`` strategy only).
+    """
+
+    regions: tuple[str, ...] | None = None
+    clients_per_region: int = 1
+    arrival_rate_rps: float | None = None
+    collaboration: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clients_per_region <= 0:
+            raise ValueError("clients_per_region must be positive")
+        if self.arrival_rate_rps is not None and self.arrival_rate_rps <= 0:
+            raise ValueError("arrival_rate_rps must be positive")
+
+    @property
+    def active(self) -> bool:
+        """True if any knob deviates from the classic single-client loop."""
+        return (self.regions is not None or self.clients_per_region > 1
+                or self.arrival_rate_rps is not None or self.collaboration)
+
+    def arrival_spec(self) -> ArrivalSpec:
+        """The options' arrival process as an :class:`ArrivalSpec`."""
+        if self.arrival_rate_rps is None:
+            return ArrivalSpec()
+        return poisson_arrivals(self.arrival_rate_rps)
+
+    def effective_regions(self, default: tuple[str, ...]) -> tuple[str, ...]:
+        """The deployment's regions, falling back to the figure's default."""
+        return self.regions if self.regions else default
 
 
 def agar_config_for_capacity(cache_capacity_bytes: int) -> AgarNodeConfig:

@@ -13,9 +13,11 @@ from repro.analysis.report import Table, improvement_summary
 from repro.experiments.common import (
     EVALUATION_REGIONS,
     FIG6_STRATEGIES,
+    EngineOptions,
     ExperimentSettings,
     agar_config_for_capacity,
 )
+from repro.experiments.multiregion import run_engine_comparison
 from repro.sim.simulation import AggregatedResult, run_comparison
 
 
@@ -33,12 +35,48 @@ class PolicyComparisonRow:
 def run_policy_comparison(settings: ExperimentSettings | None = None,
                           regions: tuple[str, ...] = EVALUATION_REGIONS,
                           strategies: tuple[str, ...] = FIG6_STRATEGIES,
-                          cache_capacity_bytes: int | None = None) -> list[PolicyComparisonRow]:
-    """Run the Fig. 6 / Fig. 7 comparison and return one row per (region, strategy)."""
+                          cache_capacity_bytes: int | None = None,
+                          engine: EngineOptions | None = None) -> list[PolicyComparisonRow]:
+    """Run the Fig. 6 / Fig. 7 comparison and return one row per (region, strategy).
+
+    With active ``engine`` options the comparison runs on the discrete-event
+    engine instead: all regions simulate simultaneously in one deployment per
+    strategy, with the requested client count, arrival process and (for Agar)
+    cache collaboration.
+    """
     settings = settings or ExperimentSettings.quick()
     capacity = cache_capacity_bytes or settings.cache_capacity_bytes
     workload = settings.workload(skew=1.1)
     rows: list[PolicyComparisonRow] = []
+
+    if engine is not None and engine.active:
+        deployment_regions = engine.effective_regions(regions)
+        comparison_by_strategy = run_engine_comparison(
+            workload=workload,
+            strategies=list(strategies),
+            regions=deployment_regions,
+            cache_capacity_bytes=capacity,
+            runs=settings.runs,
+            clients_per_region=engine.clients_per_region,
+            arrival=engine.arrival_spec(),
+            collaboration=engine.collaboration,
+            agar_config=agar_config_for_capacity(capacity),
+            topology_seed=settings.seed,
+        )
+        for strategy in strategies:
+            for region in deployment_regions:
+                aggregate = comparison_by_strategy[strategy][region]
+                rows.append(
+                    PolicyComparisonRow(
+                        region=region,
+                        strategy=strategy,
+                        mean_latency_ms=aggregate.mean_latency_ms,
+                        hit_ratio=aggregate.hit_ratio,
+                        full_hit_ratio=aggregate.full_hit_ratio,
+                    )
+                )
+        return rows
+
     for region in regions:
         comparison: dict[str, AggregatedResult] = run_comparison(
             workload=workload,

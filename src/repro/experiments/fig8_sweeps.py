@@ -11,16 +11,68 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import Table, improvement_summary
+from repro.core.agar_node import AgarNodeConfig
 from repro.experiments.common import (
     FIG8A_CACHE_SIZES_MB,
     FIG8B_SKEWS,
     FIG8_STRATEGIES,
     MEGABYTE,
+    EngineOptions,
     ExperimentSettings,
     agar_config_for_capacity,
 )
+from repro.experiments.multiregion import run_engine_comparison
 from repro.sim.simulation import run_comparison
 from repro.workload.workload import WorkloadSpec
+
+
+def _compare_strategies(workload: WorkloadSpec, strategies: list[str],
+                        client_region: str, cache_capacity_bytes: int,
+                        settings: ExperimentSettings,
+                        agar_config: AgarNodeConfig | None = None,
+                        engine: EngineOptions | None = None
+                        ) -> dict[str, tuple[float, float]]:
+    """One sweep point: ``{strategy: (mean_latency_ms, hit_ratio)}``.
+
+    Dispatches to the classic single-client driver, or — with active engine
+    options — to the discrete-event engine (metrics averaged over the
+    deployment's regions, which all carry the same request count).
+    """
+    if engine is not None and engine.active:
+        regions = engine.effective_regions((client_region,))
+        comparison = run_engine_comparison(
+            workload=workload,
+            strategies=strategies,
+            regions=regions,
+            cache_capacity_bytes=cache_capacity_bytes,
+            runs=settings.runs,
+            clients_per_region=engine.clients_per_region,
+            arrival=engine.arrival_spec(),
+            collaboration=engine.collaboration,
+            agar_config=agar_config,
+            topology_seed=settings.seed,
+        )
+        return {
+            strategy: (
+                sum(a.mean_latency_ms for a in per_region.values()) / len(per_region),
+                sum(a.hit_ratio for a in per_region.values()) / len(per_region),
+            )
+            for strategy, per_region in comparison.items()
+        }
+
+    comparison = run_comparison(
+        workload=workload,
+        strategies=strategies,
+        client_region=client_region,
+        cache_capacity_bytes=cache_capacity_bytes,
+        runs=settings.runs,
+        agar_config=agar_config,
+        topology_seed=settings.seed,
+    )
+    return {
+        strategy: (aggregate.mean_latency_ms, aggregate.hit_ratio)
+        for strategy, aggregate in comparison.items()
+    }
 
 
 @dataclass(frozen=True)
@@ -37,39 +89,33 @@ def run_fig8a(settings: ExperimentSettings | None = None,
               cache_sizes_mb: tuple[int, ...] = FIG8A_CACHE_SIZES_MB,
               strategies: tuple[str, ...] = FIG8_STRATEGIES,
               client_region: str = "frankfurt",
-              include_backend_bar: bool = True) -> list[SweepPoint]:
+              include_backend_bar: bool = True,
+              engine: EngineOptions | None = None) -> list[SweepPoint]:
     """Vary the cache size with the workload fixed at Zipf 1.1 (Fig. 8a)."""
     settings = settings or ExperimentSettings.quick()
     workload = settings.workload(skew=1.1)
     points: list[SweepPoint] = []
 
     if include_backend_bar:
-        comparison = run_comparison(
-            workload=workload, strategies=["backend"], client_region=client_region,
-            cache_capacity_bytes=0, runs=settings.runs, topology_seed=settings.seed,
+        metrics = _compare_strategies(
+            workload, ["backend"], client_region, 0, settings, engine=engine,
         )
         points.append(
             SweepPoint(group="0MB", strategy="backend",
-                       mean_latency_ms=comparison["backend"].mean_latency_ms,
-                       hit_ratio=comparison["backend"].hit_ratio)
+                       mean_latency_ms=metrics["backend"][0],
+                       hit_ratio=metrics["backend"][1])
         )
 
     for size_mb in cache_sizes_mb:
         capacity = size_mb * MEGABYTE
-        comparison = run_comparison(
-            workload=workload,
-            strategies=list(strategies),
-            client_region=client_region,
-            cache_capacity_bytes=capacity,
-            runs=settings.runs,
-            agar_config=agar_config_for_capacity(capacity),
-            topology_seed=settings.seed,
+        metrics = _compare_strategies(
+            workload, list(strategies), client_region, capacity, settings,
+            agar_config=agar_config_for_capacity(capacity), engine=engine,
         )
-        for strategy, aggregate in comparison.items():
+        for strategy, (mean_latency_ms, hit_ratio) in metrics.items():
             points.append(
                 SweepPoint(group=f"{size_mb}MB", strategy=strategy,
-                           mean_latency_ms=aggregate.mean_latency_ms,
-                           hit_ratio=aggregate.hit_ratio)
+                           mean_latency_ms=mean_latency_ms, hit_ratio=hit_ratio)
             )
     return points
 
@@ -79,7 +125,8 @@ def run_fig8b(settings: ExperimentSettings | None = None,
               strategies: tuple[str, ...] = FIG8_STRATEGIES,
               client_region: str = "frankfurt",
               include_uniform: bool = True,
-              include_backend_bar: bool = True) -> list[SweepPoint]:
+              include_backend_bar: bool = True,
+              engine: EngineOptions | None = None) -> list[SweepPoint]:
     """Vary the workload with the cache fixed at 10 MB (Fig. 8b)."""
     settings = settings or ExperimentSettings.quick()
     capacity = settings.cache_capacity_bytes
@@ -91,31 +138,24 @@ def run_fig8b(settings: ExperimentSettings | None = None,
     workloads.extend((f"zipf-{skew:g}", settings.workload(skew=skew)) for skew in skews)
 
     if include_backend_bar:
-        comparison = run_comparison(
-            workload=workloads[0][1], strategies=["backend"], client_region=client_region,
-            cache_capacity_bytes=0, runs=settings.runs, topology_seed=settings.seed,
+        metrics = _compare_strategies(
+            workloads[0][1], ["backend"], client_region, 0, settings, engine=engine,
         )
         points.append(
             SweepPoint(group="backend", strategy="backend",
-                       mean_latency_ms=comparison["backend"].mean_latency_ms,
-                       hit_ratio=comparison["backend"].hit_ratio)
+                       mean_latency_ms=metrics["backend"][0],
+                       hit_ratio=metrics["backend"][1])
         )
 
     for group, workload in workloads:
-        comparison = run_comparison(
-            workload=workload,
-            strategies=list(strategies),
-            client_region=client_region,
-            cache_capacity_bytes=capacity,
-            runs=settings.runs,
-            agar_config=agar_config_for_capacity(capacity),
-            topology_seed=settings.seed,
+        metrics = _compare_strategies(
+            workload, list(strategies), client_region, capacity, settings,
+            agar_config=agar_config_for_capacity(capacity), engine=engine,
         )
-        for strategy, aggregate in comparison.items():
+        for strategy, (mean_latency_ms, hit_ratio) in metrics.items():
             points.append(
                 SweepPoint(group=group, strategy=strategy,
-                           mean_latency_ms=aggregate.mean_latency_ms,
-                           hit_ratio=aggregate.hit_ratio)
+                           mean_latency_ms=mean_latency_ms, hit_ratio=hit_ratio)
             )
     return points
 

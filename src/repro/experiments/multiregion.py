@@ -1,0 +1,227 @@
+"""Multi-region deployments on the discrete-event engine.
+
+Two entry points:
+
+* :func:`run_engine_comparison` — the engine-backed counterpart of
+  ``run_comparison``: one multi-region deployment per strategy, repeated over
+  several seeds against the same warm deployment, aggregated per region.  The
+  Fig. 6/7/8 runners use it when the CLI's engine flags are active.
+* :func:`run_multiregion_scaling` — the multi-region scaling experiment: a
+  fixed deployment (default: Frankfurt + Sydney, Poisson arrivals,
+  collaboration on) swept over the number of concurrent clients per region,
+  reporting per-region mean/p99 latency, hit ratio and throughput.  This is
+  the scenario the single-client loop could not express: contention on the
+  shared per-region cache and the throughput/latency trade-off it causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import Table
+from repro.core.agar_node import AgarNodeConfig
+from repro.experiments.common import (
+    EVALUATION_REGIONS,
+    EngineOptions,
+    ExperimentSettings,
+    agar_config_for_capacity,
+)
+from repro.geo.topology import Topology
+from repro.sim.engine import EngineConfig, EventEngine, RegionRunResult, RegionSpec
+from repro.workload.workload import ArrivalSpec, WorkloadSpec, poisson_arrivals
+
+
+@dataclass(frozen=True)
+class RegionAggregate:
+    """Per-region metrics averaged over repeated engine runs."""
+
+    region: str
+    strategy: str
+    clients: int
+    runs: int
+    mean_latency_ms: float
+    p99_latency_ms: float
+    hit_ratio: float
+    full_hit_ratio: float
+    throughput_rps: float
+    per_run_latency_ms: list[float]
+
+
+def _aggregate_region(results: list[RegionRunResult]) -> RegionAggregate:
+    first = results[0]
+    latencies = [result.mean_latency_ms for result in results]
+    return RegionAggregate(
+        region=first.region,
+        strategy=first.strategy,
+        clients=first.clients,
+        runs=len(results),
+        mean_latency_ms=sum(latencies) / len(latencies),
+        p99_latency_ms=sum(r.p99_latency_ms for r in results) / len(results),
+        hit_ratio=sum(r.hit_ratio for r in results) / len(results),
+        full_hit_ratio=sum(r.stats.full_hit_ratio for r in results) / len(results),
+        throughput_rps=sum(r.throughput_rps for r in results) / len(results),
+        per_run_latency_ms=latencies,
+    )
+
+
+def run_engine_many(config: EngineConfig, runs: int, base_seed: int | None = None,
+                    topology: Topology | None = None) -> dict[str, RegionAggregate]:
+    """Repeat one engine deployment over several seeds and aggregate per region.
+
+    Runs execute against the same long-running (warm) deployment, mirroring
+    ``Simulation.run_many``'s default.
+    """
+    if runs <= 0:
+        raise ValueError("runs must be positive")
+    engine = EventEngine(config, topology=topology)
+    base = config.workload.seed if base_seed is None else base_seed
+    engine.topology.latency.reseed(config.topology_seed + base)
+    deployment = engine.build_deployment()
+
+    per_region: dict[str, list[RegionRunResult]] = {}
+    for run_index in range(runs):
+        result = engine.execute(deployment, seed=base + run_index)
+        for region, region_result in result.regions.items():
+            per_region.setdefault(region, []).append(region_result)
+    return {region: _aggregate_region(results) for region, results in per_region.items()}
+
+
+def run_engine_comparison(workload: WorkloadSpec, strategies: list[str],
+                          regions: tuple[str, ...], cache_capacity_bytes: int,
+                          runs: int = 5,
+                          clients_per_region: int = 1,
+                          arrival: ArrivalSpec | None = None,
+                          collaboration: bool = False,
+                          agar_config: AgarNodeConfig | None = None,
+                          topology_seed: int = 0,
+                          topology: Topology | None = None
+                          ) -> dict[str, dict[str, RegionAggregate]]:
+    """Engine-backed strategy comparison: one deployment per strategy.
+
+    All listed regions run simultaneously in one simulated deployment (unlike
+    the classic path, which simulates each region separately), so jitter and
+    reconfiguration interleave across regions.  Collaboration is applied only
+    to the ``agar`` strategy — the static baselines have no nodes to
+    collaborate.
+
+    Returns ``{strategy: {region: RegionAggregate}}``.
+    """
+    comparison: dict[str, dict[str, RegionAggregate]] = {}
+    for strategy in strategies:
+        config = EngineConfig(
+            workload=workload,
+            regions=tuple(
+                RegionSpec(region=region, clients=clients_per_region, strategy=strategy)
+                for region in regions
+            ),
+            cache_capacity_bytes=cache_capacity_bytes,
+            agar=agar_config,
+            topology_seed=topology_seed,
+            arrival=arrival or ArrivalSpec(),
+            collaboration=collaboration and strategy == "agar",
+        )
+        comparison[strategy] = run_engine_many(config, runs=runs, topology=topology)
+    return comparison
+
+
+# ---------------------------------------------------------------------- #
+# The multi-region scaling experiment
+# ---------------------------------------------------------------------- #
+#: Client counts swept by the scaling experiment.
+DEFAULT_CLIENT_SCALING: tuple[int, ...] = (1, 2, 4, 8)
+
+#: Default per-client Poisson arrival rate (requests/second).
+DEFAULT_ARRIVAL_RATE_RPS = 2.0
+
+
+@dataclass(frozen=True)
+class MultiRegionRow:
+    """One row of the scaling experiment's report."""
+
+    clients_per_region: int
+    region: str
+    mean_latency_ms: float
+    p99_latency_ms: float
+    hit_ratio: float
+    throughput_rps: float
+
+
+def run_multiregion_scaling(settings: ExperimentSettings | None = None,
+                            options: EngineOptions | None = None,
+                            strategy: str = "agar",
+                            client_scaling: tuple[int, ...] | None = None
+                            ) -> list[MultiRegionRow]:
+    """Sweep concurrent clients per region on a fixed multi-region deployment.
+
+    Defaults follow the acceptance scenario: two regions (Frankfurt, Sydney),
+    Poisson arrivals, collaboration on.  The sweep covers
+    ``client_scaling`` (default 1/2/4/8, extended by the requested
+    ``clients_per_region`` if it is not already included).
+    """
+    settings = settings or ExperimentSettings.quick()
+    options = options or EngineOptions(
+        regions=EVALUATION_REGIONS,
+        clients_per_region=4,
+        arrival_rate_rps=DEFAULT_ARRIVAL_RATE_RPS,
+        collaboration=True,
+    )
+    regions = options.effective_regions(EVALUATION_REGIONS)
+    arrival = options.arrival_spec()
+    if client_scaling is None:
+        client_scaling = tuple(sorted(set(DEFAULT_CLIENT_SCALING)
+                                      | {options.clients_per_region}))
+    capacity = settings.cache_capacity_bytes
+    workload = settings.workload(skew=1.1)
+
+    rows: list[MultiRegionRow] = []
+    for clients in client_scaling:
+        config = EngineConfig(
+            workload=workload,
+            regions=tuple(RegionSpec(region=region, clients=clients, strategy=strategy)
+                          for region in regions),
+            cache_capacity_bytes=capacity,
+            agar=agar_config_for_capacity(capacity),
+            topology_seed=settings.seed,
+            arrival=arrival,
+            collaboration=options.collaboration and strategy == "agar",
+        )
+        aggregates = run_engine_many(config, runs=settings.runs)
+        for region in regions:
+            aggregate = aggregates[region]
+            rows.append(
+                MultiRegionRow(
+                    clients_per_region=clients,
+                    region=region,
+                    mean_latency_ms=aggregate.mean_latency_ms,
+                    p99_latency_ms=aggregate.p99_latency_ms,
+                    hit_ratio=aggregate.hit_ratio,
+                    throughput_rps=aggregate.throughput_rps,
+                )
+            )
+    return rows
+
+
+def render_multiregion(rows: list[MultiRegionRow],
+                       options: EngineOptions | None = None) -> Table:
+    """Render the scaling experiment as a report table."""
+    title = "Multi-region scaling — per-region latency, hit ratio and throughput"
+    if options is not None:
+        loop = ("poisson @ %.2g rps" % options.arrival_rate_rps
+                if options.arrival_rate_rps else "closed loop")
+        collab = "collaboration on" if options.collaboration else "collaboration off"
+        title += f" ({loop}, {collab})"
+    table = Table(
+        title=title,
+        columns=("clients/region", "region", "mean (ms)", "p99 (ms)",
+                 "hit ratio (%)", "throughput (req/s)"),
+    )
+    for row in rows:
+        table.add_row(
+            row.clients_per_region,
+            row.region,
+            row.mean_latency_ms,
+            row.p99_latency_ms,
+            row.hit_ratio * 100.0,
+            row.throughput_rps,
+        )
+    return table

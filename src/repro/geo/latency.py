@@ -16,6 +16,7 @@ Two families of reads exist:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -73,14 +74,27 @@ class LinkProfile:
         return cls(rtt_ms=rtt_ms, bandwidth_mbps=bandwidth_mbps, jitter=jitter)
 
 
+#: Default number of standard-normal jitter draws refilled per block.
+DEFAULT_JITTER_BLOCK = 1024
+
+
 class LatencyModel:
     """Samples chunk-read latencies between regions.
+
+    Jitter draws come from a refillable block of standard-normal samples
+    (``lognormal(0, σ) = exp(σ·z)``): the generator is asked for
+    ``jitter_block`` values at a time instead of once per read, which keeps
+    the per-sample cost off the simulation's hot path.  Block and scalar
+    draws consume the same underlying bit stream, so the sampled latencies
+    are bit-identical to per-read ``Generator.lognormal`` calls for the same
+    seed.
 
     Args:
         links: mapping ``(client_region, backend_region) -> LinkProfile``.
         cache_links: mapping ``region -> LinkProfile`` describing reads from
             the region's local cache server.
         seed: seed for the jitter random number generator.
+        jitter_block: how many standard-normal samples to draw per refill.
     """
 
     def __init__(
@@ -88,11 +102,17 @@ class LatencyModel:
         links: dict[tuple[str, str], LinkProfile],
         cache_links: dict[str, LinkProfile],
         seed: int = 0,
+        jitter_block: int = DEFAULT_JITTER_BLOCK,
     ) -> None:
+        if jitter_block <= 0:
+            raise ValueError("jitter_block must be positive")
         self._links = dict(links)
         self._cache_links = dict(cache_links)
         self._rng = np.random.default_rng(seed)
         self._seed = seed
+        self._jitter_block = jitter_block
+        self._block = np.empty(0, dtype=np.float64)
+        self._block_pos = 0
 
     @property
     def seed(self) -> int:
@@ -103,6 +123,8 @@ class LatencyModel:
         """Reset the jitter generator (used to make runs independent)."""
         self._rng = np.random.default_rng(seed)
         self._seed = seed
+        self._block = np.empty(0, dtype=np.float64)
+        self._block_pos = 0
 
     def regions(self) -> list[str]:
         """All region names that appear as backend endpoints."""
@@ -143,11 +165,21 @@ class LatencyModel:
     # ------------------------------------------------------------------ #
     # Sampled latencies
     # ------------------------------------------------------------------ #
+    def _next_standard_normal(self) -> float:
+        """Next sample from the refillable standard-normal block."""
+        if self._block_pos >= self._block.shape[0]:
+            self._block = self._rng.standard_normal(self._jitter_block)
+            self._block_pos = 0
+        sample = self._block[self._block_pos]
+        self._block_pos += 1
+        return float(sample)
+
     def _apply_jitter(self, expected_ms: float, jitter: float) -> float:
         if jitter <= 0:
             return expected_ms
-        multiplier = float(self._rng.lognormal(mean=0.0, sigma=jitter))
-        return expected_ms * multiplier
+        # math.exp (libm) rather than np.exp: bit-identical to the exp inside
+        # Generator.lognormal, so batching does not perturb seeded streams.
+        return expected_ms * math.exp(jitter * self._next_standard_normal())
 
     def sample_backend_read(self, client_region: str, backend_region: str,
                             size_bytes: int = DEFAULT_CHUNK_SIZE) -> float:

@@ -1,6 +1,16 @@
-"""Simulation substrate: simulated clock and the experiment run driver."""
+"""Simulation substrate: simulated clock, the discrete-event engine and the
+classic single-client run driver."""
 
 from repro.sim.clock import SimulationClock
+from repro.sim.engine import (
+    CLIENT_SEED_STRIDE,
+    EngineConfig,
+    EngineDeployment,
+    EngineResult,
+    EventEngine,
+    RegionRunResult,
+    RegionSpec,
+)
 from repro.sim.simulation import (
     AggregatedResult,
     Simulation,
@@ -12,6 +22,13 @@ from repro.sim.simulation import (
 
 __all__ = [
     "AggregatedResult",
+    "CLIENT_SEED_STRIDE",
+    "EngineConfig",
+    "EngineDeployment",
+    "EngineResult",
+    "EventEngine",
+    "RegionRunResult",
+    "RegionSpec",
     "Simulation",
     "SimulationClock",
     "SimulationConfig",

@@ -32,6 +32,17 @@ class SimulationClock:
         """Advance by ``delta_ms`` milliseconds and return the new time."""
         return self.advance_seconds(delta_ms / 1000.0)
 
+    def advance_to(self, time_s: float) -> float:
+        """Move the clock forward to an absolute time (the event-engine path).
+
+        The clock is set to exactly ``time_s`` (no accumulation error), which
+        must not lie in the past.
+        """
+        if time_s < self._now_s:
+            raise ValueError("cannot move the clock backwards")
+        self._now_s = float(time_s)
+        return self._now_s
+
     def __call__(self) -> float:
         """Clocks are callable so they can be injected wherever a time source is needed."""
         return self._now_s

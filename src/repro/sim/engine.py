@@ -1,0 +1,484 @@
+"""The discrete-event simulation core: multi-region, multi-client deployments.
+
+The legacy driver replayed one closed-loop client in one region.  This engine
+generalises it into a discrete-event simulation: a single event queue over the
+shared :class:`~repro.sim.clock.SimulationClock` interleaves
+
+* **request arrivals** — N concurrent clients per region, each replaying its
+  own deterministic request stream, either closed-loop (the next request is
+  issued when the previous completes, YCSB-style) or open-loop (Poisson
+  arrivals at a configurable per-client rate);
+* **reconfiguration timers** — per-region cache reconfiguration fires at exact
+  period boundaries instead of piggybacking on reads;
+* **collaboration timers** — §VI cache collaboration: the regions' Agar nodes
+  periodically exchange contents through a
+  :class:`~repro.extensions.collaboration.CollaborationCoordinator` and
+  reconfigure against the discounted option values.
+
+All clients of one region share that region's strategy instance — and with it
+the region's :class:`~repro.core.agar_node.AgarNode` / chunk cache — so
+contention effects on hit ratio are simulated faithfully.
+
+Determinism contract
+--------------------
+
+Given the same :class:`EngineConfig` and run seed, a run is bit-reproducible:
+
+* client ``g`` (region-major numbering) replays the request stream seeded
+  ``seed + CLIENT_SEED_STRIDE * g`` — client 0 therefore replays exactly the
+  stream the legacy ``Simulation`` replays for the same seed;
+* Poisson arrival times come from a dedicated per-client generator seeded
+  ``(seed, _ARRIVAL_SEED_TAG, g)``, independent of the latency jitter stream;
+* events are processed in ``(time, kind, insertion order)`` order, with
+  timers before arrivals at equal timestamps, so jitter samples are drawn in
+  a deterministic order.
+
+With one region, one closed-loop client, no collaboration and piggybacked
+reconfiguration (the automatic default for that shape), the engine reproduces
+the legacy ``Simulation.run`` results bit-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.object_store import ErasureCodedStore
+from repro.cache.base import CacheSnapshot
+from repro.client.stats import LatencyStats, ReadResult
+from repro.client.strategies import ClientConfig, ReadStrategy, make_strategy
+from repro.core.agar_node import AgarNodeConfig
+from repro.erasure.chunk import ErasureCodingParams
+from repro.extensions.collaboration import CollaborationCoordinator
+from repro.geo.topology import Topology, default_topology
+from repro.sim.clock import SimulationClock
+from repro.workload.workload import (
+    ArrivalSpec,
+    Request,
+    WorkloadSpec,
+    generate_requests,
+)
+
+#: Seed stride between the request streams of concurrent clients.  Client 0
+#: uses the run seed itself, which keeps the 1-client engine path on the same
+#: stream as the legacy driver.
+CLIENT_SEED_STRIDE = 7919
+
+#: Mixed into the per-client Poisson arrival seeds so arrival times are
+#: independent of the request streams and the latency jitter.
+_ARRIVAL_SEED_TAG = 104729
+
+#: Event priorities: timers fire before request arrivals at equal timestamps,
+#: mirroring the legacy behaviour of reconfiguring before the triggering read
+#: is recorded into the new period.
+_PRIO_TIMER = 0
+_PRIO_ARRIVAL = 1
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One client region of a simulated deployment.
+
+    Attributes:
+        region: region name (must exist in the topology).
+        clients: number of concurrent clients in the region.
+        strategy: read strategy shared by the region's clients
+            (``"agar"``, ``"backend"``, ``"lru-5"``, ...).
+    """
+
+    region: str
+    clients: int = 1
+    strategy: str = "agar"
+
+    def __post_init__(self) -> None:
+        if self.clients <= 0:
+            raise ValueError("clients must be positive")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything one multi-region discrete-event run needs.
+
+    Attributes:
+        workload: per-client workload (``request_count`` reads per client).
+        regions: the client regions of the deployment.
+        cache_capacity_bytes: per-region cache capacity.
+        params: erasure-coding parameters (paper: RS(9, 3)).
+        client: client latency constants.
+        agar: Agar node tunables (``agar`` strategy regions only).
+        topology_seed: seed for latency jitter.
+        warmup_requests: per-client requests excluded from statistics.
+        arrival: arrival process shared by all clients.
+        collaboration: wire the regions' Agar nodes through a
+            :class:`CollaborationCoordinator` (§VI); requires every region to
+            run the ``agar`` strategy and implies timer-driven reconfiguration.
+        collaboration_period_s: collaborative exchange period (defaults to the
+            Agar reconfiguration period).
+        neighbor_read_ms: cross-region cache read estimate used when
+            discounting collaborative option values.
+        timer_reconfiguration: drive periodic reconfiguration from engine
+            timer events instead of the read path.  ``None`` (default) picks
+            automatically: piggybacked for the 1-region/1-client closed loop
+            (bit-compatible with the legacy driver), timer-driven otherwise.
+    """
+
+    workload: WorkloadSpec
+    regions: tuple[RegionSpec, ...]
+    cache_capacity_bytes: int = 10 * 1024 * 1024
+    params: ErasureCodingParams = ErasureCodingParams(9, 3)
+    client: ClientConfig = ClientConfig()
+    agar: AgarNodeConfig | None = None
+    topology_seed: int = 0
+    warmup_requests: int = 0
+    arrival: ArrivalSpec = ArrivalSpec()
+    collaboration: bool = False
+    collaboration_period_s: float | None = None
+    neighbor_read_ms: float = 120.0
+    timer_reconfiguration: bool | None = None
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError("at least one region is required")
+        names = [spec.region for spec in self.regions]
+        if len(set(names)) != len(names):
+            raise ValueError("regions must be distinct")
+        if self.collaboration:
+            bad = [spec.region for spec in self.regions if spec.strategy != "agar"]
+            if bad:
+                raise ValueError(
+                    f"collaboration requires the 'agar' strategy in every region "
+                    f"(offending: {bad})"
+                )
+        if self.warmup_requests < 0:
+            raise ValueError("warmup_requests must be non-negative")
+
+    @property
+    def total_clients(self) -> int:
+        """Concurrent clients across all regions."""
+        return sum(spec.clients for spec in self.regions)
+
+    @property
+    def is_legacy_shape(self) -> bool:
+        """True for the 1-region/1-client closed loop without collaboration."""
+        return (len(self.regions) == 1 and self.regions[0].clients == 1
+                and not self.arrival.is_open_loop and not self.collaboration)
+
+    @property
+    def uses_timer_reconfiguration(self) -> bool:
+        """Resolved reconfiguration mode (see ``timer_reconfiguration``)."""
+        if self.collaboration:
+            return True
+        if self.timer_reconfiguration is not None:
+            return self.timer_reconfiguration
+        return not self.is_legacy_shape
+
+
+@dataclass
+class EngineDeployment:
+    """One simulated deployment: shared store, clock and per-region strategies."""
+
+    store: ErasureCodedStore
+    clock: SimulationClock
+    strategies: list[ReadStrategy]
+    coordinator: CollaborationCoordinator | None = None
+
+
+@dataclass
+class RegionRunResult:
+    """Per-region outcome of one engine run."""
+
+    region: str
+    strategy: str
+    clients: int
+    stats: LatencyStats
+    duration_s: float
+    cache_snapshot: CacheSnapshot | None = None
+    results: list[ReadResult] = field(default_factory=list)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Average read latency of the region's clients."""
+        return self.stats.mean_latency_ms
+
+    @property
+    def p99_latency_ms(self) -> float:
+        """99th percentile read latency of the region's clients."""
+        return self.stats.p99_latency_ms
+
+    @property
+    def hit_ratio(self) -> float:
+        """Full+partial hit ratio of the region's clients."""
+        return self.stats.hit_ratio
+
+    @property
+    def throughput_rps(self) -> float:
+        """Recorded requests per second of simulated time."""
+        return self.stats.throughput_rps(self.duration_s)
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one multi-region engine run."""
+
+    workload_name: str
+    duration_s: float
+    regions: dict[str, RegionRunResult]
+
+    @property
+    def total_requests(self) -> int:
+        """Requests recorded across all regions."""
+        return sum(result.stats.count for result in self.regions.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        """Deployment-wide requests per second of simulated time."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_requests / self.duration_s
+
+    def overall_stats(self) -> LatencyStats:
+        """All regions' statistics merged into one (new) aggregate."""
+        merged = LatencyStats(capacity=1)
+        for result in self.regions.values():
+            merged = merged.merge(result.stats)
+        return merged
+
+
+class _ClientState:
+    """One client's request stream and (for open loop) arrival generator."""
+
+    __slots__ = ("region_index", "requests", "next_index", "arrival_rng")
+
+    def __init__(self, region_index: int, requests: list[Request],
+                 arrival_rng: np.random.Generator | None) -> None:
+        self.region_index = region_index
+        self.requests = requests
+        self.next_index = 0
+        self.arrival_rng = arrival_rng
+
+
+class EventEngine:
+    """Discrete-event simulation of one multi-region deployment.
+
+    Args:
+        config: the engine configuration.
+        topology: optionally reuse a topology; a fresh calibrated topology is
+            created otherwise (with ``config.topology_seed``).
+        keep_results: retain every individual :class:`ReadResult` per region
+            (memory heavy; useful for time-series analysis and tests).
+    """
+
+    def __init__(self, config: EngineConfig, topology: Topology | None = None,
+                 keep_results: bool = False) -> None:
+        self._config = config
+        self._topology = topology or default_topology(seed=config.topology_seed)
+        for spec in config.regions:
+            self._topology.validate_region(spec.region)
+        self._keep_results = keep_results
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def topology(self) -> Topology:
+        """The deployment's topology."""
+        return self._topology
+
+    # ------------------------------------------------------------------ #
+    # Deployment
+    # ------------------------------------------------------------------ #
+    def build_deployment(self) -> EngineDeployment:
+        """Create the store, clock and one strategy per region.
+
+        Strategies are built in region order, which fixes the order of the
+        warm-up probe draws from the shared jitter stream (the determinism
+        contract).
+        """
+        config = self._config
+        store = ErasureCodedStore(self._topology, params=config.params)
+        store.populate(
+            object_count=config.workload.object_count,
+            object_size=config.workload.object_size,
+            key_prefix=config.workload.key_prefix,
+        )
+        clock = SimulationClock()
+        strategies = [
+            make_strategy(
+                spec.strategy,
+                store=store,
+                client_region=spec.region,
+                cache_capacity_bytes=config.cache_capacity_bytes,
+                clock=clock,
+                client_config=config.client,
+                node_config=config.agar,
+            )
+            for spec in config.regions
+        ]
+
+        coordinator = None
+        if config.collaboration:
+            nodes = [strategy.node for strategy in strategies]
+            coordinator = CollaborationCoordinator(
+                nodes, neighbor_read_ms=config.neighbor_read_ms
+            )
+        return EngineDeployment(
+            store=store, clock=clock, strategies=strategies, coordinator=coordinator
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, seed: int | None = None) -> EngineResult:
+        """Execute one run against a freshly deployed (cold) system.
+
+        Args:
+            seed: per-run seed for the request streams, arrival processes and
+                latency jitter; defaults to the workload's seed.
+        """
+        config = self._config
+        effective_seed = config.workload.seed if seed is None else seed
+        self._topology.latency.reseed(config.topology_seed + effective_seed)
+        deployment = self.build_deployment()
+        return self.execute(deployment, effective_seed)
+
+    def execute(self, deployment: EngineDeployment, seed: int) -> EngineResult:
+        """Replay one set of request streams against an existing deployment.
+
+        The deployment — caches, popularity statistics and the clock —
+        persists across calls, which models repeated YCSB runs against a
+        long-running system (the paper's warm-cache repetition).
+        """
+        config = self._config
+        clock = deployment.clock
+        strategies = deployment.strategies
+        arrival = config.arrival
+        timer_mode = config.uses_timer_reconfiguration
+        warmup = config.warmup_requests
+        keep = self._keep_results
+        start = clock.now()
+
+        # Per-region statistics, preallocated for the expected request count.
+        per_client_requests = config.workload.request_count
+        region_stats = [
+            LatencyStats(capacity=max(spec.clients * per_client_requests, 1))
+            for spec in config.regions
+        ]
+        region_kept: list[list[ReadResult]] = [[] for _ in config.regions]
+        last_completion = start
+
+        # Client request streams (region-major numbering; client 0 replays the
+        # legacy driver's stream for the same seed).
+        clients: list[_ClientState] = []
+        for region_index, spec in enumerate(config.regions):
+            for _ in range(spec.clients):
+                global_index = len(clients)
+                stream_seed = seed + CLIENT_SEED_STRIDE * global_index
+                requests = generate_requests(config.workload, seed=stream_seed)
+                arrival_rng = None
+                if arrival.is_open_loop:
+                    arrival_rng = np.random.default_rng(
+                        (seed, _ARRIVAL_SEED_TAG, global_index)
+                    )
+                clients.append(_ClientState(region_index, requests, arrival_rng))
+
+        # Event queue: (time, priority, insertion seq, payload).
+        heap: list[tuple[float, int, int, tuple]] = []
+        seq = 0
+
+        def push(time_s: float, priority: int, payload: tuple) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time_s, priority, seq, payload))
+            seq += 1
+
+        outstanding = 0
+        mean_interarrival = arrival.mean_interarrival_s if arrival.is_open_loop else 0.0
+        for global_index, state in enumerate(clients):
+            if not state.requests:
+                continue
+            outstanding += len(state.requests)
+            if arrival.is_open_loop:
+                first = start + state.arrival_rng.exponential(mean_interarrival)
+            else:
+                first = start
+            push(first, _PRIO_ARRIVAL, ("arrival", global_index))
+
+        # Periodic timers: either one collaborative exchange for the whole
+        # deployment, or one reconfiguration timer per region with periodic
+        # work.  In timer mode the strategies' own period checks are disabled.
+        if timer_mode:
+            for strategy in strategies:
+                strategy.set_external_reconfiguration(True)
+            if deployment.coordinator is not None:
+                period = config.collaboration_period_s
+                if period is None:
+                    agar = config.agar or AgarNodeConfig()
+                    period = agar.reconfiguration_period_s
+                push(start + period, _PRIO_TIMER, ("collab", period))
+            else:
+                for region_index, strategy in enumerate(strategies):
+                    period = strategy.reconfiguration_period_s
+                    if period is not None:
+                        push(start + period, _PRIO_TIMER, ("reconfig", region_index, period))
+
+        advance_to = clock.advance_to
+        while heap:
+            time_s, _priority, _seq, payload = heapq.heappop(heap)
+            kind = payload[0]
+            if kind == "arrival":
+                global_index = payload[1]
+                state = clients[global_index]
+                request = state.requests[state.next_index]
+                state.next_index += 1
+                region_index = state.region_index
+                advance_to(time_s)
+                result = strategies[region_index].read(request.key, now=time_s)
+                completion = time_s + result.latency_ms / 1000.0
+                if completion > last_completion:
+                    last_completion = completion
+                if request.sequence >= warmup:
+                    region_stats[region_index].record(result)
+                if keep:
+                    region_kept[region_index].append(result)
+                outstanding -= 1
+                if state.next_index < len(state.requests):
+                    if arrival.is_open_loop:
+                        next_time = time_s + state.arrival_rng.exponential(mean_interarrival)
+                    else:
+                        next_time = completion
+                    push(next_time, _PRIO_ARRIVAL, ("arrival", global_index))
+            elif outstanding > 0:
+                # Timers only fire (and reschedule) while requests remain.
+                advance_to(time_s)
+                if kind == "collab":
+                    period = payload[1]
+                    deployment.coordinator.reconfigure_all(time_s)
+                    push(time_s + period, _PRIO_TIMER, ("collab", period))
+                else:
+                    region_index, period = payload[1], payload[2]
+                    strategies[region_index].tick(time_s)
+                    push(time_s + period, _PRIO_TIMER, ("reconfig", region_index, period))
+
+        end = max(clock.now(), last_completion)
+        advance_to(end)
+        duration = end - start
+
+        regions: dict[str, RegionRunResult] = {}
+        for region_index, spec in enumerate(config.regions):
+            regions[spec.region] = RegionRunResult(
+                region=spec.region,
+                strategy=spec.strategy,
+                clients=spec.clients,
+                stats=region_stats[region_index],
+                duration_s=duration,
+                cache_snapshot=strategies[region_index].cache_snapshot(),
+                results=region_kept[region_index],
+            )
+        return EngineResult(
+            workload_name=config.workload.name,
+            duration_s=duration,
+            regions=regions,
+        )

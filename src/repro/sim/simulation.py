@@ -1,10 +1,17 @@
-"""The simulation driver: one client, one region, one strategy, one workload.
+"""The classic experiment driver: one client, one region, one strategy.
 
 A :class:`Simulation` stands in for one of the paper's experiment runs: it
 populates the geo-distributed store with the workload's objects, builds a read
 strategy (Backend, LRU-c, LFU-c or Agar) in the chosen client region, replays
 the request stream as a closed loop (the clock advances by each read's
 latency) and aggregates the statistics the figures report.
+
+Since the discrete-event refactor this driver is the 1-client / 1-region
+special case of :class:`~repro.sim.engine.EventEngine`: :meth:`Simulation.run`
+builds a single-region engine configuration and executes it, which is
+bit-identical to the original closed loop (see the engine's determinism
+contract).  The pre-engine loop is retained as :meth:`Simulation.run_legacy`,
+the reference implementation the equivalence test suite compares against.
 
 ``run_comparison`` repeats a set of strategies over several seeds — the
 paper's "averages of 5 runs" — and returns per-strategy aggregates.
@@ -24,6 +31,7 @@ from repro.core.agar_node import AgarNodeConfig
 from repro.erasure.chunk import ErasureCodingParams
 from repro.geo.topology import Topology, default_topology
 from repro.sim.clock import SimulationClock
+from repro.sim.engine import EngineConfig, EngineResult, EventEngine, RegionSpec
 from repro.workload.workload import WorkloadSpec, generate_requests
 
 
@@ -53,6 +61,20 @@ class SimulationConfig:
     agar: AgarNodeConfig | None = None
     topology_seed: int = 0
     warmup_requests: int = 0
+
+    def engine_config(self) -> EngineConfig:
+        """This configuration as a 1-client/1-region engine configuration."""
+        return EngineConfig(
+            workload=self.workload,
+            regions=(RegionSpec(region=self.client_region, clients=1,
+                                strategy=self.strategy),),
+            cache_capacity_bytes=self.cache_capacity_bytes,
+            params=self.params,
+            client=self.client,
+            agar=self.agar,
+            topology_seed=self.topology_seed,
+            warmup_requests=self.warmup_requests,
+        )
 
 
 @dataclass
@@ -95,7 +117,7 @@ class AggregatedResult:
 
 
 class Simulation:
-    """One simulated experiment run.
+    """One simulated experiment run (1-client special case of the engine).
 
     Args:
         config: the simulation configuration.
@@ -111,11 +133,19 @@ class Simulation:
         self._topology = topology or default_topology(seed=config.topology_seed)
         self._topology.validate_region(config.client_region)
         self._keep_results = keep_results
+        self._engine = EventEngine(
+            config.engine_config(), topology=self._topology, keep_results=keep_results
+        )
 
     @property
     def config(self) -> SimulationConfig:
         """The simulation configuration."""
         return self._config
+
+    @property
+    def engine(self) -> EventEngine:
+        """The discrete-event engine backing this driver."""
+        return self._engine
 
     def build_store(self) -> ErasureCodedStore:
         """Create and populate the store with the workload's objects."""
@@ -127,60 +157,16 @@ class Simulation:
         )
         return store
 
-    def _build_system(self):
-        """Create the store, clock and strategy of one simulated deployment."""
-        config = self._config
-        store = self.build_store()
-        clock = SimulationClock()
-        strategy = make_strategy(
-            config.strategy,
-            store=store,
-            client_region=config.client_region,
-            cache_capacity_bytes=config.cache_capacity_bytes,
-            clock=clock,
-            client_config=config.client,
-            node_config=config.agar,
-        )
-        return store, clock, strategy
-
-    def _execute(self, strategy, clock, seed: int) -> SimulationResult:
-        """Replay one request stream against an existing deployment.
-
-        The loop is allocation-free on the driver side: statistics go into
-        :class:`LatencyStats`' preallocated buffers and per-request
-        :class:`ReadResult` objects are retained only when ``keep_results``
-        was requested.
-        """
-        config = self._config
-        requests = generate_requests(config.workload, seed=seed)
-        stats = LatencyStats(capacity=max(len(requests), 1))
-        kept: list[ReadResult] = []
-        start = clock.now()
-
-        read = strategy.read
-        now = clock.now
-        advance = clock.advance_ms
-        record = stats.record
-        warmup = config.warmup_requests
-        keep = self._keep_results
-        append = kept.append
-
-        for request in requests:
-            result = read(request.key, now=now())
-            advance(result.latency_ms)
-            if request.sequence >= warmup:
-                record(result)
-            if keep:
-                append(result)
-
+    def _to_simulation_result(self, engine_result: EngineResult) -> SimulationResult:
+        region_result = engine_result.regions[self._config.client_region]
         return SimulationResult(
-            strategy=config.strategy,
-            client_region=config.client_region,
-            workload_name=config.workload.name,
-            stats=stats,
-            duration_s=clock.now() - start,
-            cache_snapshot=strategy.cache_snapshot(),
-            results=kept,
+            strategy=self._config.strategy,
+            client_region=self._config.client_region,
+            workload_name=self._config.workload.name,
+            stats=region_result.stats,
+            duration_s=region_result.duration_s,
+            cache_snapshot=region_result.cache_snapshot,
+            results=region_result.results,
         )
 
     def run(self, seed: int | None = None) -> SimulationResult:
@@ -190,11 +176,8 @@ class Simulation:
             seed: per-run seed for the request stream and latency jitter;
                 defaults to the workload's seed.
         """
-        config = self._config
-        effective_seed = config.workload.seed if seed is None else seed
-        self._topology.latency.reseed(config.topology_seed + effective_seed)
-        _, clock, strategy = self._build_system()
-        return self._execute(strategy, clock, effective_seed)
+        effective_seed = self._config.workload.seed if seed is None else seed
+        return self._to_simulation_result(self._engine.run(seed=effective_seed))
 
     def run_many(self, runs: int = 5, base_seed: int | None = None,
                  flush_between_runs: bool = False) -> AggregatedResult:
@@ -218,12 +201,62 @@ class Simulation:
             return aggregate_results(results)
 
         self._topology.latency.reseed(self._config.topology_seed + base)
-        _, clock, strategy = self._build_system()
+        deployment = self._engine.build_deployment()
         results = [
-            self._execute(strategy, clock, seed=base + run_index)
+            self._to_simulation_result(
+                self._engine.execute(deployment, seed=base + run_index)
+            )
             for run_index in range(runs)
         ]
         return aggregate_results(results)
+
+    # ------------------------------------------------------------------ #
+    # Reference implementation (pre-engine closed loop)
+    # ------------------------------------------------------------------ #
+    def run_legacy(self, seed: int | None = None) -> SimulationResult:
+        """The original closed-loop driver, kept as a reference.
+
+        The engine path must reproduce this bit-identically for the 1-client
+        closed loop; ``tests/sim/test_engine.py`` asserts it.
+        """
+        config = self._config
+        effective_seed = config.workload.seed if seed is None else seed
+        self._topology.latency.reseed(config.topology_seed + effective_seed)
+
+        store = self.build_store()
+        clock = SimulationClock()
+        strategy = make_strategy(
+            config.strategy,
+            store=store,
+            client_region=config.client_region,
+            cache_capacity_bytes=config.cache_capacity_bytes,
+            clock=clock,
+            client_config=config.client,
+            node_config=config.agar,
+        )
+
+        requests = generate_requests(config.workload, seed=effective_seed)
+        stats = LatencyStats(capacity=max(len(requests), 1))
+        kept: list[ReadResult] = []
+        start = clock.now()
+
+        for request in requests:
+            result = strategy.read(request.key, now=clock.now())
+            clock.advance_ms(result.latency_ms)
+            if request.sequence >= config.warmup_requests:
+                stats.record(result)
+            if self._keep_results:
+                kept.append(result)
+
+        return SimulationResult(
+            strategy=config.strategy,
+            client_region=config.client_region,
+            workload_name=config.workload.name,
+            stats=stats,
+            duration_s=clock.now() - start,
+            cache_snapshot=strategy.cache_snapshot(),
+            results=kept,
+        )
 
 
 def aggregate_results(results: list[SimulationResult]) -> AggregatedResult:
@@ -249,10 +282,11 @@ def aggregate_results(results: list[SimulationResult]) -> AggregatedResult:
 
 
 def _run_strategy_comparison(config: SimulationConfig, runs: int,
-                             topology: Topology | None) -> AggregatedResult:
+                             topology: Topology | None,
+                             flush_between_runs: bool = False) -> AggregatedResult:
     """Worker body for one strategy (module-level so it pickles)."""
     simulation = Simulation(config, topology=topology)
-    return simulation.run_many(runs=runs)
+    return simulation.run_many(runs=runs, flush_between_runs=flush_between_runs)
 
 
 def run_comparison(workload: WorkloadSpec, strategies: list[str], client_region: str,
@@ -261,6 +295,8 @@ def run_comparison(workload: WorkloadSpec, strategies: list[str], client_region:
                    client_config: ClientConfig | None = None,
                    topology: Topology | None = None,
                    topology_seed: int = 0,
+                   warmup_requests: int = 0,
+                   flush_between_runs: bool = False,
                    parallel: bool = False,
                    max_workers: int | None = None) -> dict[str, AggregatedResult]:
     """Run several strategies under identical conditions and aggregate each.
@@ -268,6 +304,12 @@ def run_comparison(workload: WorkloadSpec, strategies: list[str], client_region:
     This is the workhorse of the Fig. 6/7/8 experiments.
 
     Args:
+        warmup_requests: per-run requests excluded from the statistics (0
+            reproduces the paper, which includes cold misses).
+        flush_between_runs: if True every repetition starts against a cold,
+            freshly deployed system; the default False repeats runs against
+            the same long-running deployment — the paper's warm-cache
+            repetition.
         parallel: fan the per-strategy simulations out across worker
             processes.  Results are identical to the sequential path — every
             strategy reseeds its topology jitter before running, so the only
@@ -284,6 +326,7 @@ def run_comparison(workload: WorkloadSpec, strategies: list[str], client_region:
             agar=agar_config,
             client=client_config or ClientConfig(),
             topology_seed=topology_seed,
+            warmup_requests=warmup_requests,
         )
         for strategy in strategies
     }
@@ -293,12 +336,13 @@ def run_comparison(workload: WorkloadSpec, strategies: list[str], client_region:
         if workers > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    strategy: pool.submit(_run_strategy_comparison, config, runs, topology)
+                    strategy: pool.submit(_run_strategy_comparison, config, runs,
+                                          topology, flush_between_runs)
                     for strategy, config in configs.items()
                 }
                 return {strategy: future.result() for strategy, future in futures.items()}
 
     return {
-        strategy: _run_strategy_comparison(config, runs, topology)
+        strategy: _run_strategy_comparison(config, runs, topology, flush_between_runs)
         for strategy, config in configs.items()
     }

@@ -1,12 +1,17 @@
 """Workload substrate: YCSB-style request generation (read-only, Zipfian/uniform)."""
 
 from repro.workload.workload import (
+    ARRIVAL_CLOSED,
+    ARRIVAL_POISSON,
     DEFAULT_KEY_PREFIX,
     PAPER_WORKLOAD,
+    ArrivalSpec,
+    MultiRegionWorkload,
     Request,
     WorkloadSpec,
     generate_requests,
     iter_requests,
+    poisson_arrivals,
     request_frequency,
     uniform_workload,
     zipfian_workload,
@@ -20,8 +25,12 @@ from repro.workload.zipfian import (
 )
 
 __all__ = [
+    "ARRIVAL_CLOSED",
+    "ARRIVAL_POISSON",
+    "ArrivalSpec",
     "DEFAULT_KEY_PREFIX",
     "KeyDistribution",
+    "MultiRegionWorkload",
     "PAPER_WORKLOAD",
     "Request",
     "UniformDistribution",
@@ -29,6 +38,7 @@ __all__ = [
     "ZipfianDistribution",
     "generate_requests",
     "iter_requests",
+    "poisson_arrivals",
     "request_frequency",
     "top_k_share",
     "uniform_workload",

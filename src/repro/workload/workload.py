@@ -94,6 +94,98 @@ class WorkloadSpec:
 #: The paper's default workload (§V-A): 300 × 1 MB objects, 1,000 reads, Zipf 1.1.
 PAPER_WORKLOAD = WorkloadSpec()
 
+#: Arrival-process names understood by :class:`ArrivalSpec` and the engine.
+ARRIVAL_CLOSED = "closed"
+ARRIVAL_POISSON = "poisson"
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalSpec:
+    """How each client paces its requests.
+
+    Attributes:
+        process: ``"closed"`` — the next request is issued when the previous
+            one completes (YCSB's closed loop, the paper's setting) — or
+            ``"poisson"`` — open-loop Poisson arrivals independent of
+            completions.
+        rate_rps: mean arrival rate per client in requests/second (Poisson
+            only).
+    """
+
+    process: str = ARRIVAL_CLOSED
+    rate_rps: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.process not in (ARRIVAL_CLOSED, ARRIVAL_POISSON):
+            raise ValueError("process must be 'closed' or 'poisson'")
+        if self.process == ARRIVAL_POISSON:
+            if self.rate_rps is None or self.rate_rps <= 0:
+                raise ValueError("poisson arrivals need a positive rate_rps")
+        elif self.rate_rps is not None:
+            raise ValueError("closed-loop arrivals take no rate_rps")
+
+    @property
+    def is_open_loop(self) -> bool:
+        """True for arrival processes decoupled from request completions."""
+        return self.process == ARRIVAL_POISSON
+
+    @property
+    def mean_interarrival_s(self) -> float:
+        """Mean time between arrivals of one client (Poisson only)."""
+        if self.rate_rps is None:
+            raise ValueError("closed-loop arrivals have no arrival rate")
+        return 1.0 / self.rate_rps
+
+
+def poisson_arrivals(rate_rps: float) -> ArrivalSpec:
+    """Open-loop Poisson arrivals at ``rate_rps`` requests/second per client."""
+    return ArrivalSpec(process=ARRIVAL_POISSON, rate_rps=rate_rps)
+
+
+@dataclass(frozen=True)
+class MultiRegionWorkload:
+    """A deployment-wide workload: one request stream per client per region.
+
+    Every client replays an independent stream drawn from ``base`` (with a
+    distinct derived seed), so ``request_count`` is per client and the
+    deployment issues ``total_clients * request_count`` reads.
+
+    Attributes:
+        base: the per-client workload specification.
+        regions: client regions of the deployment.
+        clients_per_region: concurrent clients per region.
+        arrival: arrival process shared by all clients.
+    """
+
+    base: WorkloadSpec
+    regions: tuple[str, ...]
+    clients_per_region: int = 1
+    arrival: ArrivalSpec = ArrivalSpec()
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError("at least one region is required")
+        if len(set(self.regions)) != len(self.regions):
+            raise ValueError("regions must be distinct")
+        if self.clients_per_region <= 0:
+            raise ValueError("clients_per_region must be positive")
+
+    @property
+    def total_clients(self) -> int:
+        """Number of concurrent clients across all regions."""
+        return len(self.regions) * self.clients_per_region
+
+    @property
+    def total_requests(self) -> int:
+        """Total reads the deployment issues per run."""
+        return self.total_clients * self.base.request_count
+
+    @property
+    def name(self) -> str:
+        """Report label, e.g. ``"zipf-1.1 x2regions x4clients"``."""
+        return (f"{self.base.name} x{len(self.regions)}regions "
+                f"x{self.clients_per_region}clients")
+
 
 def uniform_workload(request_count: int = 1000, object_count: int = 300,
                      object_size: int = DEFAULT_OBJECT_SIZE, seed: int = 42) -> WorkloadSpec:

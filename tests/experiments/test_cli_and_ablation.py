@@ -53,3 +53,69 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"], out=io.StringIO())
+
+    def test_invalid_engine_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--clients-per-region", "0"], out=io.StringIO())
+        with pytest.raises(SystemExit):
+            main(["fig6", "--arrival-rate", "-1"], out=io.StringIO())
+
+
+class TestCliEngine:
+    """The ISSUE 2 acceptance scenario: a deterministic multi-region run with
+    Poisson arrivals and collaboration, reported per region via the CLI."""
+
+    def test_multiregion_defaults(self, monkeypatch):
+        from repro.experiments import cli as cli_module
+        from repro.experiments.common import ExperimentSettings as Settings
+
+        # Shrink the quick settings so the scaling sweep stays test-sized.
+        tiny = Settings(runs=1, request_count=80, object_count=40, seed=3)
+        monkeypatch.setattr(cli_module, "_settings", lambda args: tiny)
+
+        out = io.StringIO()
+        assert main(["multiregion", "--quick"], out=out) == 0
+        text = out.getvalue()
+        assert "Multi-region scaling" in text
+        assert "poisson" in text
+        assert "collaboration on" in text
+        for region in ("frankfurt", "sydney"):
+            assert region in text
+        for column in ("mean (ms)", "p99 (ms)", "hit ratio (%)", "throughput (req/s)"):
+            assert column in text
+
+    def test_fig6_engine_flags(self, monkeypatch):
+        from repro.experiments import cli as cli_module
+        from repro.experiments.common import ExperimentSettings as Settings
+
+        tiny = Settings(runs=1, request_count=60, object_count=30, seed=3)
+        monkeypatch.setattr(cli_module, "_settings", lambda args: tiny)
+
+        out = io.StringIO()
+        assert main(
+            ["fig6", "--quick", "--regions", "frankfurt,sydney",
+             "--clients-per-region", "2", "--arrival-rate", "4",
+             "--collaboration"],
+            out=out,
+        ) == 0
+        text = out.getvalue()
+        assert "Figure 6" in text
+        assert "frankfurt" in text and "sydney" in text
+
+    def test_multiregion_runs_are_deterministic(self):
+        from repro.experiments.common import EngineOptions, ExperimentSettings as Settings
+        from repro.experiments.multiregion import run_multiregion_scaling
+
+        tiny = Settings(runs=1, request_count=60, object_count=30, seed=3)
+        options = EngineOptions(
+            regions=("frankfurt", "sydney"), clients_per_region=4,
+            arrival_rate_rps=2.0, collaboration=True,
+        )
+        first = run_multiregion_scaling(tiny, options=options, client_scaling=(4,))
+        second = run_multiregion_scaling(tiny, options=options, client_scaling=(4,))
+        assert first == second
+        assert {row.region for row in first} == {"frankfurt", "sydney"}
+        for row in first:
+            assert row.mean_latency_ms > 0
+            assert row.p99_latency_ms >= row.mean_latency_ms
+            assert row.throughput_rps > 0

@@ -1,5 +1,6 @@
 """Tests for link profiles and the latency model."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -93,3 +94,66 @@ class TestLatencyModel:
         small = model.expected_backend_read("a", "b", size_bytes=1000)
         large = model.expected_backend_read("a", "b", size_bytes=DEFAULT_CHUNK_SIZE * 4)
         assert large > small
+
+
+def batched_model(seed: int, jitter_block: int = 1024) -> LatencyModel:
+    links = {
+        ("a", "a"): LinkProfile.from_expected(50.0, jitter=0.08),
+        ("a", "b"): LinkProfile.from_expected(500.0, jitter=0.3),
+    }
+    caches = {"a": LinkProfile.from_expected(10.0, jitter=0.06)}
+    return LatencyModel(links, caches, seed=seed, jitter_block=jitter_block)
+
+
+class TestBatchedJitterSampling:
+    """The refillable sample block must reproduce the per-read
+    ``Generator.lognormal`` stream bit-identically (ROADMAP open item)."""
+
+    def _reference_stream(self, seed: int, sigmas: list[float]) -> list[float]:
+        """What the pre-batching implementation drew: one scalar lognormal per
+        jittered sample, in call order."""
+        rng = np.random.default_rng(seed)
+        return [float(rng.lognormal(mean=0.0, sigma=sigma)) for sigma in sigmas]
+
+    def test_identical_stream_for_same_seed(self):
+        model = batched_model(seed=123)
+        calls = [("backend", "a", "a", 0.08), ("backend", "a", "b", 0.3),
+                 ("cache", "a", None, 0.06)] * 40
+        sampled = []
+        for kind, client, backend, _sigma in calls:
+            if kind == "backend":
+                expected = model.expected_backend_read(client, backend)
+                sampled.append(model.sample_backend_read(client, backend))
+            else:
+                expected = model.expected_cache_read(client)
+                sampled.append(model.sample_cache_read(client))
+            assert sampled[-1] > 0
+        multipliers = self._reference_stream(123, [call[3] for call in calls])
+        expecteds = []
+        for kind, client, backend, _sigma in calls:
+            if kind == "backend":
+                expecteds.append(model.expected_backend_read(client, backend))
+            else:
+                expecteds.append(model.expected_cache_read(client))
+        reference = [expected * multiplier
+                     for expected, multiplier in zip(expecteds, multipliers)]
+        assert sampled == reference
+
+    def test_block_refill_boundary(self):
+        """Streams are identical regardless of the refill block size."""
+        tiny = batched_model(seed=9, jitter_block=3)
+        large = batched_model(seed=9, jitter_block=4096)
+        tiny_samples = [tiny.sample_backend_read("a", "b") for _ in range(50)]
+        large_samples = [large.sample_backend_read("a", "b") for _ in range(50)]
+        assert tiny_samples == large_samples
+
+    def test_reseed_resets_block(self):
+        model = batched_model(seed=5)
+        first = [model.sample_backend_read("a", "b") for _ in range(7)]
+        model.reseed(5)
+        second = [model.sample_backend_read("a", "b") for _ in range(7)]
+        assert first == second
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            batched_model(seed=1, jitter_block=0)

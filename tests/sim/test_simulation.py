@@ -164,3 +164,33 @@ class TestRunComparison:
             parallel=True,
         )
         assert set(comparison) == {"backend"}
+
+    def test_warmup_requests_exposed(self):
+        """ISSUE 2 satellite: the comparison API must expose warm-up exclusion."""
+        kwargs = dict(
+            workload=small_workload(requests=50, objects=10),
+            strategies=["lru-5"],
+            client_region="frankfurt",
+            cache_capacity_bytes=5 * MEGABYTE,
+            runs=2,
+        )
+        full = run_comparison(**kwargs)
+        warmed = run_comparison(**kwargs, warmup_requests=20)
+        # 20 of 50 requests per run are excluded from the statistics, and the
+        # excluded cold misses can only improve the reported latency.
+        assert warmed["lru-5"].mean_latency_ms <= full["lru-5"].mean_latency_ms
+
+    def test_flush_between_runs_exposed(self):
+        """ISSUE 2 satellite: warm-cache repetition through the comparison API."""
+        kwargs = dict(
+            workload=small_workload(requests=80, objects=10),
+            strategies=["lfu-9"],
+            client_region="frankfurt",
+            cache_capacity_bytes=10 * MEGABYTE,
+            runs=2,
+        )
+        warm = run_comparison(**kwargs, flush_between_runs=False)
+        cold = run_comparison(**kwargs, flush_between_runs=True)
+        assert warm["lfu-9"].per_run_latency_ms[1] <= cold["lfu-9"].per_run_latency_ms[1]
+        # Cold repetitions restart the deployment, so both runs look alike.
+        assert cold["lfu-9"].runs == warm["lfu-9"].runs == 2

@@ -3,10 +3,15 @@
 import pytest
 
 from repro.workload.workload import (
+    ARRIVAL_CLOSED,
+    ARRIVAL_POISSON,
     PAPER_WORKLOAD,
+    ArrivalSpec,
+    MultiRegionWorkload,
     WorkloadSpec,
     generate_requests,
     iter_requests,
+    poisson_arrivals,
     request_frequency,
     uniform_workload,
     zipfian_workload,
@@ -76,3 +81,51 @@ class TestRequestGeneration:
         spec = zipfian_workload(1.1, request_count=200, object_count=25, seed=1)
         ranks = {int(request.key.split("-")[1]) for request in generate_requests(spec)}
         assert max(ranks) < 25
+
+
+class TestArrivalSpec:
+    def test_defaults_to_closed_loop(self):
+        spec = ArrivalSpec()
+        assert spec.process == ARRIVAL_CLOSED
+        assert not spec.is_open_loop
+        with pytest.raises(ValueError):
+            spec.mean_interarrival_s  # noqa: B018
+
+    def test_poisson(self):
+        spec = poisson_arrivals(4.0)
+        assert spec.process == ARRIVAL_POISSON
+        assert spec.is_open_loop
+        assert spec.mean_interarrival_s == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(process="uniform")
+        with pytest.raises(ValueError):
+            ArrivalSpec(process=ARRIVAL_POISSON)
+        with pytest.raises(ValueError):
+            ArrivalSpec(process=ARRIVAL_POISSON, rate_rps=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(process=ARRIVAL_CLOSED, rate_rps=1.0)
+
+
+class TestMultiRegionWorkload:
+    def test_totals_and_name(self):
+        deployment = MultiRegionWorkload(
+            base=zipfian_workload(1.1, request_count=100, object_count=20),
+            regions=("frankfurt", "sydney"),
+            clients_per_region=4,
+            arrival=poisson_arrivals(2.0),
+        )
+        assert deployment.total_clients == 8
+        assert deployment.total_requests == 800
+        assert "x2regions" in deployment.name
+        assert "x4clients" in deployment.name
+
+    def test_validation(self):
+        base = zipfian_workload(1.1, request_count=10, object_count=5)
+        with pytest.raises(ValueError):
+            MultiRegionWorkload(base=base, regions=())
+        with pytest.raises(ValueError):
+            MultiRegionWorkload(base=base, regions=("a", "a"))
+        with pytest.raises(ValueError):
+            MultiRegionWorkload(base=base, regions=("a",), clients_per_region=0)
