@@ -1,11 +1,21 @@
-"""Benchmark of the discrete-event engine's multi-client replay loop.
+"""Benchmarks of the discrete-event engine's replay loops.
 
-Guards the engine's per-event overhead: a two-region deployment with four
-open-loop clients per region, collaboration on — the ISSUE 2 acceptance
-scenario at benchmark scale.  The measured body excludes deployment
-construction (store population and warm-up probes) so the number tracks the
-event loop itself.
+Two guarded benchmarks:
+
+* ``test_bench_engine_multi_client`` — the ISSUE 2 acceptance scenario at
+  benchmark scale (2 regions × 4 Poisson clients, collaboration on); guards
+  the engine's per-event overhead on the collaborative shape.
+* ``test_bench_engine_scale_closed_loop`` — the ISSUE 3 acceptance scenario:
+  256 closed-loop clients per region × 2 regions through the calendar/lane
+  scheduler.  Also runs the retained PR 2 heap loop
+  (``execute_reference``) once, cold-for-cold, and emits the speedup so the
+  ≥3× acceptance criterion is visible in every bench run.
+
+The measured bodies exclude deployment construction (store population and
+warm-up probes) so the numbers track the event loops themselves.
 """
+
+import time
 
 from conftest import emit
 
@@ -47,3 +57,55 @@ def test_bench_engine_multi_client(benchmark, settings):
     assert total == 8 * workload.request_count
     for region_result in result.regions.values():
         assert region_result.stats.count == 4 * workload.request_count
+
+
+def test_bench_engine_scale_closed_loop(benchmark, settings):
+    """Lane-scheduler throughput at 256 clients x 2 regions, closed loop.
+
+    The ISSUE 3 acceptance scenario: the engine must sustain >= 3x the PR 2
+    heap loop's requests/s of simulated work on this shape.  The benchmark
+    times the lane scheduler (`execute`); one cold pass of the retained heap
+    loop (`execute_reference`) is timed outside the benchmark body and the
+    cold-for-cold speedup is emitted alongside.
+    """
+    workload = zipfian_workload(
+        1.1, request_count=20, object_count=settings.object_count, seed=settings.seed,
+    )
+    config = EngineConfig(
+        workload=workload,
+        regions=(
+            RegionSpec(region="frankfurt", clients=256),
+            RegionSpec(region="sydney", clients=256),
+        ),
+        cache_capacity_bytes=10 * MEGABYTE,
+        topology_seed=settings.seed,
+    )
+
+    def build_deployment():
+        engine = EventEngine(config)
+        engine.topology.latency.reseed(config.topology_seed + 1)
+        return engine, engine.build_deployment()
+
+    reference_engine, reference_deployment = build_deployment()
+    start = time.perf_counter()
+    reference_result = reference_engine.execute_reference(reference_deployment, 1)
+    reference_s = time.perf_counter() - start
+
+    fast_engine, fast_deployment = build_deployment()
+    start = time.perf_counter()
+    result = fast_engine.execute(fast_deployment, 1)
+    fast_cold_s = time.perf_counter() - start
+
+    # The benchmark then measures warm repetitions against the same deployment.
+    result = benchmark(fast_engine.execute, fast_deployment, 1)
+
+    total = result.total_requests
+    emit(
+        "engine scale (256 clients x 2 regions, closed loop)",
+        f"{total} requests; lane scheduler {fast_cold_s * 1000:.0f} ms cold "
+        f"({total / fast_cold_s:.0f} req/s) vs reference heap loop "
+        f"{reference_s * 1000:.0f} ms ({total / reference_s:.0f} req/s): "
+        f"{reference_s / fast_cold_s:.2f}x cold-for-cold",
+    )
+    assert total == 512 * workload.request_count
+    assert reference_result.total_requests == total

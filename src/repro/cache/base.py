@@ -25,6 +25,8 @@ class CacheEntry:
         inserted_at: logical or simulated time of insertion.
         last_access: logical or simulated time of the most recent hit.
         access_count: number of hits since insertion.
+        chunk: the stored chunk itself.  Kept on the entry (rather than in a
+            second id-keyed dict) so a cache hit costs one hash probe.
     """
 
     chunk_id: ChunkId
@@ -32,6 +34,7 @@ class CacheEntry:
     inserted_at: float
     last_access: float
     access_count: int = 0
+    chunk: object | None = None
 
     @property
     def key(self) -> str:

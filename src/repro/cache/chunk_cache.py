@@ -47,9 +47,16 @@ class ChunkCache:
             raise ValueError("capacity_bytes must be non-negative")
         self._capacity = capacity_bytes
         self._policy = policy or LRUEvictionPolicy()
+        # Policies that leave on_access at the base-class no-op (e.g. Agar's
+        # pinned configuration) skip the hook call on every hit; detected by
+        # identity so an overriding subclass always gets called.
+        self._access_hook = (
+            None
+            if type(self._policy).on_access is EvictionPolicy.on_access
+            else self._policy.on_access
+        )
         self._region = region
         self._entries: dict[ChunkId, CacheEntry] = {}
-        self._payloads: dict[ChunkId, Chunk] = {}
         self._used = 0
         self._ticks = 0
         self._clock = clock
@@ -105,12 +112,20 @@ class ChunkCache:
         if entry is None:
             self.stats.chunk_misses += 1
             return None
-        now = self._now()
-        entry.last_access = now
+        # _now() inlined: this lookup sits on the simulation's per-chunk path.
+        clock = self._clock
+        if clock is not None:
+            now = clock()
+            entry.last_access = now if type(now) is float else float(now)
+        else:
+            self._ticks += 1
+            entry.last_access = float(self._ticks)
         entry.access_count += 1
-        self._policy.on_access(entry)
+        hook = self._access_hook
+        if hook is not None:
+            hook(entry)
         self.stats.chunk_hits += 1
-        return self._payloads[chunk_id]
+        return entry.chunk
 
     def put(self, chunk: Chunk) -> bool:
         """Insert a chunk, evicting as needed.  Returns True if it was admitted.
@@ -139,9 +154,9 @@ class ChunkCache:
             return False
 
         now = self._now()
-        entry = CacheEntry(chunk_id=chunk_id, size=chunk.size, inserted_at=now, last_access=now)
+        entry = CacheEntry(chunk_id=chunk_id, size=chunk.size, inserted_at=now,
+                           last_access=now, chunk=chunk)
         self._entries[chunk_id] = entry
-        self._payloads[chunk_id] = chunk
         self._used += chunk.size
         self._policy.on_insert(entry)
         self.stats.insertions += 1
@@ -165,7 +180,6 @@ class ChunkCache:
     def clear(self) -> None:
         """Drop every cached chunk and reset the policy state."""
         self._entries.clear()
-        self._payloads.clear()
         self._used = 0
         self._policy.reset()
 
@@ -209,6 +223,5 @@ class ChunkCache:
 
     def _remove(self, chunk_id: ChunkId, count_eviction: bool) -> None:
         entry = self._entries.pop(chunk_id)
-        self._payloads.pop(chunk_id, None)
         self._used -= entry.size
         self._policy.on_evict(entry)

@@ -15,8 +15,8 @@ beyond the :class:`ReadResult` itself.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from enum import Enum
+from typing import Iterable
 
 import numpy as np
 
@@ -34,9 +34,14 @@ class HitType(str, Enum):
         return self is not HitType.MISS
 
 
-@dataclass(frozen=True, slots=True)
 class ReadResult:
     """Outcome of one object read.
+
+    A slotted value class rather than a dataclass: one instance is built per
+    simulated read, and the generated ``__init__`` of a frozen dataclass
+    (``object.__setattr__`` per field) measured ~3× slower on that hot path.
+    Field layout, keyword construction, equality, hashing and repr behave
+    like the frozen dataclass it replaces.
 
     Attributes:
         key: object read.
@@ -48,13 +53,46 @@ class ReadResult:
         started_at_s: simulated time at which the read started.
     """
 
-    key: str
-    latency_ms: float
-    hit_type: HitType
-    chunks_from_cache: int
-    chunks_from_backend: int
-    backend_regions: tuple[str, ...] = ()
-    started_at_s: float = 0.0
+    __slots__ = ("key", "latency_ms", "hit_type", "chunks_from_cache",
+                 "chunks_from_backend", "backend_regions", "started_at_s")
+
+    def __init__(self, key: str, latency_ms: float, hit_type: HitType,
+                 chunks_from_cache: int, chunks_from_backend: int,
+                 backend_regions: tuple[str, ...] = (),
+                 started_at_s: float = 0.0) -> None:
+        self.key = key
+        self.latency_ms = latency_ms
+        self.hit_type = hit_type
+        self.chunks_from_cache = chunks_from_cache
+        self.chunks_from_backend = chunks_from_backend
+        self.backend_regions = backend_regions
+        self.started_at_s = started_at_s
+
+    def _astuple(self) -> tuple:
+        return (self.key, self.latency_ms, self.hit_type, self.chunks_from_cache,
+                self.chunks_from_backend, self.backend_regions, self.started_at_s)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReadResult):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (f"ReadResult(key={self.key!r}, latency_ms={self.latency_ms!r}, "
+                f"hit_type={self.hit_type!r}, chunks_from_cache={self.chunks_from_cache!r}, "
+                f"chunks_from_backend={self.chunks_from_backend!r}, "
+                f"backend_regions={self.backend_regions!r}, "
+                f"started_at_s={self.started_at_s!r})")
+
+    def __getstate__(self) -> tuple:
+        return self._astuple()
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.key, self.latency_ms, self.hit_type, self.chunks_from_cache,
+         self.chunks_from_backend, self.backend_regions, self.started_at_s) = state
 
 
 #: Initial capacity of the latency buffer (doubles as it fills).
@@ -198,6 +236,30 @@ class LatencyStats:
             "cache_chunks": float(self.cache_chunks_total),
             "backend_chunks": float(self.backend_chunks_total),
         }
+
+    @classmethod
+    def merge_all(cls, stats: "Iterable[LatencyStats]") -> "LatencyStats":
+        """Merge any number of stats objects in one pass (single allocation).
+
+        The deployment-wide aggregates of multi-region engine runs use this
+        instead of chaining pairwise :meth:`merge` calls, which would copy the
+        accumulated buffer once per region.
+        """
+        parts = list(stats)
+        total = sum(part._count for part in parts)
+        merged = cls(capacity=max(total, 1))
+        offset = 0
+        for part in parts:
+            count = part._count
+            merged._buffer[offset: offset + count] = part._buffer[:count]
+            offset += count
+            merged.full_hits += part.full_hits
+            merged.partial_hits += part.partial_hits
+            merged.misses += part.misses
+            merged.cache_chunks_total += part.cache_chunks_total
+            merged.backend_chunks_total += part.backend_chunks_total
+        merged._count = total
+        return merged
 
     def merge(self, other: "LatencyStats") -> "LatencyStats":
         """Combine two stats objects (e.g. several clients of one run)."""

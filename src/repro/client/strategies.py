@@ -18,9 +18,10 @@ writes happen off the critical path and are not charged (§V-A).
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.backend.object_store import ErasureCodedStore
 from repro.cache.base import CacheSnapshot
@@ -30,6 +31,156 @@ from repro.client.stats import HitType, ReadResult
 from repro.core.agar_node import AgarNode, AgarNodeConfig
 from repro.core.options import PlacedChunk, needed_chunks
 from repro.erasure.chunk import Chunk, ChunkId
+
+
+class _SelectionRecord:
+    """Everything one backend-fetch selection needs at read time.
+
+    Memoised per cache-hit pattern in :class:`_IndexedReadPlan`, so one short
+    dict lookup per read replaces the selection scan, the draw grouping, the
+    regions tuple and the fetched-index set.
+    """
+
+    __slots__ = ("positions", "count", "groups", "regions", "fetched_indices")
+
+    def __init__(self, positions: tuple[int, ...],
+                 groups: tuple[tuple[float, float, tuple[int, ...]], ...],
+                 regions: tuple[str, ...], fetched_indices: frozenset[int]) -> None:
+        self.positions = positions
+        self.count = len(positions)
+        self.groups = groups
+        self.regions = regions
+        self.fetched_indices = fetched_indices
+
+
+class _IndexedReadPlan:
+    """Precomputed per-key state for :meth:`ReadStrategy.read_indexed`.
+
+    Everything about one key's read that does not depend on the cache state is
+    computed once: the needed/nearest chunk orders, the reusable chunk ids and
+    (metadata-only) chunk objects for cache lookups and writes, the expected
+    latency and jitter σ of every chunk's link, and the decode estimate.  The
+    per-read work then reduces to cache probes, one jitter draw per chunk and
+    a handful of float operations — bit-identical to the string-keyed path,
+    which recomputes all of this through dict lookups on every read.
+    """
+
+    __slots__ = ("key", "needed", "needed_chunk_ids", "needed_chunks", "nearest",
+                 "nearest_indices", "nearest_expected_ms", "nearest_jitter",
+                 "cache_expected_ms", "cache_jitter", "all_jitter_positive",
+                 "decode_ms", "data_chunks", "_prefixes", "_regions_memo",
+                 "_selection_memo", "_groups_memo")
+
+    def __init__(self, key: str, needed: list[PlacedChunk], chunk_size: int,
+                 latency, client_region: str, data_chunks: int, decode_ms: float) -> None:
+        self.key = key
+        self.needed = needed
+        self.needed_chunk_ids = [ChunkId(key=key, index=placed.index) for placed in needed]
+        self.needed_chunks = [Chunk(chunk_id=chunk_id, size=chunk_size)
+                              for chunk_id in self.needed_chunk_ids]
+        nearest = list(reversed(needed))
+        self.nearest = nearest
+        self.nearest_indices = [placed.index for placed in nearest]
+        profiles = [latency.link(client_region, placed.region) for placed in nearest]
+        self.nearest_expected_ms = [profile.expected_read_ms(chunk_size) for profile in profiles]
+        self.nearest_jitter = [profile.jitter for profile in profiles]
+        try:
+            cache_profile = latency.cache_link(client_region)
+        except KeyError:
+            # No local cache link: tolerated at plan-build time (the backend
+            # strategy never reads the cache), but a cache hit must fail the
+            # same way the string path's sample_cache_read would — the None
+            # sentinel makes _compose_indexed raise then.
+            self.cache_expected_ms = None
+            self.cache_jitter = 0.0
+        else:
+            self.cache_expected_ms = cache_profile.expected_read_ms(chunk_size)
+            self.cache_jitter = cache_profile.jitter
+        self.all_jitter_positive = (self.cache_jitter > 0.0
+                                    and all(sigma > 0.0 for sigma in self.nearest_jitter))
+        self.decode_ms = decode_ms
+        self.data_chunks = data_chunks
+        self._prefixes = [tuple(range(count)) for count in range(data_chunks + 1)]
+        self._regions_memo: dict[tuple[int, ...], tuple[str, ...]] = {}
+        self._selection_memo: dict[tuple[int, ...], _SelectionRecord] = {}
+        self._groups_memo: dict[tuple[int, ...],
+                                tuple[tuple[float, float, tuple[int, ...]], ...]] = {}
+
+    def backend_positions(self, exclude_indices: set[int] | frozenset[int]) -> tuple[int, ...]:
+        """Positions (into the nearest-first order) of the chunks to fetch.
+
+        Mirrors :meth:`ReadStrategy._backend_plan`: nearest chunks first,
+        skipping those already obtained from the cache, until ``k`` chunks
+        are gathered in total.
+        """
+        required = self.data_chunks - len(exclude_indices)
+        if required <= 0:
+            return ()
+        if not exclude_indices:
+            return self._prefixes[required]
+        indices = self.nearest_indices
+        selected = [position for position in range(len(indices))
+                    if indices[position] not in exclude_indices]
+        return tuple(selected[:required])
+
+    def selection_for_hits(self, hit_positions: tuple[int, ...]) -> _SelectionRecord:
+        """The backend selection of a cache-hit pattern, memoised per pattern.
+
+        ``hit_positions`` are positions into the needed (furthest-first)
+        order, listed in that order — the canonical form every reader
+        produces — so each distinct hit pattern resolves its selection (and
+        the derived draw groups, regions tuple and fetched-index set) once.
+        """
+        record = self._selection_memo.get(hit_positions)
+        if record is None:
+            excluded = {self.needed[position].index for position in hit_positions}
+            positions = self.backend_positions(excluded)
+            nearest_indices = self.nearest_indices
+            record = _SelectionRecord(
+                positions=positions,
+                groups=self.compose_groups(positions),
+                regions=self.backend_regions(positions),
+                fetched_indices=frozenset(
+                    nearest_indices[position] for position in positions
+                ),
+            )
+            self._selection_memo[hit_positions] = record
+        return record
+
+    def compose_groups(self, positions: tuple[int, ...]
+                       ) -> tuple[tuple[float, float, tuple[int, ...]], ...]:
+        """A fetch selection grouped by identical ``(expected, σ)`` pairs.
+
+        Chunks read over links with bit-equal expected latency and jitter
+        (typically: same backend region) produce samples that are the same
+        monotonic function of their z draw, so only the group's largest z can
+        be the slowest — one ``exp`` per group instead of per chunk.  Each
+        group carries the draw offsets (positions within the selection) its
+        chunks consume, keeping the block stream layout unchanged.
+        """
+        groups = self._groups_memo.get(positions)
+        if groups is None:
+            by_pair: dict[tuple[float, float], list[int]] = {}
+            expected_by_position = self.nearest_expected_ms
+            jitter_by_position = self.nearest_jitter
+            for offset, position in enumerate(positions):
+                pair = (expected_by_position[position], jitter_by_position[position])
+                by_pair.setdefault(pair, []).append(offset)
+            groups = tuple(
+                (expected, jitter, tuple(offsets))
+                for (expected, jitter), offsets in by_pair.items()
+            )
+            self._groups_memo[positions] = groups
+        return groups
+
+    def backend_regions(self, positions: tuple[int, ...]) -> tuple[str, ...]:
+        """Distinct backend regions of a fetch selection (memoised)."""
+        regions = self._regions_memo.get(positions)
+        if regions is None:
+            nearest = self.nearest
+            regions = tuple(sorted({nearest[position].region for position in positions}))
+            self._regions_memo[positions] = regions
+        return regions
 
 
 @dataclass(frozen=True)
@@ -74,6 +225,12 @@ class ReadStrategy(ABC):
         self._expected_latencies = store.topology.expected_read_latencies(client_region)
         self._needed_cache: dict[str, list[PlacedChunk]] = {}
         self._nearest_cache: dict[str, list[PlacedChunk]] = {}
+        # Hoisted latency constants (hot-path attribute chains).
+        self._overhead_ms = self._config.overhead_ms
+        self._include_decode = self._config.include_decode_cost
+        # Index-based read support (see prepare_indexed_reads).
+        self._indexed_keys: list[str] | None = None
+        self._indexed_plans: list[_IndexedReadPlan | None] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -173,6 +330,135 @@ class ReadStrategy(ABC):
             started_at_s=now,
         )
 
+    # ------------------------------------------------------------------ #
+    # Indexed read fast path (the discrete-event engine's inner loop)
+    # ------------------------------------------------------------------ #
+    def prepare_indexed_reads(self, keys: Sequence[str]) -> None:
+        """Install the key space for index-based reads.
+
+        ``keys[i]`` becomes the object key of key index ``i``; per-key read
+        plans are built lazily on first use.  Idempotent: re-preparing with an
+        equal key list keeps the plans already built (the engine calls this at
+        the start of every execute against a warm deployment).
+        """
+        keys = list(keys)
+        if self._indexed_keys == keys:
+            return
+        self._indexed_keys = keys
+        self._indexed_plans = [None] * len(keys)
+
+    def read_indexed(self, key_index: int, now: float) -> ReadResult:
+        """Perform one object read identified by its key index.
+
+        Bit-identical to ``read(keys[key_index], now)`` — same cache effects,
+        same jitter draws, same latency arithmetic — but without re-hashing
+        the key string through the per-key plan dictionaries on every request.
+        Requires a prior :meth:`prepare_indexed_reads`.  Subclasses override
+        this with a plan-based implementation; the base fallback simply
+        resolves the key.
+        """
+        return self.read(self._indexed_keys[key_index], now)
+
+    def _indexed_plan(self, key_index: int) -> _IndexedReadPlan:
+        """The (lazily built) precomputed plan for one key index."""
+        try:
+            plan = self._indexed_plans[key_index]
+        except IndexError:
+            if self._indexed_keys is None:
+                raise RuntimeError(
+                    "prepare_indexed_reads() must be called first"
+                ) from None
+            raise
+        if plan is None:
+            key = self._indexed_keys[key_index]
+            plan = _IndexedReadPlan(
+                key=key,
+                needed=self._needed(key),
+                chunk_size=self._chunk_size(key),
+                latency=self._latency,
+                client_region=self._region,
+                data_chunks=self._store.params.data_chunks,
+                decode_ms=self._store.codec.decoding_cost_estimate(
+                    self._store.metadata(key).size
+                ),
+            )
+            self._indexed_plans[key_index] = plan
+        return plan
+
+    def _compose_indexed(self, plan: _IndexedReadPlan, now: float, cache_hits: int,
+                         selection: _SelectionRecord,
+                         extra_overhead_ms: float = 0.0) -> ReadResult:
+        """Fast-path twin of :meth:`_compose_result` over a precomputed plan.
+
+        Draws one jitter sample per chunk in the same order as the string
+        path (cache chunks first, then backend chunks nearest-first) and
+        applies the same arithmetic — ``expected * exp(σ·z)``, overhead and
+        decode added in the same sequence — so results are bit-identical.
+        When every involved link is jittered (the usual case) all of the
+        read's draws are taken from the block in one batched call, and chunks
+        sharing one (expected, σ) pair — the selection's precomputed draw
+        groups — need a single ``exp`` at their largest z (``exp`` is
+        monotonic), instead of one per chunk.
+        """
+        exp = math.exp
+        slowest = 0.0
+        backend_count = selection.count
+        if cache_hits and plan.cache_expected_ms is None:
+            # Mirror the string path, which fails in sample_cache_read.
+            raise KeyError(f"no cache link profile for region {self._region!r}")
+        if plan.all_jitter_positive:
+            samples = self._latency.take_standard_normals(cache_hits + backend_count)
+            if cache_hits:
+                slowest = plan.cache_expected_ms * exp(
+                    plan.cache_jitter * max(samples[:cache_hits])
+                )
+            for expected, jitter, offsets in selection.groups:
+                largest = samples[cache_hits + offsets[0]]
+                for extra in range(1, len(offsets)):
+                    candidate = samples[cache_hits + offsets[extra]]
+                    if candidate > largest:
+                        largest = candidate
+                sample = expected * exp(jitter * largest)
+                if sample > slowest:
+                    slowest = sample
+        else:
+            expected_by_position = plan.nearest_expected_ms
+            jitter_by_position = plan.nearest_jitter
+            draw = self._latency.next_standard_normal
+            expected = plan.cache_expected_ms
+            jitter = plan.cache_jitter
+            for _ in range(cache_hits):
+                sample = expected * exp(jitter * draw()) if jitter > 0.0 else expected
+                if sample > slowest:
+                    slowest = sample
+            for position in selection.positions:
+                expected = expected_by_position[position]
+                jitter = jitter_by_position[position]
+                sample = expected * exp(jitter * draw()) if jitter > 0.0 else expected
+                if sample > slowest:
+                    slowest = sample
+
+        total = self._overhead_ms + extra_overhead_ms + slowest
+        if self._include_decode:
+            total += plan.decode_ms
+
+        if backend_count and cache_hits:
+            hit_type = HitType.PARTIAL
+        elif cache_hits:
+            hit_type = HitType.FULL
+        else:
+            hit_type = HitType.MISS
+
+        return ReadResult(
+            key=plan.key,
+            latency_ms=total,
+            hit_type=hit_type,
+            chunks_from_cache=cache_hits,
+            chunks_from_backend=backend_count,
+            backend_regions=selection.regions,
+            started_at_s=now,
+        )
+
     def _backend_plan(self, key: str, exclude_indices: set[int]) -> list[PlacedChunk]:
         """Choose which chunks to fetch from the backend.
 
@@ -201,6 +487,10 @@ class BackendReadStrategy(ReadStrategy):
     def read(self, key: str, now: float) -> ReadResult:
         backend_chunks = self._backend_plan(key, exclude_indices=set())
         return self._compose_result(key, now, cache_chunks=[], backend_chunks=backend_chunks)
+
+    def read_indexed(self, key_index: int, now: float) -> ReadResult:
+        plan = self._indexed_plan(key_index)
+        return self._compose_indexed(plan, now, 0, plan.selection_for_hits(()))
 
 
 class FixedChunkCachingStrategy(ReadStrategy):
@@ -285,6 +575,28 @@ class FixedChunkCachingStrategy(ReadStrategy):
         chunk_size = self._chunk_size(key)
         for placed in targets:
             self._cache.put(Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size))
+        return result
+
+    def read_indexed(self, key_index: int, now: float) -> ReadResult:
+        plan = self._indexed_plan(key_index)
+        cache = self._cache
+        cache.record_request(plan.key)
+        target_count = self._chunks_per_object
+
+        get = cache.get
+        chunk_ids = plan.needed_chunk_ids
+        hit_positions: list[int] = []
+        for position in range(target_count):
+            if get(chunk_ids[position]) is not None:
+                hit_positions.append(position)
+
+        selection = plan.selection_for_hits(tuple(hit_positions))
+        result = self._compose_indexed(plan, now, len(hit_positions), selection)
+
+        put = cache.put
+        chunks = plan.needed_chunks
+        for position in range(target_count):
+            put(chunks[position])
         return result
 
 
@@ -410,6 +722,34 @@ class PeriodicLFUStrategy(ReadStrategy):
             self._cache.put(Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size))
         return result
 
+    def read_indexed(self, key_index: int, now: float) -> ReadResult:
+        plan = self._indexed_plan(key_index)
+        key = plan.key
+        if not self._external_reconfiguration:
+            self._maybe_reconfigure(key, now)
+        self._tracker.record_access(key)
+        target_count = self._chunks_per_object
+
+        get = self._cache.get
+        chunk_ids = plan.needed_chunk_ids
+        hit_positions: list[int] = []
+        missing_positions: list[int] = []
+        for position in range(target_count):
+            if get(chunk_ids[position]) is not None:
+                hit_positions.append(position)
+            else:
+                missing_positions.append(position)
+
+        selection = plan.selection_for_hits(tuple(hit_positions))
+        result = self._compose_indexed(plan, now, len(hit_positions), selection)
+
+        if missing_positions:
+            put = self._cache.put
+            chunks = plan.needed_chunks
+            for position in missing_positions:
+                put(chunks[position])
+        return result
+
 
 class AgarReadStrategy(ReadStrategy):
     """Reads driven by an Agar node's hints (paper §III, §V-A).
@@ -437,6 +777,8 @@ class AgarReadStrategy(ReadStrategy):
             config=node_config,
             clock=clock,
         )
+        # The constant the node's hints carry as processing_overhead_ms.
+        self._hint_overhead_ms = self._node.request_monitor.processing_overhead_ms
 
     @property
     def node(self) -> AgarNode:
@@ -490,6 +832,57 @@ class AgarReadStrategy(ReadStrategy):
             if placed.index in fetched_indices:
                 cache.put(Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size))
         return result
+
+    def read_indexed(self, key_index: int, now: float) -> ReadResult:
+        plan = self._indexed_plan(key_index)
+        hinted = self._node.on_request_indices(plan.key, now)
+        cache = self._node.cache
+
+        get = cache.get
+        chunk_ids = plan.needed_chunk_ids
+        hit_positions: list[int] = []
+        missing_positions: list[int] = []
+        if hinted:
+            hinted_set = set(hinted)
+            for position, placed in enumerate(plan.needed):
+                if placed.index not in hinted_set:
+                    continue
+                if get(chunk_ids[position]) is not None:
+                    hit_positions.append(position)
+                else:
+                    missing_positions.append(position)
+
+        selection = plan.selection_for_hits(tuple(hit_positions))
+        result = self._compose_indexed(
+            plan, now, len(hit_positions), selection,
+            extra_overhead_ms=self._hint_overhead_ms,
+        )
+
+        if missing_positions:
+            needed = plan.needed
+            fetched_indices = selection.fetched_indices
+            put = cache.put
+            chunks = plan.needed_chunks
+            for position in missing_positions:
+                if needed[position].index in fetched_indices:
+                    put(chunks[position])
+        return result
+
+
+def is_strategy_name(name: str) -> bool:
+    """True if ``name`` is a strategy :func:`make_strategy` recognises.
+
+    Used by CLIs to validate user-supplied names (e.g. ``--region``) before
+    any deployment is built; chunk-count bounds (``c <= k``) remain a
+    construction-time check because they depend on the coding parameters.
+    """
+    if name in ("backend", "agar"):
+        return True
+    for prefix in ("lru-online-", "lfu-online-", "lru-", "lfu-"):
+        if name.startswith(prefix):
+            suffix = name[len(prefix):]
+            return suffix.isdigit() and int(suffix) > 0
+    return False
 
 
 def make_strategy(name: str, store: ErasureCodedStore, client_region: str,

@@ -193,6 +193,18 @@ class AgarNode:
             self.maybe_reconfigure(now)
         return self._request_monitor.record_request(key)
 
+    def on_request_indices(self, key: str, now: float) -> tuple[int, ...]:
+        """Hot-path form of :meth:`on_request`: hinted indices only.
+
+        Identical side effects (period check, popularity recording); returns
+        the hinted chunk indices without building a :class:`ReadHints`.  The
+        processing overhead the hints would carry is the constant
+        ``request_monitor.processing_overhead_ms``.
+        """
+        if self._auto_reconfigure:
+            self.maybe_reconfigure(now)
+        return self._request_monitor.record_request_indices(key)
+
     def maybe_reconfigure(self, now: float) -> ReconfigurationRecord | None:
         """Reconfigure if the reconfiguration period has elapsed."""
         if self._last_reconfiguration_time is None:

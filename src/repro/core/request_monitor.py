@@ -74,6 +74,11 @@ class RequestMonitor:
         """Total number of requests recorded."""
         return self._requests_seen
 
+    @property
+    def processing_overhead_ms(self) -> float:
+        """Per-request processing cost charged to reads."""
+        return self._processing_overhead_ms
+
     def record_request(self, key: str) -> ReadHints:
         """Record a client read of ``key`` and return the caching hints for it."""
         self._requests_seen += 1
@@ -83,6 +88,17 @@ class RequestMonitor:
             cached_chunk_indices=self._cache_manager.hints_for(key),
             processing_overhead_ms=self._processing_overhead_ms,
         )
+
+    def record_request_indices(self, key: str) -> tuple[int, ...]:
+        """Record a client read and return only the hinted chunk indices.
+
+        Same statistics side effects as :meth:`record_request`, without
+        building a :class:`ReadHints`; the hot simulation path combines this
+        with the constant :attr:`processing_overhead_ms`.
+        """
+        self._requests_seen += 1
+        self._popularity.record_access(key)
+        return self._cache_manager.hints_for(key)
 
     def peek_hints(self, key: str) -> ReadHints:
         """Return hints without recording an access (used by tests/analysis)."""

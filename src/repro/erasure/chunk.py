@@ -68,10 +68,20 @@ class ChunkId:
 
     key: str
     index: int
+    #: Hash cached at construction: chunk ids sit on every cache lookup of the
+    #: simulation hot path, and the read strategies' indexed plans reuse one
+    #: id object per (key, chunk) — hashing the (key, index) tuple on every
+    #: dict probe was a measurable cost.  Same value the generated dataclass
+    #: hash would produce.
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.index < 0:
             raise ValueError("chunk index must be non-negative")
+        object.__setattr__(self, "_hash", hash((self.key, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.key}#{self.index}"

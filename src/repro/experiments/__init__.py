@@ -15,9 +15,12 @@ from repro.experiments.common import (
     MEGABYTE,
     EngineOptions,
     ExperimentSettings,
+    RegionSpecOption,
     agar_config_for_capacity,
+    parse_cache_size,
 )
 from repro.experiments.multiregion import (
+    EngineRunsResult,
     MultiRegionRow,
     RegionAggregate,
     render_multiregion,
@@ -72,6 +75,7 @@ __all__ = [
     "FIG8_STRATEGIES",
     "FIG9_SKEWS",
     "EngineOptions",
+    "EngineRunsResult",
     "Fig10Snapshot",
     "Fig2Point",
     "Fig9Series",
@@ -80,6 +84,7 @@ __all__ = [
     "MultiRegionRow",
     "PolicyComparisonRow",
     "RegionAggregate",
+    "RegionSpecOption",
     "SweepPoint",
     "Table1Row",
     "agar_advantage",
@@ -106,6 +111,7 @@ __all__ = [
     "run_fig9",
     "run_microbench",
     "run_multiregion_scaling",
+    "parse_cache_size",
     "run_policy_comparison",
     "run_solver_quality",
     "run_table1",

@@ -6,16 +6,20 @@ Installed as ``agar-experiments``.  Examples::
     agar-experiments fig6 --quick
     agar-experiments fig6 --quick --regions frankfurt,sydney --clients-per-region 4
     agar-experiments multiregion --quick --arrival-rate 2 --collaboration
+    agar-experiments multiregion --quick --region frankfurt:agar:256MB --region sydney:lfu-5:64MB
     agar-experiments all --quick
 
 Each command prints the rows/series of the corresponding figure as a text
 table; ``--quick`` runs the reduced-scale settings used by the benchmark suite,
 the default is the paper's full scale (5 runs × 1,000 reads).
 
-The engine flags (``--regions``, ``--clients-per-region``, ``--arrival-rate``,
-``--collaboration``) route the Fig. 6/7/8 runners and the ``multiregion``
-experiment through the multi-region discrete-event engine instead of the
-classic single-client loop.
+The engine flags (``--regions``, ``--region``, ``--clients-per-region``,
+``--arrival-rate``, ``--collaboration``) route the Fig. 6/7/8 runners and the
+``multiregion`` experiment through the multi-region discrete-event engine
+instead of the classic single-client loop.  Heterogeneous deployments use the
+repeatable ``--region NAME[:STRATEGY[:CACHE]]`` form: each region can pin its
+own read strategy and cache size (e.g. ``--region eu:agar:256MB --region
+ap:lfu-5:64MB``); either override may be omitted (``sydney::64MB``).
 """
 
 from __future__ import annotations
@@ -23,7 +27,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.common import EVALUATION_REGIONS, EngineOptions, ExperimentSettings
+from repro.experiments.common import (
+    EVALUATION_REGIONS,
+    EngineOptions,
+    ExperimentSettings,
+    RegionSpecOption,
+)
 from repro.experiments.fig2_motivating import render_fig2, run_fig2
 from repro.experiments.fig6_policies import agar_advantage, render_fig6, render_fig7, run_policy_comparison
 from repro.experiments.fig8_sweeps import agar_lead_by_group, render_sweep, run_fig8a, run_fig8b
@@ -48,29 +57,34 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
     return ExperimentSettings.quick() if args.quick else ExperimentSettings.paper()
 
 
-def _engine_options(args: argparse.Namespace, for_multiregion: bool) -> EngineOptions | None:
+def _engine_options(args: argparse.Namespace, for_multiregion: bool,
+                    region_specs: tuple[RegionSpecOption, ...] | None
+                    ) -> EngineOptions | None:
     """Build engine options from the CLI flags.
 
     ``multiregion`` always runs on the engine, so missing flags fall back to
     the acceptance scenario's defaults (two regions, 4 clients each, Poisson
     arrivals, collaboration on); the figure runners only leave the classic
-    path when a flag is given explicitly.
+    path when a flag is given explicitly.  ``region_specs`` are the already
+    parsed/validated ``--region`` values.
     """
     regions = None
     if args.regions:
         regions = tuple(name.strip() for name in args.regions.split(",") if name.strip())
     if for_multiregion:
         return EngineOptions(
-            regions=regions or EVALUATION_REGIONS,
+            regions=None if region_specs else (regions or EVALUATION_REGIONS),
             clients_per_region=args.clients_per_region or 4,
             arrival_rate_rps=args.arrival_rate or DEFAULT_ARRIVAL_RATE_RPS,
             collaboration=True if args.collaboration is None else args.collaboration,
+            region_specs=region_specs,
         )
     options = EngineOptions(
         regions=regions,
         clients_per_region=args.clients_per_region or 1,
         arrival_rate_rps=args.arrival_rate,
         collaboration=bool(args.collaboration),
+        region_specs=region_specs,
     )
     return options if options.active else None
 
@@ -87,6 +101,8 @@ def _run_one(name: str, settings: ExperimentSettings, out,
             print(render_fig6(rows).render(), file=out)
             for region in sorted({row.region for row in rows}):
                 summary = agar_advantage(rows, region)
+                if not summary:
+                    continue
                 print(
                     f"{region}: Agar {summary['vs_best_pct']:.1f}% lower latency than the best "
                     f"static policy ({summary['best_other']}), {summary['vs_worst_pct']:.1f}% lower "
@@ -141,6 +157,12 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     parser.add_argument("--regions", default=None, metavar="R1,R2,...",
                         help="client regions of the simulated deployment "
                              "(comma separated; engine experiments only)")
+    parser.add_argument("--region", action="append", default=None,
+                        metavar="NAME[:STRATEGY[:CACHE]]",
+                        help="one region of a heterogeneous deployment, with "
+                             "optional pinned strategy and per-region cache size "
+                             "(e.g. frankfurt:agar:256MB); repeatable, engine "
+                             "experiments only, mutually exclusive with --regions")
     parser.add_argument("--clients-per-region", type=int, default=None, metavar="N",
                         help="concurrent clients per region (engine experiments only)")
     parser.add_argument("--arrival-rate", type=float, default=None, metavar="RPS",
@@ -156,11 +178,38 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         parser.error("--clients-per-region must be positive")
     if args.arrival_rate is not None and args.arrival_rate <= 0:
         parser.error("--arrival-rate must be positive")
+    if args.region and args.regions:
+        parser.error("--region and --regions are mutually exclusive")
+    region_specs = None
+    if args.region:
+        try:
+            region_specs = tuple(RegionSpecOption.parse(text) for text in args.region)
+        except ValueError as error:
+            parser.error(str(error))
     settings = _settings(args)
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    if region_specs:
+        # Fig. 8 sweeps strategies (8a additionally sweeps the cache size),
+        # so heterogeneous overrides that fight the sweep are rejected up
+        # front with a usage error instead of a runner traceback.
+        if any(name in ("fig8a", "fig8b") for name in names) and \
+                any(spec.strategy is not None for spec in region_specs):
+            parser.error("--region with a pinned strategy is not valid for "
+                         "fig8a/fig8b (strategy sweeps); use fig6 or multiregion")
+        if "fig8a" in names and \
+                any(spec.cache_capacity_bytes is not None for spec in region_specs):
+            parser.error("--region with a cache size is not valid for fig8a "
+                         "(it sweeps the cache size)")
+        if args.collaboration and any(name in ("fig6", "fig7") for name in names):
+            pinned_count = sum(spec.strategy is not None for spec in region_specs)
+            if 0 < pinned_count < len(region_specs):
+                parser.error("--collaboration with partially pinned --region "
+                             "strategies is ambiguous for fig6/fig7; pin every "
+                             "region or drop --collaboration")
     for name in names:
-        engine = (_engine_options(args, for_multiregion=(name == "multiregion"))
+        engine = (_engine_options(args, for_multiregion=(name == "multiregion"),
+                                  region_specs=region_specs)
                   if name in ENGINE_EXPERIMENTS else None)
         print(f"=== {name} ===", file=out)
         _run_one(name, settings, out, engine=engine)

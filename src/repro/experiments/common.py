@@ -8,11 +8,14 @@ in a faster "quick" mode used by the benchmark suite and CI.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
+from repro.client.strategies import is_strategy_name
 from repro.core.agar_node import AgarNodeConfig
 from repro.core.cache_manager import CacheManagerConfig
 from repro.geo.latency import DEFAULT_OBJECT_SIZE
+from repro.sim.engine import RegionSpec
 from repro.workload.workload import (
     ArrivalSpec,
     WorkloadSpec,
@@ -103,6 +106,83 @@ class ExperimentSettings:
         return replace(self, request_count=request_count)
 
 
+#: Size-suffix multipliers understood by :func:`parse_cache_size` (binary
+#: units, matching :data:`MEGABYTE`).
+_SIZE_SUFFIXES = {
+    "B": 1,
+    "KB": 1024,
+    "MB": 1024 * 1024,
+    "GB": 1024 * 1024 * 1024,
+}
+
+
+def parse_cache_size(text: str) -> int:
+    """Parse a cache size like ``"256MB"``, ``"64kb"`` or ``"1048576"``.
+
+    Bare numbers are bytes; suffixes are binary (``KB`` = 1024 B and so on).
+
+    Raises:
+        ValueError: for malformed or non-positive sizes.
+    """
+    cleaned = text.strip().upper()
+    multiplier = 1
+    for suffix, factor in sorted(_SIZE_SUFFIXES.items(), key=lambda kv: -len(kv[0])):
+        if cleaned.endswith(suffix):
+            cleaned = cleaned[: -len(suffix)].strip()
+            multiplier = factor
+            break
+    try:
+        value = float(cleaned)
+    except ValueError:
+        raise ValueError(f"malformed cache size {text!r}") from None
+    if not math.isfinite(value):
+        raise ValueError(f"cache size must be finite, got {text!r}")
+    size = int(value * multiplier)
+    if size <= 0:
+        raise ValueError(f"cache size must be positive, got {text!r}")
+    return size
+
+
+@dataclass(frozen=True)
+class RegionSpecOption:
+    """One ``--region`` CLI value: a region with optional per-region overrides.
+
+    Attributes:
+        region: region name.
+        strategy: read strategy pinned to this region (None = the
+            experiment's/sweep's strategy).
+        cache_capacity_bytes: this region's cache size (None = the
+            deployment-wide default).
+    """
+
+    region: str
+    strategy: str | None = None
+    cache_capacity_bytes: int | None = None
+
+    @classmethod
+    def parse(cls, text: str) -> "RegionSpecOption":
+        """Parse ``NAME[:STRATEGY[:CACHE]]``, e.g. ``frankfurt:agar:256MB``.
+
+        Either override may be left empty (``sydney::64MB`` pins only the
+        cache size).
+        """
+        parts = text.split(":")
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(f"malformed region spec {text!r} "
+                             "(expected NAME[:STRATEGY[:CACHE]])")
+        region = parts[0].strip()
+        if not region:
+            raise ValueError(f"malformed region spec {text!r} (empty region name)")
+        strategy = parts[1].strip() if len(parts) > 1 and parts[1].strip() else None
+        if strategy is not None and not is_strategy_name(strategy):
+            raise ValueError(f"unknown strategy {strategy!r} in region spec {text!r} "
+                             "(expected backend, agar, lru-<c>, lfu-<c>, "
+                             "lru-online-<c> or lfu-online-<c>)")
+        capacity = (parse_cache_size(parts[2])
+                    if len(parts) > 2 and parts[2].strip() else None)
+        return cls(region=region, strategy=strategy, cache_capacity_bytes=capacity)
+
+
 @dataclass(frozen=True)
 class EngineOptions:
     """Discrete-event engine knobs shared by the experiment CLIs.
@@ -119,24 +199,37 @@ class EngineOptions:
             closed loop).
         collaboration: §VI cache collaboration between the regions' Agar
             nodes (applies to the ``agar`` strategy only).
+        region_specs: heterogeneous deployment description (``--region``
+            flags): per-region strategy and/or cache-size overrides.
+            Mutually exclusive with ``regions``.
     """
 
     regions: tuple[str, ...] | None = None
     clients_per_region: int = 1
     arrival_rate_rps: float | None = None
     collaboration: bool = False
+    region_specs: tuple[RegionSpecOption, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.clients_per_region <= 0:
             raise ValueError("clients_per_region must be positive")
         if self.arrival_rate_rps is not None and self.arrival_rate_rps <= 0:
             raise ValueError("arrival_rate_rps must be positive")
+        if self.region_specs is not None:
+            if self.regions is not None:
+                raise ValueError("give either regions or region_specs, not both")
+            if not self.region_specs:
+                raise ValueError("region_specs must not be empty")
+            names = [spec.region for spec in self.region_specs]
+            if len(set(names)) != len(names):
+                raise ValueError("region_specs regions must be distinct")
 
     @property
     def active(self) -> bool:
         """True if any knob deviates from the classic single-client loop."""
         return (self.regions is not None or self.clients_per_region > 1
-                or self.arrival_rate_rps is not None or self.collaboration)
+                or self.arrival_rate_rps is not None or self.collaboration
+                or self.region_specs is not None)
 
     def arrival_spec(self) -> ArrivalSpec:
         """The options' arrival process as an :class:`ArrivalSpec`."""
@@ -145,8 +238,51 @@ class EngineOptions:
         return poisson_arrivals(self.arrival_rate_rps)
 
     def effective_regions(self, default: tuple[str, ...]) -> tuple[str, ...]:
-        """The deployment's regions, falling back to the figure's default."""
+        """The deployment's region names, falling back to the figure's default."""
+        if self.region_specs:
+            return tuple(spec.region for spec in self.region_specs)
         return self.regions if self.regions else default
+
+    def build_region_specs(self, default_regions: tuple[str, ...], strategy: str,
+                           clients: int | None = None) -> tuple[RegionSpec, ...]:
+        """Engine :class:`RegionSpec` tuple with per-region overrides applied.
+
+        ``strategy`` is the experiment's (or sweep point's) strategy; regions
+        pinned via ``region_specs`` keep their own strategy and cache size.
+        Agar regions with a cache-size override also get Agar tunables
+        adapted to that size (:func:`agar_config_for_capacity`), since the
+        deployment-wide config was derived from the default capacity.
+        """
+        effective_clients = self.clients_per_region if clients is None else clients
+        if self.region_specs:
+            return tuple(
+                engine_region_spec(spec, strategy, effective_clients)
+                for spec in self.region_specs
+            )
+        return tuple(
+            RegionSpec(region=region, clients=effective_clients, strategy=strategy)
+            for region in self.effective_regions(default_regions)
+        )
+
+
+def engine_region_spec(option: RegionSpecOption, strategy: str,
+                        clients: int) -> RegionSpec:
+    """One engine :class:`RegionSpec` from a CLI region option.
+
+    Applies the option's strategy/cache overrides; an Agar region with its
+    own cache size also gets Agar tunables adapted to that size.
+    """
+    effective_strategy = option.strategy or strategy
+    agar = None
+    if option.cache_capacity_bytes is not None and effective_strategy == "agar":
+        agar = agar_config_for_capacity(option.cache_capacity_bytes)
+    return RegionSpec(
+        region=option.region,
+        clients=clients,
+        strategy=effective_strategy,
+        cache_capacity_bytes=option.cache_capacity_bytes,
+        agar=agar,
+    )
 
 
 def agar_config_for_capacity(cache_capacity_bytes: int) -> AgarNodeConfig:

@@ -51,9 +51,27 @@ def run_policy_comparison(settings: ExperimentSettings | None = None,
 
     if engine is not None and engine.active:
         deployment_regions = engine.effective_regions(regions)
+        sweep_strategies = list(strategies)
+        pinned = {spec.region for spec in engine.region_specs or ()
+                  if spec.strategy is not None}
+        if pinned and len(pinned) == len(deployment_regions):
+            # Every region pins its strategy (--region NAME:STRATEGY...): the
+            # sweep would rerun the identical heterogeneous deployment per
+            # strategy, so one run suffices.
+            sweep_strategies = sweep_strategies[:1]
+        elif pinned and engine.collaboration:
+            # Collaboration only activates in the all-agar sweep deployment,
+            # so a pinned region's rows would average collaborative and
+            # non-collaborative systems — refuse rather than report a number
+            # that matches neither.
+            raise ValueError(
+                "collaboration with partially pinned --region strategies is "
+                "ambiguous for fig6/fig7; pin every region or drop "
+                "--collaboration"
+            )
         comparison_by_strategy = run_engine_comparison(
             workload=workload,
-            strategies=list(strategies),
+            strategies=sweep_strategies,
             regions=deployment_regions,
             cache_capacity_bytes=capacity,
             runs=settings.runs,
@@ -62,19 +80,35 @@ def run_policy_comparison(settings: ExperimentSettings | None = None,
             collaboration=engine.collaboration,
             agar_config=agar_config_for_capacity(capacity),
             topology_seed=settings.seed,
+            region_specs=engine.region_specs,
         )
-        for strategy in strategies:
+        # Rows carry the strategy that actually ran in each region — for a
+        # pinned region that is its pinned strategy, not the sweep label.  A
+        # pinned region repeats its (same-strategy) run once per sweep
+        # deployment with slightly different jitter interleavings, so its
+        # row averages over all of them, like extra repetitions.
+        collected: dict[tuple[str, str], list] = {}
+        order: list[tuple[str, str]] = []
+        for strategy in sweep_strategies:
             for region in deployment_regions:
                 aggregate = comparison_by_strategy[strategy][region]
-                rows.append(
-                    PolicyComparisonRow(
-                        region=region,
-                        strategy=strategy,
-                        mean_latency_ms=aggregate.mean_latency_ms,
-                        hit_ratio=aggregate.hit_ratio,
-                        full_hit_ratio=aggregate.full_hit_ratio,
-                    )
+                key = (region, aggregate.strategy)
+                if key not in collected:
+                    collected[key] = []
+                    order.append(key)
+                collected[key].append(aggregate)
+        for region, label in order:
+            aggregates = collected[(region, label)]
+            count = len(aggregates)
+            rows.append(
+                PolicyComparisonRow(
+                    region=region,
+                    strategy=label,
+                    mean_latency_ms=sum(a.mean_latency_ms for a in aggregates) / count,
+                    hit_ratio=sum(a.hit_ratio for a in aggregates) / count,
+                    full_hit_ratio=sum(a.full_hit_ratio for a in aggregates) / count,
                 )
+            )
         return rows
 
     for region in regions:
@@ -100,31 +134,49 @@ def run_policy_comparison(settings: ExperimentSettings | None = None,
     return rows
 
 
+def _row_strategies(rows: list[PolicyComparisonRow]) -> list[str]:
+    """Distinct strategies in first-appearance order (regions may differ
+    when ``--region`` pins per-region strategies)."""
+    ordered: list[str] = []
+    for row in rows:
+        if row.strategy not in ordered:
+            ordered.append(row.strategy)
+    return ordered
+
+
 def render_fig6(rows: list[PolicyComparisonRow]) -> Table:
-    """Fig. 6: average read latency per strategy and region."""
+    """Fig. 6: average read latency per strategy and region.
+
+    A region pinned to one strategy (heterogeneous ``--region`` deployments)
+    only has values for that strategy; other cells render as ``-``.
+    """
     regions = sorted({row.region for row in rows})
-    strategies = [row.strategy for row in rows if row.region == regions[0]]
     lookup = {(row.region, row.strategy): row.mean_latency_ms for row in rows}
     table = Table(
         title="Figure 6 — average read latency (ms): Agar vs LRU/LFU vs Backend",
         columns=("strategy", *regions),
     )
-    for strategy in strategies:
-        table.add_row(strategy, *[lookup[(region, strategy)] for region in regions])
+    for strategy in _row_strategies(rows):
+        table.add_row(strategy, *[lookup.get((region, strategy), "-")
+                                  for region in regions])
     return table
 
 
 def render_fig7(rows: list[PolicyComparisonRow]) -> Table:
     """Fig. 7: hit ratio (full + partial) per caching strategy and region."""
     regions = sorted({row.region for row in rows})
-    strategies = [row.strategy for row in rows if row.region == regions[0] and row.strategy != "backend"]
     lookup = {(row.region, row.strategy): row.hit_ratio for row in rows}
     table = Table(
         title="Figure 7 — cache hit ratio (full + partial hits)",
         columns=("strategy", *[f"{region} (%)" for region in regions]),
     )
-    for strategy in strategies:
-        table.add_row(strategy, *[lookup[(region, strategy)] * 100.0 for region in regions])
+    for strategy in _row_strategies(rows):
+        if strategy == "backend":
+            continue
+        table.add_row(strategy, *[
+            lookup[(region, strategy)] * 100.0 if (region, strategy) in lookup else "-"
+            for region in regions
+        ])
     return table
 
 
@@ -132,7 +184,12 @@ def agar_advantage(rows: list[PolicyComparisonRow], region: str) -> dict[str, fl
     """The paper's headline numbers for one region.
 
     Returns how much lower Agar's latency is than the best and the worst
-    static caching policy (LRU-c / LFU-c), excluding the backend.
+    static caching policy (LRU-c / LFU-c), excluding the backend.  Empty when
+    the region has no Agar run or nothing to compare against (e.g. a region
+    pinned to a single strategy in a heterogeneous deployment).
     """
     latencies = {row.strategy: row.mean_latency_ms for row in rows if row.region == region}
+    comparable = {name for name in latencies if name not in ("agar", "backend")}
+    if "agar" not in latencies or not comparable:
+        return {}
     return improvement_summary(latencies, subject="agar", exclude=("backend",))

@@ -37,8 +37,22 @@ def _compare_strategies(workload: WorkloadSpec, strategies: list[str],
     Dispatches to the classic single-client driver, or — with active engine
     options — to the discrete-event engine (metrics averaged over the
     deployment's regions, which all carry the same request count).
+
+    Raises:
+        ValueError: if engine options pin per-region strategies — Fig. 8
+            compares strategies, so a pinned region would report the same
+            deployment under every strategy label (use ``fig6`` or
+            ``multiregion`` for heterogeneous-strategy deployments; per-region
+            cache sizes remain valid here).
     """
     if engine is not None and engine.active:
+        pinned = [spec.region for spec in engine.region_specs or ()
+                  if spec.strategy is not None]
+        if pinned:
+            raise ValueError(
+                f"fig8 sweeps strategies; pinned per-region strategies "
+                f"(--region, offending: {pinned}) belong to fig6/multiregion"
+            )
         regions = engine.effective_regions((client_region,))
         comparison = run_engine_comparison(
             workload=workload,
@@ -51,6 +65,7 @@ def _compare_strategies(workload: WorkloadSpec, strategies: list[str],
             collaboration=engine.collaboration,
             agar_config=agar_config,
             topology_seed=settings.seed,
+            region_specs=engine.region_specs,
         )
         return {
             strategy: (
@@ -91,8 +106,22 @@ def run_fig8a(settings: ExperimentSettings | None = None,
               client_region: str = "frankfurt",
               include_backend_bar: bool = True,
               engine: EngineOptions | None = None) -> list[SweepPoint]:
-    """Vary the cache size with the workload fixed at Zipf 1.1 (Fig. 8a)."""
+    """Vary the cache size with the workload fixed at Zipf 1.1 (Fig. 8a).
+
+    Raises:
+        ValueError: if engine options carry per-region cache sizes — this
+            figure sweeps the cache size itself, so a per-region override
+            would silently fight the sweep.
+    """
     settings = settings or ExperimentSettings.quick()
+    if engine is not None:
+        sized = [spec.region for spec in engine.region_specs or ()
+                 if spec.cache_capacity_bytes is not None]
+        if sized:
+            raise ValueError(
+                f"fig8a sweeps the cache size; per-region cache overrides "
+                f"(--region, offending: {sized}) conflict with the sweep"
+            )
     workload = settings.workload(skew=1.1)
     points: list[SweepPoint] = []
 

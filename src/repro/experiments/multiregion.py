@@ -24,11 +24,23 @@ from repro.experiments.common import (
     EVALUATION_REGIONS,
     EngineOptions,
     ExperimentSettings,
+    RegionSpecOption,
     agar_config_for_capacity,
+    engine_region_spec,
 )
 from repro.geo.topology import Topology
-from repro.sim.engine import EngineConfig, EventEngine, RegionRunResult, RegionSpec
+from repro.sim.engine import (
+    DeploymentAggregate,
+    EngineConfig,
+    EngineResult,
+    EventEngine,
+    RegionRunResult,
+    RegionSpec,
+)
 from repro.workload.workload import ArrivalSpec, WorkloadSpec, poisson_arrivals
+
+#: Region label of deployment-wide aggregate rows in reports.
+DEPLOYMENT_LABEL = "all"
 
 
 @dataclass(frozen=True)
@@ -40,6 +52,8 @@ class RegionAggregate:
     clients: int
     runs: int
     mean_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
     p99_latency_ms: float
     hit_ratio: float
     full_hit_ratio: float
@@ -50,26 +64,88 @@ class RegionAggregate:
 def _aggregate_region(results: list[RegionRunResult]) -> RegionAggregate:
     first = results[0]
     latencies = [result.mean_latency_ms for result in results]
+    count = len(results)
     return RegionAggregate(
         region=first.region,
         strategy=first.strategy,
         clients=first.clients,
-        runs=len(results),
-        mean_latency_ms=sum(latencies) / len(latencies),
-        p99_latency_ms=sum(r.p99_latency_ms for r in results) / len(results),
-        hit_ratio=sum(r.hit_ratio for r in results) / len(results),
-        full_hit_ratio=sum(r.stats.full_hit_ratio for r in results) / len(results),
-        throughput_rps=sum(r.throughput_rps for r in results) / len(results),
+        runs=count,
+        mean_latency_ms=sum(latencies) / count,
+        p50_latency_ms=sum(r.stats.p50_latency_ms for r in results) / count,
+        p95_latency_ms=sum(r.stats.p95_latency_ms for r in results) / count,
+        p99_latency_ms=sum(r.p99_latency_ms for r in results) / count,
+        hit_ratio=sum(r.hit_ratio for r in results) / count,
+        full_hit_ratio=sum(r.stats.full_hit_ratio for r in results) / count,
+        throughput_rps=sum(r.throughput_rps for r in results) / count,
         per_run_latency_ms=latencies,
     )
 
 
+def _aggregate_deployment(config: EngineConfig,
+                          aggregates: list[DeploymentAggregate]) -> RegionAggregate:
+    """Average the per-run deployment-wide aggregates into one report row.
+
+    Percentiles here are percentiles of the merged per-read distribution of
+    each run (see :meth:`EngineResult.aggregate`), averaged over runs — not
+    averages of per-region percentiles.
+    """
+    strategies = sorted({spec.strategy for spec in config.regions})
+    count = len(aggregates)
+    latencies = [aggregate.mean_latency_ms for aggregate in aggregates]
+    return RegionAggregate(
+        region=DEPLOYMENT_LABEL,
+        strategy=strategies[0] if len(strategies) == 1 else "+".join(strategies),
+        clients=config.total_clients,
+        runs=count,
+        mean_latency_ms=sum(latencies) / count,
+        p50_latency_ms=sum(a.p50_latency_ms for a in aggregates) / count,
+        p95_latency_ms=sum(a.p95_latency_ms for a in aggregates) / count,
+        p99_latency_ms=sum(a.p99_latency_ms for a in aggregates) / count,
+        hit_ratio=sum(a.hit_ratio for a in aggregates) / count,
+        full_hit_ratio=sum(a.full_hit_ratio for a in aggregates) / count,
+        throughput_rps=sum(a.throughput_rps for a in aggregates) / count,
+        per_run_latency_ms=latencies,
+    )
+
+
+@dataclass(frozen=True)
+class EngineRunsResult:
+    """Aggregates of repeated engine runs: per region plus deployment-wide.
+
+    Behaves like the former per-region mapping (``result[region]``,
+    ``.items()``, ``.values()``) so existing figure runners keep working, and
+    additionally carries the deployment-wide aggregate (merged percentiles,
+    combined hit ratio, total throughput).
+    """
+
+    regions: dict[str, RegionAggregate]
+    deployment: RegionAggregate
+
+    def __getitem__(self, region: str) -> RegionAggregate:
+        return self.regions[region]
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def items(self):
+        """Per-region items, mirroring the mapping interface."""
+        return self.regions.items()
+
+    def values(self):
+        """Per-region aggregates, mirroring the mapping interface."""
+        return self.regions.values()
+
+
 def run_engine_many(config: EngineConfig, runs: int, base_seed: int | None = None,
-                    topology: Topology | None = None) -> dict[str, RegionAggregate]:
-    """Repeat one engine deployment over several seeds and aggregate per region.
+                    topology: Topology | None = None) -> EngineRunsResult:
+    """Repeat one engine deployment over several seeds and aggregate.
 
     Runs execute against the same long-running (warm) deployment, mirroring
-    ``Simulation.run_many``'s default.
+    ``Simulation.run_many``'s default.  Returns per-region aggregates plus
+    the deployment-wide aggregate of each run's merged statistics.
     """
     if runs <= 0:
         raise ValueError("runs must be positive")
@@ -79,11 +155,17 @@ def run_engine_many(config: EngineConfig, runs: int, base_seed: int | None = Non
     deployment = engine.build_deployment()
 
     per_region: dict[str, list[RegionRunResult]] = {}
+    per_run: list[DeploymentAggregate] = []
     for run_index in range(runs):
-        result = engine.execute(deployment, seed=base + run_index)
+        result: EngineResult = engine.execute(deployment, seed=base + run_index)
+        per_run.append(result.aggregate())
         for region, region_result in result.regions.items():
             per_region.setdefault(region, []).append(region_result)
-    return {region: _aggregate_region(results) for region, results in per_region.items()}
+    return EngineRunsResult(
+        regions={region: _aggregate_region(results)
+                 for region, results in per_region.items()},
+        deployment=_aggregate_deployment(config, per_run),
+    )
 
 
 def run_engine_comparison(workload: WorkloadSpec, strategies: list[str],
@@ -94,31 +176,44 @@ def run_engine_comparison(workload: WorkloadSpec, strategies: list[str],
                           collaboration: bool = False,
                           agar_config: AgarNodeConfig | None = None,
                           topology_seed: int = 0,
-                          topology: Topology | None = None
-                          ) -> dict[str, dict[str, RegionAggregate]]:
+                          topology: Topology | None = None,
+                          region_specs: tuple[RegionSpecOption, ...] | None = None
+                          ) -> dict[str, EngineRunsResult]:
     """Engine-backed strategy comparison: one deployment per strategy.
 
     All listed regions run simultaneously in one simulated deployment (unlike
     the classic path, which simulates each region separately), so jitter and
     reconfiguration interleave across regions.  Collaboration is applied only
-    to the ``agar`` strategy — the static baselines have no nodes to
-    collaborate.
+    when every region of the deployment runs the ``agar`` strategy — the
+    static baselines have no nodes to collaborate.
 
-    Returns ``{strategy: {region: RegionAggregate}}``.
+    ``region_specs`` describes a heterogeneous deployment (CLI ``--region``
+    flags): a region with a pinned strategy keeps it across the whole sweep,
+    and per-region cache sizes override ``cache_capacity_bytes``.
+
+    Returns ``{strategy: EngineRunsResult}``.
     """
-    comparison: dict[str, dict[str, RegionAggregate]] = {}
+    comparison: dict[str, EngineRunsResult] = {}
     for strategy in strategies:
-        config = EngineConfig(
-            workload=workload,
-            regions=tuple(
+        if region_specs:
+            deployment_regions = tuple(
+                engine_region_spec(spec, strategy, clients_per_region)
+                for spec in region_specs
+            )
+        else:
+            deployment_regions = tuple(
                 RegionSpec(region=region, clients=clients_per_region, strategy=strategy)
                 for region in regions
-            ),
+            )
+        all_agar = all(spec.strategy == "agar" for spec in deployment_regions)
+        config = EngineConfig(
+            workload=workload,
+            regions=deployment_regions,
             cache_capacity_bytes=cache_capacity_bytes,
             agar=agar_config,
             topology_seed=topology_seed,
             arrival=arrival or ArrivalSpec(),
-            collaboration=collaboration and strategy == "agar",
+            collaboration=collaboration and all_agar,
         )
         comparison[strategy] = run_engine_many(config, runs=runs, topology=topology)
     return comparison
@@ -136,14 +231,35 @@ DEFAULT_ARRIVAL_RATE_RPS = 2.0
 
 @dataclass(frozen=True)
 class MultiRegionRow:
-    """One row of the scaling experiment's report."""
+    """One row of the scaling experiment's report.
+
+    The ``all`` region rows are the deployment-wide aggregate: percentiles of
+    the merged per-read distribution, combined hit ratio, total throughput.
+    """
 
     clients_per_region: int
     region: str
+    strategy: str
     mean_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
     p99_latency_ms: float
     hit_ratio: float
     throughput_rps: float
+
+
+def _row_from_aggregate(clients: int, aggregate: RegionAggregate) -> MultiRegionRow:
+    return MultiRegionRow(
+        clients_per_region=clients,
+        region=aggregate.region,
+        strategy=aggregate.strategy,
+        mean_latency_ms=aggregate.mean_latency_ms,
+        p50_latency_ms=aggregate.p50_latency_ms,
+        p95_latency_ms=aggregate.p95_latency_ms,
+        p99_latency_ms=aggregate.p99_latency_ms,
+        hit_ratio=aggregate.hit_ratio,
+        throughput_rps=aggregate.throughput_rps,
+    )
 
 
 def run_multiregion_scaling(settings: ExperimentSettings | None = None,
@@ -154,9 +270,11 @@ def run_multiregion_scaling(settings: ExperimentSettings | None = None,
     """Sweep concurrent clients per region on a fixed multi-region deployment.
 
     Defaults follow the acceptance scenario: two regions (Frankfurt, Sydney),
-    Poisson arrivals, collaboration on.  The sweep covers
-    ``client_scaling`` (default 1/2/4/8, extended by the requested
-    ``clients_per_region`` if it is not already included).
+    Poisson arrivals, collaboration on.  The sweep covers ``client_scaling``
+    (default 1/2/4/8, extended by the requested ``clients_per_region`` if it
+    is not already included).  Heterogeneous deployments (per-region strategy
+    and cache size) come from ``options.region_specs``; each sweep point
+    reports its regions plus the deployment-wide aggregate row (``all``).
     """
     settings = settings or ExperimentSettings.quick()
     options = options or EngineOptions(
@@ -175,36 +293,34 @@ def run_multiregion_scaling(settings: ExperimentSettings | None = None,
 
     rows: list[MultiRegionRow] = []
     for clients in client_scaling:
+        deployment_regions = options.build_region_specs(
+            EVALUATION_REGIONS, strategy, clients=clients
+        )
+        all_agar = all(spec.strategy == "agar" for spec in deployment_regions)
         config = EngineConfig(
             workload=workload,
-            regions=tuple(RegionSpec(region=region, clients=clients, strategy=strategy)
-                          for region in regions),
+            regions=deployment_regions,
             cache_capacity_bytes=capacity,
             agar=agar_config_for_capacity(capacity),
             topology_seed=settings.seed,
             arrival=arrival,
-            collaboration=options.collaboration and strategy == "agar",
+            collaboration=options.collaboration and all_agar,
         )
         aggregates = run_engine_many(config, runs=settings.runs)
         for region in regions:
-            aggregate = aggregates[region]
-            rows.append(
-                MultiRegionRow(
-                    clients_per_region=clients,
-                    region=region,
-                    mean_latency_ms=aggregate.mean_latency_ms,
-                    p99_latency_ms=aggregate.p99_latency_ms,
-                    hit_ratio=aggregate.hit_ratio,
-                    throughput_rps=aggregate.throughput_rps,
-                )
-            )
+            rows.append(_row_from_aggregate(clients, aggregates[region]))
+        rows.append(_row_from_aggregate(clients, aggregates.deployment))
     return rows
 
 
 def render_multiregion(rows: list[MultiRegionRow],
                        options: EngineOptions | None = None) -> Table:
-    """Render the scaling experiment as a report table."""
-    title = "Multi-region scaling — per-region latency, hit ratio and throughput"
+    """Render the scaling experiment as a report table.
+
+    Each client count lists its regions followed by the deployment-wide
+    ``all`` aggregate row (merged percentiles, total throughput).
+    """
+    title = "Multi-region scaling — latency, hit ratio and throughput"
     if options is not None:
         loop = ("poisson @ %.2g rps" % options.arrival_rate_rps
                 if options.arrival_rate_rps else "closed loop")
@@ -212,14 +328,17 @@ def render_multiregion(rows: list[MultiRegionRow],
         title += f" ({loop}, {collab})"
     table = Table(
         title=title,
-        columns=("clients/region", "region", "mean (ms)", "p99 (ms)",
-                 "hit ratio (%)", "throughput (req/s)"),
+        columns=("clients/region", "region", "strategy", "mean (ms)", "p50 (ms)",
+                 "p95 (ms)", "p99 (ms)", "hit ratio (%)", "throughput (req/s)"),
     )
     for row in rows:
         table.add_row(
             row.clients_per_region,
             row.region,
+            row.strategy,
             row.mean_latency_ms,
+            row.p50_latency_ms,
+            row.p95_latency_ms,
             row.p99_latency_ms,
             row.hit_ratio * 100.0,
             row.throughput_rps,

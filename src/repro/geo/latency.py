@@ -111,7 +111,10 @@ class LatencyModel:
         self._rng = np.random.default_rng(seed)
         self._seed = seed
         self._jitter_block = jitter_block
-        self._block = np.empty(0, dtype=np.float64)
+        # The refill block is kept as a plain Python list: every consumer needs
+        # Python floats, and converting once per refill (ndarray.tolist) is far
+        # cheaper than boxing one numpy scalar per draw.
+        self._block: list[float] = []
         self._block_pos = 0
 
     @property
@@ -123,8 +126,21 @@ class LatencyModel:
         """Reset the jitter generator (used to make runs independent)."""
         self._rng = np.random.default_rng(seed)
         self._seed = seed
-        self._block = np.empty(0, dtype=np.float64)
+        self._block = []
         self._block_pos = 0
+
+    @property
+    def fully_jittered(self) -> bool:
+        """True when every link (backend and cache) carries jitter > 0.
+
+        The lane scheduler uses this to decide whether exact event-time ties
+        between clients are possible systematically: with jitter on every
+        link they are a measure-zero float coincidence, without it (e.g. the
+        table1 topology) deterministic latencies make them common and the
+        scheduler must resolve them by the reference's insertion order.
+        """
+        return (all(profile.jitter > 0 for profile in self._links.values())
+                and all(profile.jitter > 0 for profile in self._cache_links.values()))
 
     def regions(self) -> list[str]:
         """All region names that appear as backend endpoints."""
@@ -165,14 +181,52 @@ class LatencyModel:
     # ------------------------------------------------------------------ #
     # Sampled latencies
     # ------------------------------------------------------------------ #
-    def _next_standard_normal(self) -> float:
-        """Next sample from the refillable standard-normal block."""
-        if self._block_pos >= self._block.shape[0]:
-            self._block = self._rng.standard_normal(self._jitter_block)
-            self._block_pos = 0
-        sample = self._block[self._block_pos]
-        self._block_pos += 1
-        return float(sample)
+    def next_standard_normal(self) -> float:
+        """Next sample from the refillable standard-normal jitter block.
+
+        Public because the strategies' indexed read fast path applies the
+        jitter itself (``expected * exp(σ·z)`` with precomputed ``expected``
+        and ``σ``) instead of going through :meth:`sample_backend_read`; both
+        paths consume the same underlying bit stream, one draw per jittered
+        chunk, so they stay bit-identical.
+        """
+        block = self._block
+        position = self._block_pos
+        if position >= len(block):
+            block = self._rng.standard_normal(self._jitter_block).tolist()
+            self._block = block
+            position = 0
+        self._block_pos = position + 1
+        return block[position]
+
+    # Internal alias kept for the scalar sampling helpers below.
+    _next_standard_normal = next_standard_normal
+
+    def take_standard_normals(self, count: int) -> list[float]:
+        """Take ``count`` sequential draws from the jitter block in one call.
+
+        Consumes exactly the same bit stream as ``count`` scalar
+        :meth:`next_standard_normal` calls (including refills at the same
+        block boundaries); the indexed read path uses it to sample all of a
+        read's chunks at once.
+        """
+        position = self._block_pos
+        block = self._block
+        available = len(block) - position
+        if count <= available:
+            self._block_pos = position + count
+            return block[position:position + count]
+        draws = block[position:]
+        remaining = count - available
+        while True:
+            block = self._rng.standard_normal(self._jitter_block).tolist()
+            if remaining <= len(block):
+                draws.extend(block[:remaining])
+                self._block = block
+                self._block_pos = remaining
+                return draws
+            draws.extend(block)
+            remaining -= len(block)
 
     def _apply_jitter(self, expected_ms: float, jitter: float) -> float:
         if jitter <= 0:

@@ -4,6 +4,7 @@ classic single-client run driver."""
 from repro.sim.clock import SimulationClock
 from repro.sim.engine import (
     CLIENT_SEED_STRIDE,
+    DeploymentAggregate,
     EngineConfig,
     EngineDeployment,
     EngineResult,
@@ -23,6 +24,7 @@ from repro.sim.simulation import (
 __all__ = [
     "AggregatedResult",
     "CLIENT_SEED_STRIDE",
+    "DeploymentAggregate",
     "EngineConfig",
     "EngineDeployment",
     "EngineResult",

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 
 class SimulationClock:
-    """Monotonic simulated time in seconds."""
+    """Monotonic simulated time in seconds.
+
+    The clock sits on the discrete-event engine's per-event path (one
+    :meth:`advance_to` per event), so it is slotted: no per-instance dict,
+    and attribute access from the hot loop stays a single slot load.
+    """
+
+    __slots__ = ("_now_s",)
 
     def __init__(self, start_s: float = 0.0) -> None:
         if start_s < 0:

@@ -36,11 +36,43 @@ Given the same :class:`EngineConfig` and run seed, a run is bit-reproducible:
 With one region, one closed-loop client, no collaboration and piggybacked
 reconfiguration (the automatic default for that shape), the engine reproduces
 the legacy ``Simulation.run`` results bit-identically.
+
+Scheduling core (lane scheduler)
+--------------------------------
+
+:meth:`EventEngine.execute` no longer runs a global binary heap.  Each client
+is a *lane*: it has at most one outstanding event at a time (its next arrival),
+so the queue reduces to one next-event time per lane, held in a NumPy array —
+the next event is an ``argmin`` over that array instead of a heap pop over
+``(time, priority, seq, payload)`` tuples.  Client state is struct-of-arrays
+(per-lane rank streams from :func:`generate_request_ranks`, positions, bound
+read/record callables) and reads go through the strategies'
+:meth:`~repro.client.strategies.ReadStrategy.read_indexed` fast path, so the
+inner loop allocates no tuples and hashes no key strings.  Open-loop lanes
+pre-draw exponential inter-arrival blocks from their per-client generators
+(block and scalar draws consume the same bit stream).  Timer events (few per
+deployment) live in a small residual heap consulted before each arrival.
+
+The previous heap loop is retained verbatim as
+:meth:`EventEngine.execute_reference`; the equivalence suite
+(``tests/sim/test_engine_equivalence.py``) asserts the lane scheduler is
+bit-identical to it on every supported shape.
+
+:meth:`EventEngine.execute_sharded` additionally runs *non-collaborative*
+deployments with one worker process per region (fork: the populated
+:class:`ErasureCodedStore` is shared copy-on-write).  Sharded runs are
+deterministic — the forked and the in-process (``processes=False``) paths are
+bit-identical — but not bit-identical to :meth:`execute`, because each shard
+draws latency jitter from its own region-derived stream instead of
+interleaving one shared stream.
 """
 
 from __future__ import annotations
 
+import copy
 import heapq
+import math
+import multiprocessing
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,6 +90,7 @@ from repro.workload.workload import (
     ArrivalSpec,
     Request,
     WorkloadSpec,
+    generate_request_ranks,
     generate_requests,
 )
 
@@ -76,6 +109,18 @@ _ARRIVAL_SEED_TAG = 104729
 _PRIO_TIMER = 0
 _PRIO_ARRIVAL = 1
 
+#: How many exponential inter-arrival samples an open-loop lane pre-draws per
+#: refill.  Block and scalar draws consume the same per-client bit stream.
+_ARRIVAL_BLOCK = 256
+
+#: Mixed into the per-region jitter seeds of sharded execution, so each shard
+#: draws from its own deterministic latency-jitter stream.
+_SHARD_SEED_TAG = 15485863
+
+#: Timer kinds of the lane scheduler's residual heap.
+_TIMER_COLLAB = 0
+_TIMER_REGION = 1
+
 
 @dataclass(frozen=True)
 class RegionSpec:
@@ -86,15 +131,26 @@ class RegionSpec:
         clients: number of concurrent clients in the region.
         strategy: read strategy shared by the region's clients
             (``"agar"``, ``"backend"``, ``"lru-5"``, ...).
+        cache_capacity_bytes: per-region cache capacity override; ``None``
+            uses the deployment-wide :attr:`EngineConfig.cache_capacity_bytes`
+            (heterogeneous deployments give each region its own size).
+        agar: per-region Agar node tunables override; ``None`` uses the
+            deployment-wide :attr:`EngineConfig.agar`.  Regions with a
+            capacity override usually pair it with tunables adapted to that
+            capacity (see ``agar_config_for_capacity``).
     """
 
     region: str
     clients: int = 1
     strategy: str = "agar"
+    cache_capacity_bytes: int | None = None
+    agar: AgarNodeConfig | None = None
 
     def __post_init__(self) -> None:
         if self.clients <= 0:
             raise ValueError("clients must be positive")
+        if self.cache_capacity_bytes is not None and self.cache_capacity_bytes <= 0:
+            raise ValueError("cache_capacity_bytes must be positive when set")
 
 
 @dataclass(frozen=True)
@@ -218,6 +274,26 @@ class RegionRunResult:
         return self.stats.throughput_rps(self.duration_s)
 
 
+@dataclass(frozen=True)
+class DeploymentAggregate:
+    """Deployment-wide metrics of one engine run (all regions merged).
+
+    This is what a multi-region report quotes for the deployment as a whole:
+    the latency percentiles of the merged per-read distribution (not averages
+    of per-region percentiles), the combined hit ratio, and the total
+    throughput over the run's duration.
+    """
+
+    requests: int
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    hit_ratio: float
+    full_hit_ratio: float
+    throughput_rps: float
+
+
 @dataclass
 class EngineResult:
     """Outcome of one multi-region engine run."""
@@ -240,14 +316,29 @@ class EngineResult:
 
     def overall_stats(self) -> LatencyStats:
         """All regions' statistics merged into one (new) aggregate."""
-        merged = LatencyStats(capacity=1)
-        for result in self.regions.values():
-            merged = merged.merge(result.stats)
-        return merged
+        return LatencyStats.merge_all(result.stats for result in self.regions.values())
+
+    def aggregate(self) -> DeploymentAggregate:
+        """Deployment-wide aggregate: merged percentiles, hit ratio, throughput."""
+        merged = self.overall_stats()
+        return DeploymentAggregate(
+            requests=merged.count,
+            mean_latency_ms=merged.mean_latency_ms,
+            p50_latency_ms=merged.p50_latency_ms,
+            p95_latency_ms=merged.p95_latency_ms,
+            p99_latency_ms=merged.p99_latency_ms,
+            hit_ratio=merged.hit_ratio,
+            full_hit_ratio=merged.full_hit_ratio,
+            throughput_rps=self.throughput_rps,
+        )
 
 
 class _ClientState:
-    """One client's request stream and (for open loop) arrival generator."""
+    """One client's request stream and (for open loop) arrival generator.
+
+    Used only by :meth:`EventEngine.execute_reference`; the lane scheduler
+    keeps client state in parallel arrays instead.
+    """
 
     __slots__ = ("region_index", "requests", "next_index", "arrival_rng")
 
@@ -257,6 +348,38 @@ class _ClientState:
         self.requests = requests
         self.next_index = 0
         self.arrival_rng = arrival_rng
+
+
+@dataclass
+class _LaneOutcome:
+    """What one lane-scheduler pass produces, keyed by region index."""
+
+    stats: dict[int, LatencyStats]
+    kept: dict[int, list[ReadResult]]
+    duration: float
+
+
+def _shard_jitter_seed(seed: int, region_index: int) -> int:
+    """Deterministic per-region jitter seed of sharded execution."""
+    return seed + _SHARD_SEED_TAG * (region_index + 1)
+
+
+def _shard_worker(engine: "EventEngine", deployment: EngineDeployment, seed: int,
+                  region_index: int, connection) -> None:
+    """Body of one forked region worker: run the shard, ship the result back.
+
+    Module-level so the fork start method can run it; the engine and the
+    deployment are inherited through fork (copy-on-write), only the per-region
+    result travels through the pipe.
+    """
+    try:
+        payload: object = engine._execute_region_shard(deployment, seed, region_index)
+    except BaseException as error:  # pragma: no cover - transport for the parent
+        payload = error
+    try:
+        connection.send(payload)
+    finally:
+        connection.close()
 
 
 class EventEngine:
@@ -311,10 +434,14 @@ class EventEngine:
                 spec.strategy,
                 store=store,
                 client_region=spec.region,
-                cache_capacity_bytes=config.cache_capacity_bytes,
+                cache_capacity_bytes=(
+                    spec.cache_capacity_bytes
+                    if spec.cache_capacity_bytes is not None
+                    else config.cache_capacity_bytes
+                ),
                 clock=clock,
                 client_config=config.client,
-                node_config=config.agar,
+                node_config=spec.agar if spec.agar is not None else config.agar,
             )
             for spec in config.regions
         ]
@@ -351,6 +478,22 @@ class EventEngine:
         The deployment — caches, popularity statistics and the clock —
         persists across calls, which models repeated YCSB runs against a
         long-running system (the paper's warm-cache repetition).
+
+        This is the lane-scheduler fast path (see the module docstring); it
+        is bit-identical to :meth:`execute_reference` on every supported
+        shape, as asserted by ``tests/sim/test_engine_equivalence.py``.
+        """
+        outcome = self._run_lanes(deployment, seed, range(len(self._config.regions)))
+        return self._assemble_result(deployment, outcome)
+
+    def execute_reference(self, deployment: EngineDeployment, seed: int) -> EngineResult:
+        """The PR 2 heap loop, retained verbatim as the reference scheduler.
+
+        One global binary heap over ``(time, priority, seq, payload)`` tuples,
+        one :class:`Request` object per read.  :meth:`execute` must reproduce
+        this bit-for-bit; the equivalence suite compares the two on every
+        supported shape, the same way the engine originally proved itself
+        against ``Simulation.run_legacy``.
         """
         config = self._config
         clock = deployment.clock
@@ -482,3 +625,344 @@ class EventEngine:
             duration_s=duration,
             regions=regions,
         )
+
+    # ------------------------------------------------------------------ #
+    # Lane scheduler (the fast path behind execute / execute_sharded)
+    # ------------------------------------------------------------------ #
+    def _run_lanes(self, deployment: EngineDeployment, seed: int,
+                   region_indices) -> _LaneOutcome:
+        """Run the lane scheduler over the clients of ``region_indices``.
+
+        Every client is one lane with at most one outstanding event; the next
+        event is the ``argmin`` of the per-lane next-event times, with the few
+        timer events kept in a small residual heap consulted first.  Global
+        client numbering stays region-major over the *full* deployment, so a
+        lane replays the same request stream whether it runs in a full
+        in-process pass or in a single-region shard.
+
+        Event order, jitter draws and arithmetic replicate
+        :meth:`execute_reference` exactly: ties at equal timestamps resolve
+        timers-first then insertion order — preserved by the lane layout at
+        the start-time collision, and by explicit per-lane schedule sequence
+        numbers on topologies where zero-jitter links make exact ties
+        systematic — so the two paths are bit-identical.
+        """
+        config = self._config
+        clock = deployment.clock
+        strategies = deployment.strategies
+        arrival = config.arrival
+        open_loop = arrival.is_open_loop
+        timer_mode = config.uses_timer_reconfiguration
+        warmup = config.warmup_requests
+        keep = self._keep_results
+        workload = config.workload
+        start = clock.now()
+
+        region_indices = list(region_indices)
+        selected = set(region_indices)
+
+        # Shared key space; per-key plans are built lazily inside read_indexed.
+        keys = [workload.key_for_rank(rank) for rank in range(workload.object_count)]
+        for region_index in region_indices:
+            strategies[region_index].prepare_indexed_reads(keys)
+
+        per_client_requests = workload.request_count
+        region_stats = {
+            region_index: LatencyStats(
+                capacity=max(config.regions[region_index].clients * per_client_requests, 1)
+            )
+            for region_index in region_indices
+        }
+        region_kept: dict[int, list[ReadResult]] = {
+            region_index: [] for region_index in region_indices
+        }
+
+        # Struct-of-arrays lanes.  Ranks are plain Python lists (fastest
+        # scalar indexing); next-event times live in a float64 array for the
+        # argmin.  Open-loop lanes pre-draw exponential blocks per client.
+        lane_region: list[int] = []
+        lane_ranks: list[list[int]] = []
+        lane_rng: list[np.random.Generator] = []
+        lane_block: list[list[float]] = []
+        lane_block_pos: list[int] = []
+        mean_interarrival = arrival.mean_interarrival_s if open_loop else 0.0
+        global_index = 0
+        for region_index, spec in enumerate(config.regions):
+            for _ in range(spec.clients):
+                client_index = global_index
+                global_index += 1
+                if region_index not in selected:
+                    continue
+                ranks = generate_request_ranks(
+                    workload, seed=seed + CLIENT_SEED_STRIDE * client_index
+                )
+                if ranks.size == 0:
+                    continue
+                lane_region.append(region_index)
+                lane_ranks.append(ranks.tolist())
+                if open_loop:
+                    lane_rng.append(np.random.default_rng(
+                        (seed, _ARRIVAL_SEED_TAG, client_index)
+                    ))
+                    lane_block.append([])
+                    lane_block_pos.append(0)
+
+        lanes = len(lane_region)
+
+        def next_interarrival(lane: int) -> float:
+            block = lane_block[lane]
+            position = lane_block_pos[lane]
+            if position >= len(block):
+                block = lane_rng[lane].exponential(
+                    mean_interarrival, _ARRIVAL_BLOCK
+                ).tolist()
+                lane_block[lane] = block
+                position = 0
+            lane_block_pos[lane] = position + 1
+            return block[position]
+
+        next_time = np.empty(max(lanes, 1), dtype=np.float64)
+        times: list[float] = [0.0] * lanes
+        for lane in range(lanes):
+            first = start + next_interarrival(lane) if open_loop else start
+            next_time[lane] = first
+            times[lane] = first
+
+        # Residual priority structure: the deployment's few periodic timers.
+        timer_heap: list[tuple[float, int, int, int, float]] = []
+        timer_seq = 0
+        if timer_mode:
+            for region_index in region_indices:
+                strategies[region_index].set_external_reconfiguration(True)
+            if deployment.coordinator is not None:
+                period = config.collaboration_period_s
+                if period is None:
+                    agar = config.agar or AgarNodeConfig()
+                    period = agar.reconfiguration_period_s
+                heapq.heappush(
+                    timer_heap, (start + period, timer_seq, _TIMER_COLLAB, -1, period)
+                )
+                timer_seq += 1
+            else:
+                for region_index in region_indices:
+                    period = strategies[region_index].reconfiguration_period_s
+                    if period is not None:
+                        heapq.heappush(
+                            timer_heap,
+                            (start + period, timer_seq, _TIMER_REGION, region_index, period),
+                        )
+                        timer_seq += 1
+
+        # Per-lane bound callables: no dict/attribute lookups in the loop.
+        lane_read = [strategies[region_index].read_indexed for region_index in lane_region]
+        lane_record = [region_stats[region_index].record_read for region_index in lane_region]
+        lane_kept = [region_kept[region_index] for region_index in lane_region]
+        lane_pos = [0] * lanes
+        lane_end = [len(ranks) for ranks in lane_ranks]
+
+        # Exact event-time ties between lanes must resolve in the reference's
+        # insertion order.  With jitter on every link a collision is a
+        # measure-zero float coincidence, and the one systematic collision —
+        # all closed-loop lanes starting at `start` — already resolves
+        # correctly because argmin's first-index tie-break equals the initial
+        # scheduling order.  Zero-jitter topologies (e.g. table1) make exact
+        # ties routine, so there each lane carries the sequence number its
+        # current event was scheduled with (mirroring the reference's push
+        # counter) and tied lanes resolve to the smallest one.
+        guard_ties = not self._topology.latency.fully_jittered
+        lane_schedule_seq = list(range(lanes))
+        schedule_counter = lanes
+
+        remaining = lanes
+        last_completion = start
+        advance_to = clock.advance_to
+        argmin = next_time.argmin
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        infinity = math.inf
+
+        while remaining:
+            lane = int(argmin())
+            event_time = times[lane]
+            if guard_ties:
+                tied = np.flatnonzero(next_time == event_time)
+                if tied.shape[0] > 1:
+                    for candidate in tied.tolist():
+                        if lane_schedule_seq[candidate] < lane_schedule_seq[lane]:
+                            lane = candidate
+            # Timers due before (or exactly at) the next arrival fire first —
+            # the reference's (time, priority, seq) order with _PRIO_TIMER 0.
+            while timer_heap and timer_heap[0][0] <= event_time:
+                timer_time, _seq, kind, region_index, period = heappop(timer_heap)
+                clock._now_s = timer_time
+                if kind == _TIMER_COLLAB:
+                    deployment.coordinator.reconfigure_all(timer_time)
+                else:
+                    strategies[region_index].tick(timer_time)
+                heappush(timer_heap, (timer_time + period, timer_seq, kind, region_index, period))
+                timer_seq += 1
+            # Direct slot write instead of clock.advance_to: the scheduler's
+            # argmin guarantees monotonically non-decreasing event times, so
+            # the method call and its past-check are pure per-event overhead.
+            clock._now_s = event_time
+
+            position = lane_pos[lane]
+            result = lane_read[lane](lane_ranks[lane][position], event_time)
+            latency_ms = result.latency_ms
+            completion = event_time + latency_ms / 1000.0
+            if completion > last_completion:
+                last_completion = completion
+            if position >= warmup:
+                lane_record[lane](latency_ms, result.hit_type,
+                                  result.chunks_from_cache, result.chunks_from_backend)
+            if keep:
+                lane_kept[lane].append(result)
+            position += 1
+            lane_pos[lane] = position
+            if position < lane_end[lane]:
+                upcoming = (event_time + next_interarrival(lane) if open_loop
+                            else completion)
+                times[lane] = upcoming
+                next_time[lane] = upcoming
+                if guard_ties:
+                    lane_schedule_seq[lane] = schedule_counter
+                    schedule_counter += 1
+            else:
+                next_time[lane] = infinity
+                remaining -= 1
+
+        end = clock.now()
+        if last_completion > end:
+            end = last_completion
+        advance_to(end)
+        return _LaneOutcome(
+            stats=region_stats, kept=region_kept, duration=end - start
+        )
+
+    def _assemble_result(self, deployment: EngineDeployment,
+                         outcome: _LaneOutcome) -> EngineResult:
+        """Build the full-deployment :class:`EngineResult` of one lane pass."""
+        config = self._config
+        regions: dict[str, RegionRunResult] = {}
+        for region_index, spec in enumerate(config.regions):
+            regions[spec.region] = RegionRunResult(
+                region=spec.region,
+                strategy=spec.strategy,
+                clients=spec.clients,
+                stats=outcome.stats[region_index],
+                duration_s=outcome.duration,
+                cache_snapshot=deployment.strategies[region_index].cache_snapshot(),
+                results=outcome.kept[region_index],
+            )
+        return EngineResult(
+            workload_name=config.workload.name,
+            duration_s=outcome.duration,
+            regions=regions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Process-parallel region sharding
+    # ------------------------------------------------------------------ #
+    def _execute_region_shard(self, deployment: EngineDeployment, seed: int,
+                              region_index: int) -> RegionRunResult:
+        """Run one region of the deployment as an isolated shard.
+
+        Reseeds the deployment's latency model with the region-derived shard
+        seed, then runs the lane scheduler over that region's clients only.
+        Runs either inside a forked worker (deployment inherited
+        copy-on-write) or against a deep copy (the in-process fallback) —
+        both mutate only their private copy, bit-identically.
+        """
+        deployment.store.topology.latency.reseed(_shard_jitter_seed(seed, region_index))
+        outcome = self._run_lanes(deployment, seed, [region_index])
+        spec = self._config.regions[region_index]
+        return RegionRunResult(
+            region=spec.region,
+            strategy=spec.strategy,
+            clients=spec.clients,
+            stats=outcome.stats[region_index],
+            duration_s=outcome.duration,
+            cache_snapshot=deployment.strategies[region_index].cache_snapshot(),
+            results=outcome.kept[region_index],
+        )
+
+    def execute_sharded(self, deployment: EngineDeployment, seed: int,
+                        processes: bool | None = None) -> EngineResult:
+        """Replay one run with one worker per region (fork copy-on-write).
+
+        Non-collaborative regions never interact — their only shared state is
+        the read-only populated store — so each region can run in its own
+        process: the parent builds (and populates) the deployment once, forks
+        one worker per region, and merges the per-region results.
+
+        Determinism: each shard reseeds its latency model with
+        ``seed + _SHARD_SEED_TAG * (region_index + 1)``, so sharded runs are
+        bit-reproducible, and the forked path is bit-identical to the
+        in-process fallback (``processes=False``).  They are *not*
+        bit-identical to :meth:`execute`, which interleaves all regions
+        through one shared jitter stream — an interleaving that cannot be
+        reproduced across processes.
+
+        The parent deployment is left untouched (workers mutate copies), so
+        sharded runs never warm the caller's caches; per-region durations are
+        each shard's own span and the merged ``duration_s`` is their maximum.
+
+        Args:
+            deployment: the deployment to shard.
+            seed: per-run seed (same meaning as in :meth:`execute`).
+            processes: fork one worker per region; ``None`` (default) forks
+                whenever the platform supports the fork start method and
+                there is more than one region, ``False`` runs the shards
+                sequentially in-process against deep copies.
+
+        Raises:
+            ValueError: for collaborative deployments (cross-region coupling
+                cannot be sharded).
+        """
+        config = self._config
+        if deployment.coordinator is not None:
+            raise ValueError("sharded execution requires a non-collaborative deployment")
+        if processes is None:
+            processes = "fork" in multiprocessing.get_all_start_methods()
+
+        region_results: list[RegionRunResult] = []
+        if processes and len(config.regions) > 1:
+            context = multiprocessing.get_context("fork")
+            workers = []
+            for region_index in range(len(config.regions)):
+                receiver, sender = context.Pipe(duplex=False)
+                worker = context.Process(
+                    target=_shard_worker,
+                    args=(self, deployment, seed, region_index, sender),
+                )
+                worker.start()
+                sender.close()
+                workers.append((worker, receiver))
+            for worker, receiver in workers:
+                payload = receiver.recv()
+                worker.join()
+                if isinstance(payload, BaseException):
+                    raise payload
+                region_results.append(payload)
+        else:
+            for region_index in range(len(config.regions)):
+                shard = copy.deepcopy(deployment)
+                region_results.append(
+                    self._execute_region_shard(shard, seed, region_index)
+                )
+
+        duration = max((result.duration_s for result in region_results), default=0.0)
+        return EngineResult(
+            workload_name=config.workload.name,
+            duration_s=duration,
+            regions={result.region: result for result in region_results},
+        )
+
+    def run_sharded(self, seed: int | None = None,
+                    processes: bool | None = None) -> EngineResult:
+        """Build a fresh deployment and execute it region-sharded (cold run)."""
+        config = self._config
+        effective_seed = config.workload.seed if seed is None else seed
+        self._topology.latency.reseed(config.topology_seed + effective_seed)
+        deployment = self.build_deployment()
+        return self.execute_sharded(deployment, effective_seed, processes=processes)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
+import numpy as np
+
 from repro.geo.latency import DEFAULT_OBJECT_SIZE
 from repro.workload.zipfian import KeyDistribution, UniformDistribution, ZipfianDistribution
 
@@ -214,10 +216,22 @@ def zipfian_workload(skew: float, request_count: int = 1000, object_count: int =
     )
 
 
+def generate_request_ranks(spec: WorkloadSpec, seed: int | None = None) -> np.ndarray:
+    """Materialise one run's request stream as popularity ranks (no objects).
+
+    This is the struct-of-arrays form of :func:`generate_requests`: the same
+    distribution draws, returned as an integer rank array instead of a list of
+    :class:`Request` objects.  ``spec.key_for_rank(rank)`` maps each entry back
+    to its key; the request's ``sequence`` is its position in the array.  The
+    discrete-event engine's lane scheduler consumes this form directly.
+    """
+    distribution = spec.build_distribution(seed)
+    return distribution.sample_many(spec.request_count)
+
+
 def generate_requests(spec: WorkloadSpec, seed: int | None = None) -> list[Request]:
     """Materialise the full request stream for one run (deterministic)."""
-    distribution = spec.build_distribution(seed)
-    ranks = distribution.sample_many(spec.request_count)
+    ranks = generate_request_ranks(spec, seed)
     return [
         Request(key=spec.key_for_rank(int(rank)), operation="read", sequence=index)
         for index, rank in enumerate(ranks)

@@ -58,6 +58,24 @@ class KeyDistribution(ABC):
         return np.cumsum(self.probabilities())
 
 
+#: Memoised Zipfian probability vectors.  Multi-client simulations build one
+#: distribution per client over the same (item_count, skew); the vector is a
+#: pure function of those two, so it is computed once and shared read-only
+#: (``sample_many`` never mutates it).
+_PROBABILITY_CACHE: dict[tuple[int, float], np.ndarray] = {}
+
+
+def _zipfian_probabilities(item_count: int, skew: float) -> np.ndarray:
+    probabilities = _PROBABILITY_CACHE.get((item_count, skew))
+    if probabilities is None:
+        ranks = np.arange(1, item_count + 1, dtype=np.float64)
+        weights = 1.0 / np.power(ranks, skew)
+        probabilities = weights / weights.sum()
+        probabilities.flags.writeable = False
+        _PROBABILITY_CACHE[(item_count, skew)] = probabilities
+    return probabilities
+
+
 class ZipfianDistribution(KeyDistribution):
     """Finite Zipfian distribution ``P(i) ∝ 1 / (i + 1)^s``.
 
@@ -72,9 +90,7 @@ class ZipfianDistribution(KeyDistribution):
         if skew < 0:
             raise ValueError("skew must be non-negative")
         self._skew = skew
-        ranks = np.arange(1, item_count + 1, dtype=np.float64)
-        weights = 1.0 / np.power(ranks, skew)
-        self._probabilities = weights / weights.sum()
+        self._probabilities = _zipfian_probabilities(item_count, skew)
 
     @property
     def skew(self) -> float:

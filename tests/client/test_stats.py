@@ -93,3 +93,24 @@ class TestLatencyStats:
         assert merged.hit_ratio == pytest.approx(0.5)
         # Originals untouched.
         assert first.count == 1 and second.count == 1
+
+
+class TestMergeAll:
+    def test_merge_all_matches_pairwise(self):
+        parts = []
+        for start in (0, 3, 6):
+            stats = LatencyStats()
+            for offset in range(3):
+                hit = HitType.FULL if (start + offset) % 2 else HitType.MISS
+                stats.record(result(100.0 + start + offset, hit))
+            parts.append(stats)
+        merged = LatencyStats.merge_all(parts)
+        pairwise = parts[0].merge(parts[1]).merge(parts[2])
+        assert merged.count == pairwise.count == 9
+        assert merged.latencies_ms == pairwise.latencies_ms
+        assert merged.full_hits == pairwise.full_hits
+        assert merged.misses == pairwise.misses
+
+    def test_merge_all_empty(self):
+        merged = LatencyStats.merge_all([])
+        assert merged.count == 0

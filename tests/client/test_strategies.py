@@ -170,3 +170,15 @@ class TestFactory:
     def test_unknown_name(self, store):
         with pytest.raises(ValueError):
             make_strategy("arc-5", store, "frankfurt", MEGABYTE)
+
+
+class TestStrategyNameValidation:
+    def test_is_strategy_name(self):
+        from repro.client.strategies import is_strategy_name
+
+        for name in ("backend", "agar", "lru-1", "lfu-9", "lru-online-3",
+                      "lfu-online-5"):
+            assert is_strategy_name(name)
+        for name in ("bogus", "lru-", "lfu-0", "lru-x", "agar-2", "LRU-5",
+                      "lfu-online-"):
+            assert not is_strategy_name(name)

@@ -114,8 +114,154 @@ class TestCliEngine:
         first = run_multiregion_scaling(tiny, options=options, client_scaling=(4,))
         second = run_multiregion_scaling(tiny, options=options, client_scaling=(4,))
         assert first == second
-        assert {row.region for row in first} == {"frankfurt", "sydney"}
+        # Per-region rows plus the deployment-wide aggregate row.
+        assert {row.region for row in first} == {"frankfurt", "sydney", "all"}
         for row in first:
             assert row.mean_latency_ms > 0
-            assert row.p99_latency_ms >= row.mean_latency_ms
+            assert row.p50_latency_ms <= row.p95_latency_ms <= row.p99_latency_ms
             assert row.throughput_rps > 0
+        deployment = [row for row in first if row.region == "all"]
+        regions = [row for row in first if row.region != "all"]
+        assert len(deployment) == 1
+        # Total throughput is the sum of the regions' (same duration).
+        assert deployment[0].throughput_rps == pytest.approx(
+            sum(row.throughput_rps for row in regions), rel=1e-6
+        )
+
+
+class TestHeterogeneousRegionOptions:
+    def test_parse_cache_size(self):
+        from repro.experiments.common import parse_cache_size
+
+        assert parse_cache_size("256MB") == 256 * 1024 * 1024
+        assert parse_cache_size("64kb") == 64 * 1024
+        assert parse_cache_size("1 GB") == 1024 ** 3
+        assert parse_cache_size("1048576") == 1048576
+        with pytest.raises(ValueError):
+            parse_cache_size("zero")
+        with pytest.raises(ValueError):
+            parse_cache_size("-5MB")
+
+    def test_parse_region_spec(self):
+        from repro.experiments.common import RegionSpecOption
+
+        full = RegionSpecOption.parse("frankfurt:agar:256MB")
+        assert full.region == "frankfurt"
+        assert full.strategy == "agar"
+        assert full.cache_capacity_bytes == 256 * 1024 * 1024
+        bare = RegionSpecOption.parse("sydney")
+        assert bare.strategy is None and bare.cache_capacity_bytes is None
+        cache_only = RegionSpecOption.parse("sydney::64MB")
+        assert cache_only.strategy is None
+        assert cache_only.cache_capacity_bytes == 64 * 1024 * 1024
+        with pytest.raises(ValueError):
+            RegionSpecOption.parse("a:b:c:d")
+        with pytest.raises(ValueError):
+            RegionSpecOption.parse(":agar")
+
+    def test_build_region_specs_applies_overrides(self):
+        from repro.experiments.common import EngineOptions, RegionSpecOption
+
+        options = EngineOptions(
+            clients_per_region=3,
+            region_specs=(
+                RegionSpecOption("frankfurt", strategy="agar",
+                                 cache_capacity_bytes=8 * 1024 * 1024),
+                RegionSpecOption("sydney"),
+            ),
+        )
+        specs = options.build_region_specs(("ignored",), "lfu-5")
+        assert [spec.region for spec in specs] == ["frankfurt", "sydney"]
+        assert specs[0].strategy == "agar"
+        assert specs[0].cache_capacity_bytes == 8 * 1024 * 1024
+        assert specs[1].strategy == "lfu-5"  # falls back to the sweep strategy
+        assert specs[1].cache_capacity_bytes is None
+        assert all(spec.clients == 3 for spec in specs)
+
+    def test_cli_rejects_conflicting_region_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["multiregion", "--quick", "--regions", "frankfurt",
+                  "--region", "sydney"])
+
+    def test_cli_heterogeneous_multiregion(self):
+        out = io.StringIO()
+        code = main(["multiregion", "--quick", "--clients-per-region", "1",
+                     "--region", "frankfurt:agar:8MB",
+                     "--region", "sydney:lfu-5:2MB",
+                     "--no-collaboration"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "lfu-5" in text and "agar" in text
+        assert "all" in text
+
+    def test_fig6_pinned_regions_label_actual_strategy(self, monkeypatch):
+        """A --region-pinned region's rows must carry the strategy that ran."""
+        from repro.experiments import cli as cli_module
+        from repro.experiments.common import ExperimentSettings as Settings
+
+        tiny = Settings(runs=1, request_count=40, object_count=20, seed=3)
+        monkeypatch.setattr(cli_module, "_settings", lambda args: tiny)
+        out = io.StringIO()
+        assert main(["fig6", "--quick", "--region", "frankfurt:lfu-5",
+                     "--region", "sydney"], out=out) == 0
+        text = out.getvalue()
+        # frankfurt only ever ran lfu-5: its column shows '-' for other rows,
+        # and no misattributed agar/backend numbers.
+        agar_row = next(line for line in text.splitlines()
+                        if line.startswith("agar"))
+        assert "-" in agar_row
+
+    def test_fig6_fully_pinned_runs_single_deployment(self, monkeypatch):
+        from repro.experiments import cli as cli_module
+        from repro.experiments.common import ExperimentSettings as Settings
+
+        tiny = Settings(runs=1, request_count=40, object_count=20, seed=3)
+        monkeypatch.setattr(cli_module, "_settings", lambda args: tiny)
+        out = io.StringIO()
+        assert main(["fig6", "--quick", "--region", "frankfurt:agar:8MB",
+                     "--region", "sydney:lfu-5:2MB"], out=out) == 0
+        text = out.getvalue()
+        assert "agar" in text and "lfu-5" in text
+
+    def test_cli_rejects_nonfinite_cache_size(self):
+        with pytest.raises(SystemExit):
+            main(["multiregion", "--quick", "--region", "frankfurt:agar:1e500"])
+
+    def test_fig8_rejects_pinned_strategies(self):
+        with pytest.raises(SystemExit):
+            main(["fig8b", "--quick", "--region", "frankfurt:lfu-5",
+                  "--region", "sydney"], out=io.StringIO())
+        with pytest.raises(SystemExit):
+            main(["fig8a", "--quick", "--region", "frankfurt::64MB"],
+                 out=io.StringIO())
+
+    def test_region_capacity_adapts_agar_config(self):
+        from repro.experiments.common import (
+            EngineOptions, MEGABYTE, RegionSpecOption, agar_config_for_capacity,
+        )
+
+        options = EngineOptions(region_specs=(
+            RegionSpecOption("frankfurt", strategy="agar",
+                             cache_capacity_bytes=100 * MEGABYTE),
+            RegionSpecOption("sydney", strategy="lfu-5",
+                             cache_capacity_bytes=100 * MEGABYTE),
+        ))
+        specs = options.build_region_specs((), "agar")
+        assert specs[0].agar == agar_config_for_capacity(100 * MEGABYTE)
+        assert specs[0].agar.manager.max_candidate_keys == 200
+        assert specs[1].agar is None  # non-agar regions take no node config
+
+    def test_region_spec_rejects_unknown_strategy(self):
+        from repro.experiments.common import RegionSpecOption
+
+        with pytest.raises(ValueError, match="unknown strategy"):
+            RegionSpecOption.parse("frankfurt:bogus")
+        # Valid names of every family still parse.
+        for name in ("backend", "agar", "lru-3", "lfu-9", "lfu-online-2"):
+            assert RegionSpecOption.parse(f"frankfurt:{name}").strategy == name
+
+    def test_fig6_rejects_partial_pin_with_collaboration(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--quick", "--collaboration",
+                  "--region", "frankfurt:agar", "--region", "sydney"],
+                 out=io.StringIO())

@@ -157,3 +157,30 @@ class TestBatchedJitterSampling:
     def test_invalid_block_size(self):
         with pytest.raises(ValueError):
             batched_model(seed=1, jitter_block=0)
+
+
+class TestBatchedNormalDraws:
+    """take_standard_normals must consume the same stream as scalar draws."""
+
+    def test_batched_equals_scalar(self):
+        scalar = batched_model(seed=13)
+        batched = batched_model(seed=13)
+        expected = [scalar.next_standard_normal() for _ in range(40)]
+        observed = (batched.take_standard_normals(7)
+                    + batched.take_standard_normals(1)
+                    + [batched.next_standard_normal() for _ in range(2)]
+                    + batched.take_standard_normals(30))
+        assert observed == expected
+
+    def test_batched_across_refill_boundary(self):
+        scalar = batched_model(seed=13, jitter_block=8)
+        batched = batched_model(seed=13, jitter_block=8)
+        expected = [scalar.next_standard_normal() for _ in range(30)]
+        observed = batched.take_standard_normals(5) + batched.take_standard_normals(25)
+        assert observed == expected
+
+    def test_batch_larger_than_block(self):
+        scalar = batched_model(seed=2, jitter_block=4)
+        batched = batched_model(seed=2, jitter_block=4)
+        expected = [scalar.next_standard_normal() for _ in range(21)]
+        assert batched.take_standard_normals(21) == expected

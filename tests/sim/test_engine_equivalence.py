@@ -1,0 +1,282 @@
+"""Bit-identical equivalence of the lane scheduler against the heap loop.
+
+The PR that introduced the calendar/lane scheduler (``EventEngine.execute``)
+kept the previous global-heap event loop verbatim as
+``EventEngine.execute_reference``.  This suite drives both over every
+supported deployment shape — closed loop, Poisson arrivals, multi-region,
+heterogeneous strategies and cache sizes, collaboration, timer-driven and
+piggybacked reconfiguration, warm repeated runs — and asserts the outcomes are
+identical to the bit: latencies, hit counters, durations, per-read results and
+cache snapshots.
+
+It also pins down the determinism contract of the process-parallel sharded
+path: the forked execution is bit-identical to the in-process fallback and to
+itself across repetitions (each region shard draws jitter from its own
+region-derived stream, so sharded results are reproducible but intentionally
+not comparable to the shared-stream in-process interleaving).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import (
+    EngineConfig,
+    EventEngine,
+    RegionSpec,
+)
+from repro.workload.workload import poisson_arrivals, zipfian_workload
+
+MEGABYTE = 1024 * 1024
+
+
+def workload(requests: int = 120, objects: int = 30, seed: int = 11):
+    return zipfian_workload(1.1, request_count=requests, object_count=objects, seed=seed)
+
+
+def _shapes() -> dict[str, EngineConfig]:
+    base = workload()
+    return {
+        "closed_1region_1client": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt"),),
+            cache_capacity_bytes=5 * MEGABYTE,
+        ),
+        "closed_2regions_multiclient": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=4),
+                     RegionSpec("sydney", clients=4)),
+            cache_capacity_bytes=5 * MEGABYTE,
+        ),
+        "poisson_2regions": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=3),
+                     RegionSpec("sydney", clients=3)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            arrival=poisson_arrivals(4.0),
+        ),
+        "collaboration": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=4),
+                     RegionSpec("sydney", clients=4)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            collaboration=True,
+        ),
+        "heterogeneous": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2, strategy="agar",
+                                cache_capacity_bytes=8 * MEGABYTE),
+                     RegionSpec("sydney", clients=2, strategy="lfu-5",
+                                cache_capacity_bytes=2 * MEGABYTE)),
+            cache_capacity_bytes=5 * MEGABYTE,
+        ),
+        "warmup_lru": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2, strategy="lru-5"),
+                     RegionSpec("sydney", clients=2, strategy="lru-5")),
+            cache_capacity_bytes=5 * MEGABYTE,
+            warmup_requests=30,
+        ),
+        "timer_single_region": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt"),),
+            cache_capacity_bytes=5 * MEGABYTE,
+            timer_reconfiguration=True,
+        ),
+        "backend_poisson": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2, strategy="backend"),
+                     RegionSpec("sydney", clients=2, strategy="backend")),
+            cache_capacity_bytes=5 * MEGABYTE,
+            arrival=poisson_arrivals(6.0),
+        ),
+    }
+
+
+def assert_results_identical(fast, reference):
+    """Assert two EngineResults are identical to the bit."""
+    assert fast.duration_s == reference.duration_s
+    assert set(fast.regions) == set(reference.regions)
+    for region in fast.regions:
+        fast_region = fast.regions[region]
+        reference_region = reference.regions[region]
+        assert np.array_equal(fast_region.stats.latencies_array(),
+                              reference_region.stats.latencies_array())
+        for counter in ("full_hits", "partial_hits", "misses",
+                        "cache_chunks_total", "backend_chunks_total"):
+            assert getattr(fast_region.stats, counter) == \
+                getattr(reference_region.stats, counter), (region, counter)
+        assert fast_region.results == reference_region.results
+        assert (fast_region.cache_snapshot is None) == \
+            (reference_region.cache_snapshot is None)
+        if fast_region.cache_snapshot is not None:
+            assert fast_region.cache_snapshot.chunks_per_key == \
+                reference_region.cache_snapshot.chunks_per_key
+
+
+def run_both(config: EngineConfig, seeds=(3, 4)):
+    """Run execute and execute_reference over the same (warm) deployment."""
+    outcomes = []
+    for method in ("execute", "execute_reference"):
+        engine = EventEngine(config, keep_results=True)
+        engine.topology.latency.reseed(config.topology_seed + seeds[0])
+        deployment = engine.build_deployment()
+        outcomes.append([getattr(engine, method)(deployment, seed) for seed in seeds])
+    return outcomes
+
+
+class TestLaneSchedulerEquivalence:
+    """execute must reproduce execute_reference bit-for-bit on every shape."""
+
+    @pytest.mark.parametrize("shape", sorted(_shapes()))
+    def test_bit_identical(self, shape):
+        config = _shapes()[shape]
+        fast_runs, reference_runs = run_both(config)
+        for fast, reference in zip(fast_runs, reference_runs):
+            assert_results_identical(fast, reference)
+
+    @pytest.mark.parametrize("strategy", ["backend", "lru-5", "lfu-5",
+                                          "lfu-online-3", "agar"])
+    def test_bit_identical_per_strategy(self, strategy):
+        config = EngineConfig(
+            workload=workload(requests=80),
+            regions=(RegionSpec("frankfurt", clients=3, strategy=strategy),
+                     RegionSpec("sydney", clients=3, strategy=strategy)),
+            cache_capacity_bytes=5 * MEGABYTE,
+        )
+        fast_runs, reference_runs = run_both(config)
+        for fast, reference in zip(fast_runs, reference_runs):
+            assert_results_identical(fast, reference)
+
+    @pytest.mark.parametrize("strategy", ["lru-5", "lfu-5", "agar"])
+    def test_bit_identical_zero_jitter(self, strategy):
+        """Zero-jitter topologies make exact event-time ties routine (every
+        read of a key costs the same), so this shape exercises the lane
+        scheduler's insertion-order tie-breaking against the reference heap."""
+        from repro.geo.topology import default_topology, table1_topology
+
+        for factory in (lambda: default_topology(seed=0, jitter=0.0),
+                        lambda: table1_topology(seed=0)):
+            config = EngineConfig(
+                workload=workload(requests=80),
+                regions=(RegionSpec("frankfurt", clients=4, strategy=strategy),
+                         RegionSpec("sydney", clients=4, strategy=strategy)),
+                cache_capacity_bytes=5 * MEGABYTE,
+            )
+            outcomes = []
+            for method in ("execute", "execute_reference"):
+                topology = factory()
+                assert not topology.latency.fully_jittered
+                engine = EventEngine(config, topology=topology, keep_results=True)
+                deployment = engine.build_deployment()
+                outcomes.append(getattr(engine, method)(deployment, 3))
+            assert_results_identical(*outcomes)
+
+    def test_run_uses_lane_scheduler(self):
+        """EventEngine.run (the public cold-run entry) equals the reference."""
+        config = _shapes()["closed_2regions_multiclient"]
+        via_run = EventEngine(config, keep_results=True).run(seed=5)
+
+        engine = EventEngine(config, keep_results=True)
+        engine.topology.latency.reseed(config.topology_seed + 5)
+        deployment = engine.build_deployment()
+        reference = engine.execute_reference(deployment, 5)
+        assert_results_identical(via_run, reference)
+
+
+class TestShardedDeterminism:
+    """The process-parallel path must match its in-process twin bit-for-bit."""
+
+    def sharded_config(self):
+        return EngineConfig(
+            workload=workload(requests=80),
+            regions=(RegionSpec("frankfurt", clients=4),
+                     RegionSpec("sydney", clients=4, strategy="lfu-5")),
+            cache_capacity_bytes=5 * MEGABYTE,
+        )
+
+    def test_fork_matches_in_process_fallback(self):
+        config = self.sharded_config()
+        forked = EventEngine(config).run_sharded(seed=5, processes=True)
+        sequential = EventEngine(config).run_sharded(seed=5, processes=False)
+        assert_results_identical(forked, sequential)
+
+    def test_sharded_is_reproducible(self):
+        config = self.sharded_config()
+        first = EventEngine(config).run_sharded(seed=5)
+        second = EventEngine(config).run_sharded(seed=5)
+        assert_results_identical(first, second)
+
+    def test_sharded_preserves_client_streams(self):
+        """Sharding changes jitter streams (and with them the interleaving of
+        a region's clients), but not the request streams themselves: each
+        region replays exactly the same multiset of reads as in-process."""
+        config = self.sharded_config()
+        sharded = EventEngine(config, keep_results=True).run_sharded(seed=5)
+        engine = EventEngine(config, keep_results=True)
+        in_process = engine.run(seed=5)
+        for region in sharded.regions:
+            sharded_keys = sorted(r.key for r in sharded.regions[region].results)
+            in_process_keys = sorted(r.key for r in in_process.regions[region].results)
+            assert sharded_keys == in_process_keys
+
+    def test_sharded_rejects_collaboration(self):
+        config = EngineConfig(
+            workload=workload(requests=40),
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("sydney", clients=2)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            collaboration=True,
+        )
+        engine = EventEngine(config)
+        engine.topology.latency.reseed(1)
+        deployment = engine.build_deployment()
+        with pytest.raises(ValueError):
+            engine.execute_sharded(deployment, 1)
+
+    def test_parent_deployment_left_cold(self):
+        """Sharded workers mutate copies; the caller's deployment stays cold."""
+        config = self.sharded_config()
+        engine = EventEngine(config)
+        engine.topology.latency.reseed(config.topology_seed + 5)
+        deployment = engine.build_deployment()
+        engine.execute_sharded(deployment, 5)
+        for strategy in deployment.strategies:
+            snapshot = strategy.cache_snapshot()
+            if snapshot is not None:
+                assert not snapshot.chunks_per_key
+
+
+class TestDeploymentAggregate:
+    def test_aggregate_merges_regions(self):
+        config = EngineConfig(
+            workload=workload(requests=60),
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("sydney", clients=2)),
+            cache_capacity_bytes=5 * MEGABYTE,
+        )
+        result = EventEngine(config).run(seed=2)
+        aggregate = result.aggregate()
+        assert aggregate.requests == result.total_requests == 4 * 60
+        assert aggregate.throughput_rps == pytest.approx(result.throughput_rps)
+        assert 0.0 <= aggregate.hit_ratio <= 1.0
+        assert aggregate.p50_latency_ms <= aggregate.p95_latency_ms \
+            <= aggregate.p99_latency_ms
+        merged = result.overall_stats()
+        assert aggregate.p99_latency_ms == merged.p99_latency_ms
+        assert aggregate.mean_latency_ms == pytest.approx(merged.mean_latency_ms)
+
+    def test_region_capacity_override(self):
+        spec = RegionSpec("frankfurt", cache_capacity_bytes=2 * MEGABYTE)
+        config = EngineConfig(
+            workload=workload(requests=30),
+            regions=(spec, RegionSpec("sydney")),
+            cache_capacity_bytes=8 * MEGABYTE,
+        )
+        deployment = EventEngine(config).build_deployment()
+        frankfurt, sydney = deployment.strategies
+        assert frankfurt.cache.capacity_bytes == 2 * MEGABYTE
+        assert sydney.cache.capacity_bytes == 8 * MEGABYTE
+
+    def test_region_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RegionSpec("frankfurt", cache_capacity_bytes=0)

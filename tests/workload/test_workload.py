@@ -129,3 +129,25 @@ class TestMultiRegionWorkload:
             MultiRegionWorkload(base=base, regions=("a", "a"))
         with pytest.raises(ValueError):
             MultiRegionWorkload(base=base, regions=("a",), clients_per_region=0)
+
+
+class TestGenerateRequestRanks:
+    """The struct-of-arrays stream must mirror generate_requests exactly."""
+
+    def test_ranks_match_request_keys(self):
+        from repro.workload.workload import generate_request_ranks
+
+        spec = zipfian_workload(1.1, request_count=200, object_count=25, seed=7)
+        ranks = generate_request_ranks(spec, seed=3)
+        requests = generate_requests(spec, seed=3)
+        assert len(ranks) == len(requests) == 200
+        assert [spec.key_for_rank(int(rank)) for rank in ranks] == \
+            [request.key for request in requests]
+
+    def test_uniform_ranks_match(self):
+        from repro.workload.workload import generate_request_ranks, uniform_workload
+
+        spec = uniform_workload(request_count=100, object_count=10, seed=4)
+        ranks = generate_request_ranks(spec, seed=4)
+        assert [spec.key_for_rank(int(rank)) for rank in ranks] == \
+            [request.key for request in generate_requests(spec, seed=4)]
