@@ -1,10 +1,17 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-baseline
+.PHONY: test bench bench-baseline docs-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Check intra-repo markdown links and run the README quickstart commands at
+## the minimal smoke scale (what the CI docs job runs).
+docs-check:
+	$(PYTHON) tools/check_markdown_links.py
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig6 --smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig_collab --smoke
 
 ## Run the guarded hot-path benchmarks, write BENCH_<date>.json and fail on
 ## a >20% regression vs benchmarks/baseline.json.

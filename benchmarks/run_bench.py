@@ -30,19 +30,21 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline.json"
 
-#: Benchmarks guarded against regression (ISSUE 1-3 acceptance criteria).
+#: Benchmarks guarded against regression (ISSUE 1-4 acceptance criteria).
 GUARDED_BENCHMARKS = (
     "test_bench_knapsack_solver",
     "test_bench_reed_solomon_encode",
     "test_bench_reed_solomon_decode_with_parity",
     "test_bench_engine_multi_client",
     "test_bench_engine_scale_closed_loop",
+    "test_bench_collab_sharded_rounds",
 )
 
 #: Which file hosts each guarded benchmark.
 _BENCH_FILES = {
     "test_bench_engine_multi_client": "test_bench_engine.py",
     "test_bench_engine_scale_closed_loop": "test_bench_engine.py",
+    "test_bench_collab_sharded_rounds": "test_bench_collab.py",
 }
 
 #: The tests executed by the guard (kept narrow so `make bench` stays fast).

@@ -1,0 +1,51 @@
+"""Benchmark of the sharded §VI collaboration protocol (ISSUE 4).
+
+``test_bench_collab_sharded_rounds`` drives a 2-region collaborative
+deployment through ``execute_sharded``'s segment/round protocol in its
+in-process form (``processes=False``): the same per-boundary pause, exchange
+and ``reconfigure_node`` work the forked workers perform, without fork/pipe
+noise — so the number tracks the protocol machinery (resumable lane runs,
+announcement assembly, the staggered round) deterministically.  The
+collaboration period is chosen so several rounds fire within the run.
+
+The in-process collaborative *scheduler* is guarded separately by
+``test_bench_engine_multi_client``.
+"""
+
+from conftest import emit
+
+from repro.sim.engine import EngineConfig, EventEngine, RegionSpec
+from repro.workload.workload import zipfian_workload
+
+MEGABYTE = 1024 * 1024
+
+
+def test_bench_collab_sharded_rounds(benchmark, settings):
+    """Protocol cost of a sharded collaborative run (in-process workers)."""
+    workload = zipfian_workload(
+        1.1, request_count=60, object_count=settings.object_count, seed=settings.seed,
+    )
+    config = EngineConfig(
+        workload=workload,
+        regions=(
+            RegionSpec(region="frankfurt", clients=4),
+            RegionSpec(region="sydney", clients=4),
+        ),
+        cache_capacity_bytes=10 * MEGABYTE,
+        topology_seed=settings.seed,
+        collaboration=True,
+        collaboration_period_s=10.0,
+    )
+    engine = EventEngine(config)
+
+    result = benchmark(engine.run_sharded, seed=1, processes=False)
+
+    total = result.total_requests
+    emit(
+        "sharded collaboration protocol",
+        f"{total} requests over 2 regions x 4 clients, "
+        f"simulated {result.duration_s:.1f} s with 10 s exchange rounds, "
+        f"deployment mean {result.aggregate().mean_latency_ms:.1f} ms",
+    )
+    assert total == 8 * workload.request_count
+    assert result.duration_s > 10.0  # several collaboration rounds fired

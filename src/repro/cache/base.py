@@ -49,12 +49,16 @@ class CacheStats:
     ``chunk_hits``/``chunk_misses`` count individual chunk lookups;
     ``object_*`` counters are maintained by the read strategies, which know
     whether a whole-object read was a full hit, a partial hit or a miss
-    (the distinction Fig. 7 reports).
+    (the distinction Fig. 7 reports).  ``refreshes`` counts puts of an
+    already-cached chunk that were satisfied in place (no entry churn) —
+    the common case for LRU-style strategies, which re-put their ``c``
+    chunks on every read.
     """
 
     chunk_hits: int = 0
     chunk_misses: int = 0
     insertions: int = 0
+    refreshes: int = 0
     rejections: int = 0
     evictions: int = 0
     bytes_evicted: int = 0

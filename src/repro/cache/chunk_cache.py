@@ -132,6 +132,17 @@ class ChunkCache:
 
         A chunk larger than the whole cache, or one the policy refuses to
         admit, is rejected (returns False).
+
+        Re-putting an already-cached chunk of unchanged size is a *refresh*:
+        the existing :class:`CacheEntry` is updated in place (payload,
+        insertion and access times; the policy sees ``on_insert`` with the
+        refreshed entry, no ``on_evict``).  LRU-style strategies re-put their
+        ``c`` chunks on every read, so this path is what keeps the simulation
+        hot loop free of per-read entry allocation and eviction-order churn —
+        the net policy state (e.g. LRU order) is identical to the former
+        remove-and-reinsert.  A re-put whose size changed (a write) still
+        goes through removal and reinsertion, because capacity accounting
+        and eviction may both be needed.
         """
         chunk_id = chunk.chunk_id
         if chunk.size > self._capacity:
@@ -141,8 +152,11 @@ class ChunkCache:
             self.stats.rejections += 1
             return False
 
-        if chunk_id in self._entries:
-            # Refresh in place (payload may have changed on a write).
+        entry = self._entries.get(chunk_id)
+        if entry is not None:
+            if entry.size == chunk.size:
+                return self._refresh(entry, chunk)
+            # Size changed on a write: fall back to remove-and-reinsert.
             self._remove(chunk_id, count_eviction=False)
 
         while self._used + chunk.size > self._capacity and self._entries:
@@ -160,6 +174,45 @@ class ChunkCache:
         self._used += chunk.size
         self._policy.on_insert(entry)
         self.stats.insertions += 1
+        return True
+
+    def _refresh(self, entry: CacheEntry, chunk: Chunk) -> bool:
+        """Refresh an existing entry in place (same size): no churn.
+
+        Equivalent to remove-and-reinsert for every shipped policy — the
+        entry's timestamps reset and ``on_insert`` restores its ranking
+        (LRU/FIFO order, pinned-policy tie-breaks) — without allocating a new
+        :class:`CacheEntry` or touching capacity accounting.
+        """
+        now = self._now()
+        entry.chunk = chunk
+        entry.inserted_at = now
+        entry.last_access = now
+        entry.access_count = 0
+        self._policy.on_insert(entry)
+        self.stats.refreshes += 1
+        return True
+
+    def touch(self, chunk_id: ChunkId) -> bool:
+        """Refresh a cached chunk's recency/insertion rank without a payload.
+
+        The in-place form of re-putting the chunk that is already cached:
+        returns False (and does nothing) if the chunk is absent or the policy
+        no longer admits it — exactly the cases where :meth:`put` would not
+        have refreshed either.
+        """
+        entry = self._entries.get(chunk_id)
+        if entry is None:
+            return False
+        if not self._policy.admits(chunk_id, entry.size):
+            self.stats.rejections += 1
+            return False
+        now = self._now()
+        entry.inserted_at = now
+        entry.last_access = now
+        entry.access_count = 0
+        self._policy.on_insert(entry)
+        self.stats.refreshes += 1
         return True
 
     def put_all(self, chunks: Iterable[Chunk]) -> int:

@@ -46,31 +46,38 @@ class ReadResult:
     Attributes:
         key: object read.
         latency_ms: end-to-end latency of the read.
-        hit_type: cache classification.
+        hit_type: cache classification (local cache only; neighbour-cache
+            reads do not count as hits).
         chunks_from_cache: number of chunks served by the local cache.
         chunks_from_backend: number of chunks fetched from backend regions.
+        chunks_from_neighbors: number of chunks fetched from a collaborating
+            neighbour region's cache (§VI deployments only).
         backend_regions: distinct backend regions contacted.
         started_at_s: simulated time at which the read started.
     """
 
     __slots__ = ("key", "latency_ms", "hit_type", "chunks_from_cache",
-                 "chunks_from_backend", "backend_regions", "started_at_s")
+                 "chunks_from_backend", "chunks_from_neighbors",
+                 "backend_regions", "started_at_s")
 
     def __init__(self, key: str, latency_ms: float, hit_type: HitType,
                  chunks_from_cache: int, chunks_from_backend: int,
                  backend_regions: tuple[str, ...] = (),
-                 started_at_s: float = 0.0) -> None:
+                 started_at_s: float = 0.0,
+                 chunks_from_neighbors: int = 0) -> None:
         self.key = key
         self.latency_ms = latency_ms
         self.hit_type = hit_type
         self.chunks_from_cache = chunks_from_cache
         self.chunks_from_backend = chunks_from_backend
+        self.chunks_from_neighbors = chunks_from_neighbors
         self.backend_regions = backend_regions
         self.started_at_s = started_at_s
 
     def _astuple(self) -> tuple:
         return (self.key, self.latency_ms, self.hit_type, self.chunks_from_cache,
-                self.chunks_from_backend, self.backend_regions, self.started_at_s)
+                self.chunks_from_backend, self.chunks_from_neighbors,
+                self.backend_regions, self.started_at_s)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ReadResult):
@@ -84,6 +91,7 @@ class ReadResult:
         return (f"ReadResult(key={self.key!r}, latency_ms={self.latency_ms!r}, "
                 f"hit_type={self.hit_type!r}, chunks_from_cache={self.chunks_from_cache!r}, "
                 f"chunks_from_backend={self.chunks_from_backend!r}, "
+                f"chunks_from_neighbors={self.chunks_from_neighbors!r}, "
                 f"backend_regions={self.backend_regions!r}, "
                 f"started_at_s={self.started_at_s!r})")
 
@@ -92,7 +100,8 @@ class ReadResult:
 
     def __setstate__(self, state: tuple) -> None:
         (self.key, self.latency_ms, self.hit_type, self.chunks_from_cache,
-         self.chunks_from_backend, self.backend_regions, self.started_at_s) = state
+         self.chunks_from_backend, self.chunks_from_neighbors,
+         self.backend_regions, self.started_at_s) = state
 
 
 #: Initial capacity of the latency buffer (doubles as it fills).
@@ -108,7 +117,8 @@ class LatencyStats:
     """
 
     __slots__ = ("_buffer", "_count", "full_hits", "partial_hits", "misses",
-                 "cache_chunks_total", "backend_chunks_total")
+                 "cache_chunks_total", "backend_chunks_total",
+                 "neighbor_chunks_total")
 
     def __init__(self, capacity: int = _INITIAL_BUFFER) -> None:
         self._buffer = np.empty(max(int(capacity), 1), dtype=np.float64)
@@ -118,6 +128,7 @@ class LatencyStats:
         self.misses = 0
         self.cache_chunks_total = 0
         self.backend_chunks_total = 0
+        self.neighbor_chunks_total = 0
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -125,10 +136,12 @@ class LatencyStats:
     def record(self, result: ReadResult) -> None:
         """Add one read result."""
         self.record_read(result.latency_ms, result.hit_type,
-                         result.chunks_from_cache, result.chunks_from_backend)
+                         result.chunks_from_cache, result.chunks_from_backend,
+                         result.chunks_from_neighbors)
 
     def record_read(self, latency_ms: float, hit_type: HitType,
-                    chunks_from_cache: int = 0, chunks_from_backend: int = 0) -> None:
+                    chunks_from_cache: int = 0, chunks_from_backend: int = 0,
+                    chunks_from_neighbors: int = 0) -> None:
         """Scalar fast path: add one read without a :class:`ReadResult`."""
         count = self._count
         buffer = self._buffer
@@ -146,6 +159,7 @@ class LatencyStats:
             self.misses += 1
         self.cache_chunks_total += chunks_from_cache
         self.backend_chunks_total += chunks_from_backend
+        self.neighbor_chunks_total += chunks_from_neighbors
 
     # ------------------------------------------------------------------ #
     # Aggregates
@@ -235,6 +249,7 @@ class LatencyStats:
             "partial_hit_ratio": self.partial_hit_ratio,
             "cache_chunks": float(self.cache_chunks_total),
             "backend_chunks": float(self.backend_chunks_total),
+            "neighbor_chunks": float(self.neighbor_chunks_total),
         }
 
     @classmethod
@@ -258,6 +273,7 @@ class LatencyStats:
             merged.misses += part.misses
             merged.cache_chunks_total += part.cache_chunks_total
             merged.backend_chunks_total += part.backend_chunks_total
+            merged.neighbor_chunks_total += part.neighbor_chunks_total
         merged._count = total
         return merged
 
@@ -273,4 +289,5 @@ class LatencyStats:
         merged.misses = self.misses + other.misses
         merged.cache_chunks_total = self.cache_chunks_total + other.cache_chunks_total
         merged.backend_chunks_total = self.backend_chunks_total + other.backend_chunks_total
+        merged.neighbor_chunks_total = self.neighbor_chunks_total + other.neighbor_chunks_total
         return merged

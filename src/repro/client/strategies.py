@@ -102,7 +102,9 @@ class _IndexedReadPlan:
         self.data_chunks = data_chunks
         self._prefixes = [tuple(range(count)) for count in range(data_chunks + 1)]
         self._regions_memo: dict[tuple[int, ...], tuple[str, ...]] = {}
-        self._selection_memo: dict[tuple[int, ...], _SelectionRecord] = {}
+        # Keys are hit-position tuples, or (hits, neighbours) pairs on
+        # collaborative deployments (the two shapes cannot collide).
+        self._selection_memo: dict[object, _SelectionRecord] = {}
         self._groups_memo: dict[tuple[int, ...],
                                 tuple[tuple[float, float, tuple[int, ...]], ...]] = {}
 
@@ -123,17 +125,25 @@ class _IndexedReadPlan:
                     if indices[position] not in exclude_indices]
         return tuple(selected[:required])
 
-    def selection_for_hits(self, hit_positions: tuple[int, ...]) -> _SelectionRecord:
+    def selection_for_hits(self, hit_positions: tuple[int, ...],
+                           neighbor_positions: tuple[int, ...] = ()) -> _SelectionRecord:
         """The backend selection of a cache-hit pattern, memoised per pattern.
 
         ``hit_positions`` are positions into the needed (furthest-first)
         order, listed in that order — the canonical form every reader
         produces — so each distinct hit pattern resolves its selection (and
         the derived draw groups, regions tuple and fetched-index set) once.
+        ``neighbor_positions`` (collaborative deployments only) are needed
+        positions served from a neighbour's cache; they are excluded from the
+        backend fetch like hits, and distinct (hits, neighbours) patterns
+        memoise separately.
         """
-        record = self._selection_memo.get(hit_positions)
+        memo_key: object = ((hit_positions, neighbor_positions) if neighbor_positions
+                            else hit_positions)
+        record = self._selection_memo.get(memo_key)
         if record is None:
             excluded = {self.needed[position].index for position in hit_positions}
+            excluded.update(self.needed[position].index for position in neighbor_positions)
             positions = self.backend_positions(excluded)
             nearest_indices = self.nearest_indices
             record = _SelectionRecord(
@@ -144,7 +154,7 @@ class _IndexedReadPlan:
                     nearest_indices[position] for position in positions
                 ),
             )
-            self._selection_memo[hit_positions] = record
+            self._selection_memo[memo_key] = record
         return record
 
     def compose_groups(self, positions: tuple[int, ...]
@@ -231,6 +241,10 @@ class ReadStrategy(ABC):
         # Index-based read support (see prepare_indexed_reads).
         self._indexed_keys: list[str] | None = None
         self._indexed_plans: list[_IndexedReadPlan | None] = []
+        # §VI neighbour catalog (see set_neighbor_catalog); None = no
+        # collaboration, the default for every non-collaborative deployment.
+        self._neighbor_pinned: frozenset[ChunkId] | None = None
+        self._neighbor_read_ms = 0.0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -269,6 +283,31 @@ class ReadStrategy(ABC):
         """Run one round of periodic maintenance at simulated time ``now``."""
 
     # ------------------------------------------------------------------ #
+    # §VI collaboration: the neighbour catalog
+    # ------------------------------------------------------------------ #
+    def set_neighbor_catalog(self, pinned: frozenset[ChunkId] | None,
+                             neighbor_read_ms: float) -> None:
+        """Install what the collaborating neighbour caches currently pin.
+
+        After each §VI exchange round the engine hands every region the union
+        of the *other* regions' pinned chunks.  A needed chunk that misses the
+        local cache but appears in this catalog is then read from the
+        neighbour's cache at a flat ``neighbor_read_ms`` (the same estimate
+        the option discounting uses) instead of from its backend bucket —
+        the read-path half of the collaboration §VI sketches: give up caching
+        what a nearby cache already holds, and fetch it from there.
+
+        Neighbour reads draw no latency jitter (the catalog is an estimate,
+        not a modelled link), which keeps the jitter streams of collaborative
+        runs aligned between the string and indexed read paths.  ``None``
+        disables neighbour reads (the default).
+        """
+        if neighbor_read_ms < 0:
+            raise ValueError("neighbor_read_ms must be non-negative")
+        self._neighbor_pinned = pinned if pinned else None
+        self._neighbor_read_ms = neighbor_read_ms
+
+    # ------------------------------------------------------------------ #
     # Read path
     # ------------------------------------------------------------------ #
     @abstractmethod
@@ -294,8 +333,15 @@ class ReadStrategy(ABC):
 
     def _compose_result(self, key: str, now: float, cache_chunks: list[PlacedChunk],
                         backend_chunks: list[PlacedChunk],
-                        extra_overhead_ms: float = 0.0) -> ReadResult:
-        """Sample per-chunk latencies and build the read result."""
+                        extra_overhead_ms: float = 0.0,
+                        neighbor_chunks: int = 0) -> ReadResult:
+        """Sample per-chunk latencies and build the read result.
+
+        ``neighbor_chunks`` chunks are fetched from a collaborating
+        neighbour's cache at the flat catalog latency — in parallel with the
+        other fetches, contributing to the slowest-chunk maximum but drawing
+        no jitter.
+        """
         chunk_size = self._chunk_size(key)
         latency = self._latency
         region = self._region
@@ -308,12 +354,14 @@ class ReadStrategy(ABC):
             sample = latency.sample_backend_read(region, placed.region, chunk_size)
             if sample > slowest:
                 slowest = sample
+        if neighbor_chunks and self._neighbor_read_ms > slowest:
+            slowest = self._neighbor_read_ms
 
         total = self._config.overhead_ms + extra_overhead_ms + slowest
         if self._config.include_decode_cost:
             total += self._store.codec.decoding_cost_estimate(self._store.metadata(key).size)
 
-        if backend_chunks and cache_chunks:
+        if (backend_chunks or neighbor_chunks) and cache_chunks:
             hit_type = HitType.PARTIAL
         elif cache_chunks:
             hit_type = HitType.FULL
@@ -326,6 +374,7 @@ class ReadStrategy(ABC):
             hit_type=hit_type,
             chunks_from_cache=len(cache_chunks),
             chunks_from_backend=len(backend_chunks),
+            chunks_from_neighbors=neighbor_chunks,
             backend_regions=tuple(sorted({placed.region for placed in backend_chunks})),
             started_at_s=now,
         )
@@ -387,7 +436,8 @@ class ReadStrategy(ABC):
 
     def _compose_indexed(self, plan: _IndexedReadPlan, now: float, cache_hits: int,
                          selection: _SelectionRecord,
-                         extra_overhead_ms: float = 0.0) -> ReadResult:
+                         extra_overhead_ms: float = 0.0,
+                         neighbor_count: int = 0) -> ReadResult:
         """Fast-path twin of :meth:`_compose_result` over a precomputed plan.
 
         Draws one jitter sample per chunk in the same order as the string
@@ -438,11 +488,14 @@ class ReadStrategy(ABC):
                 if sample > slowest:
                     slowest = sample
 
+        if neighbor_count and self._neighbor_read_ms > slowest:
+            slowest = self._neighbor_read_ms
+
         total = self._overhead_ms + extra_overhead_ms + slowest
         if self._include_decode:
             total += plan.decode_ms
 
-        if backend_count and cache_hits:
+        if (backend_count or neighbor_count) and cache_hits:
             hit_type = HitType.PARTIAL
         elif cache_hits:
             hit_type = HitType.FULL
@@ -455,6 +508,7 @@ class ReadStrategy(ABC):
             hit_type=hit_type,
             chunks_from_cache=cache_hits,
             chunks_from_backend=backend_count,
+            chunks_from_neighbors=neighbor_count,
             backend_regions=selection.regions,
             started_at_s=now,
         )
@@ -818,10 +872,24 @@ class AgarReadStrategy(ReadStrategy):
             else:
                 missing_hinted.append(placed)
 
-        backend_chunks = self._backend_plan(key, exclude_indices={p.index for p in cache_hits})
+        # §VI: needed chunks that missed the local cache but are pinned by a
+        # collaborating neighbour are read from that neighbour's cache.
+        exclude = {p.index for p in cache_hits}
+        neighbor_chunks = 0
+        catalog = self._neighbor_pinned
+        if catalog is not None:
+            for placed in self._needed(key):
+                if placed.index in exclude:
+                    continue
+                if ChunkId(key=key, index=placed.index) in catalog:
+                    neighbor_chunks += 1
+                    exclude.add(placed.index)
+
+        backend_chunks = self._backend_plan(key, exclude_indices=exclude)
         result = self._compose_result(
             key, now, cache_hits, backend_chunks,
             extra_overhead_ms=hints.processing_overhead_ms,
+            neighbor_chunks=neighbor_chunks,
         )
 
         # Write the hinted chunks the client had to fetch from the backend into
@@ -852,11 +920,27 @@ class AgarReadStrategy(ReadStrategy):
                 else:
                     missing_positions.append(position)
 
-        selection = plan.selection_for_hits(tuple(hit_positions))
-        result = self._compose_indexed(
-            plan, now, len(hit_positions), selection,
-            extra_overhead_ms=self._hint_overhead_ms,
-        )
+        catalog = self._neighbor_pinned
+        if catalog is None:
+            selection = plan.selection_for_hits(tuple(hit_positions))
+            result = self._compose_indexed(
+                plan, now, len(hit_positions), selection,
+                extra_overhead_ms=self._hint_overhead_ms,
+            )
+        else:
+            # §VI twin of the string path: local hits first, then neighbour-
+            # pinned chunks, then the backend selection over the rest.
+            hit_set = set(hit_positions)
+            neighbor_positions = tuple(
+                position for position in range(len(chunk_ids))
+                if position not in hit_set and chunk_ids[position] in catalog
+            )
+            selection = plan.selection_for_hits(tuple(hit_positions), neighbor_positions)
+            result = self._compose_indexed(
+                plan, now, len(hit_positions), selection,
+                extra_overhead_ms=self._hint_overhead_ms,
+                neighbor_count=len(neighbor_positions),
+            )
 
         if missing_positions:
             needed = plan.needed

@@ -49,6 +49,15 @@ from repro.experiments.fig8_sweeps import (
     run_fig8b,
 )
 from repro.experiments.fig9_popularity import Fig9Series, render_fig9, run_fig9
+from repro.experiments.fig_collab import (
+    CollabPointRow,
+    CollabSweepResult,
+    CrossoverRow,
+    OverlapRow,
+    compute_crossover,
+    render_fig_collab,
+    run_fig_collab,
+)
 from repro.experiments.fig10_cache_contents import (
     FIG10_SCENARIOS,
     Fig10Snapshot,
@@ -74,6 +83,9 @@ __all__ = [
     "FIG8B_SKEWS",
     "FIG8_STRATEGIES",
     "FIG9_SKEWS",
+    "CollabPointRow",
+    "CollabSweepResult",
+    "CrossoverRow",
     "EngineOptions",
     "EngineRunsResult",
     "Fig10Snapshot",
@@ -82,6 +94,7 @@ __all__ = [
     "MEGABYTE",
     "MicrobenchResult",
     "MultiRegionRow",
+    "OverlapRow",
     "PolicyComparisonRow",
     "RegionAggregate",
     "RegionSpecOption",
@@ -90,11 +103,13 @@ __all__ = [
     "agar_advantage",
     "agar_config_for_capacity",
     "agar_lead_by_group",
+    "compute_crossover",
     "diversity_check",
     "nonlinearity_check",
     "render_fig10",
     "render_fig2",
     "render_fig6",
+    "render_fig_collab",
     "render_fig7",
     "render_fig9",
     "render_multiregion",
@@ -107,6 +122,7 @@ __all__ = [
     "run_fig10",
     "run_fig2",
     "run_fig8a",
+    "run_fig_collab",
     "run_fig8b",
     "run_fig9",
     "run_microbench",

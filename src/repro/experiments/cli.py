@@ -7,6 +7,8 @@ Installed as ``agar-experiments``.  Examples::
     agar-experiments fig6 --quick --regions frankfurt,sydney --clients-per-region 4
     agar-experiments multiregion --quick --arrival-rate 2 --collaboration
     agar-experiments multiregion --quick --region frankfurt:agar:256MB --region sydney:lfu-5:64MB
+    agar-experiments fig_collab --quick
+    agar-experiments fig_collab --quick --sharded --neighbor-read-ms 20,120,400
     agar-experiments all --quick
 
 Each command prints the rows/series of the corresponding figure as a text
@@ -38,6 +40,7 @@ from repro.experiments.fig6_policies import agar_advantage, render_fig6, render_
 from repro.experiments.fig8_sweeps import agar_lead_by_group, render_sweep, run_fig8a, run_fig8b
 from repro.experiments.fig9_popularity import render_fig9, run_fig9
 from repro.experiments.fig10_cache_contents import render_fig10, run_fig10
+from repro.experiments.fig_collab import render_fig_collab, run_fig_collab
 from repro.experiments.microbench import run_capacity_scaling, run_microbench
 from repro.experiments.multiregion import (
     DEFAULT_ARRIVAL_RATE_RPS,
@@ -47,14 +50,35 @@ from repro.experiments.multiregion import (
 from repro.experiments.table1_latency import render_table1, run_table1
 
 EXPERIMENTS = ("table1", "fig2", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10",
-               "microbench", "multiregion")
+               "fig_collab", "microbench", "multiregion")
 
 #: Experiments that understand the engine flags.
-ENGINE_EXPERIMENTS = ("fig6", "fig7", "fig8a", "fig8b", "multiregion")
+ENGINE_EXPERIMENTS = ("fig6", "fig7", "fig8a", "fig8b", "fig_collab", "multiregion")
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    if args.smoke:
+        return ExperimentSettings.smoke()
     return ExperimentSettings.quick() if args.quick else ExperimentSettings.paper()
+
+
+def _parse_float_list(text: str, flag: str) -> tuple[float, ...]:
+    """Parse a comma-separated list of positive floats for a sweep flag."""
+    values = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            value = float(part)
+        except ValueError:
+            raise ValueError(f"malformed {flag} value {part!r}") from None
+        if value <= 0:
+            raise ValueError(f"{flag} values must be positive, got {part!r}")
+        values.append(value)
+    if not values:
+        raise ValueError(f"{flag} needs at least one value")
+    return tuple(values)
 
 
 def _engine_options(args: argparse.Namespace, for_multiregion: bool,
@@ -90,7 +114,9 @@ def _engine_options(args: argparse.Namespace, for_multiregion: bool,
 
 
 def _run_one(name: str, settings: ExperimentSettings, out,
-             engine: EngineOptions | None = None) -> None:
+             engine: EngineOptions | None = None,
+             extra: dict | None = None) -> None:
+    extra = extra or {}
     if name == "table1":
         print(render_table1(run_table1()).render(), file=out)
     elif name == "fig2":
@@ -125,6 +151,15 @@ def _run_one(name: str, settings: ExperimentSettings, out,
         print(render_fig9(run_fig9(settings)).render(), file=out)
     elif name == "fig10":
         print(render_fig10(run_fig10(settings)).render(), file=out)
+    elif name == "fig_collab":
+        result = run_fig_collab(
+            settings,
+            options=engine,
+            neighbor_read_ms_values=extra.get("neighbor_read_ms"),
+            periods=extra.get("collab_periods"),
+            sharded=bool(extra.get("sharded")),
+        )
+        print(render_fig_collab(result), file=out)
     elif name == "multiregion":
         rows = run_multiregion_scaling(settings, options=engine)
         print(render_multiregion(rows, options=engine).render(), file=out)
@@ -154,6 +189,20 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
                         help="which table/figure to regenerate")
     parser.add_argument("--quick", action="store_true",
                         help="reduced scale (2 runs x 400 reads) instead of the paper's 5 x 1000")
+    parser.add_argument("--smoke", action="store_true",
+                        help="minimal scale (1 run x 120 reads): asserts the "
+                             "command executes; numbers are not meaningful "
+                             "(used by the CI docs job)")
+    parser.add_argument("--neighbor-read-ms", default=None, metavar="MS1,MS2,...",
+                        help="neighbour-cache read latencies swept by fig_collab "
+                             "(comma separated; default 10,50,120,250,500)")
+    parser.add_argument("--collab-period", default=None, metavar="S1,S2,...",
+                        help="collaboration periods in seconds swept by "
+                             "fig_collab (comma separated; default 30)")
+    parser.add_argument("--sharded", action="store_true",
+                        help="run fig_collab through the process-parallel "
+                             "sharded engine (one worker per region, §VI "
+                             "message-passing rounds)")
     parser.add_argument("--regions", default=None, metavar="R1,R2,...",
                         help="client regions of the simulated deployment "
                              "(comma separated; engine experiments only)")
@@ -180,6 +229,37 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         parser.error("--arrival-rate must be positive")
     if args.region and args.regions:
         parser.error("--region and --regions are mutually exclusive")
+    if args.quick and args.smoke:
+        parser.error("--quick and --smoke are mutually exclusive")
+    fig_collab_selected = args.experiment in ("fig_collab", "all")
+    if not fig_collab_selected:
+        for flag, value in (("--neighbor-read-ms", args.neighbor_read_ms),
+                            ("--collab-period", args.collab_period),
+                            ("--sharded", args.sharded or None)):
+            if value is not None:
+                parser.error(f"{flag} only applies to fig_collab")
+    if args.experiment == "fig_collab":
+        if args.region:
+            parser.error("fig_collab sweeps fixed-strategy (agar) pairings; "
+                         "use --regions to override the pairing")
+        if args.regions and len([r for r in args.regions.split(",") if r.strip()]) < 2:
+            parser.error("fig_collab needs at least two regions in --regions "
+                         "(a pairing)")
+        if args.collaboration is not None:
+            parser.error("fig_collab compares collaboration against "
+                         "independent caches itself; --collaboration/"
+                         "--no-collaboration does not apply")
+    collab_extra: dict = {}
+    try:
+        if args.neighbor_read_ms:
+            collab_extra["neighbor_read_ms"] = _parse_float_list(
+                args.neighbor_read_ms, "--neighbor-read-ms")
+        if args.collab_period:
+            collab_extra["collab_periods"] = _parse_float_list(
+                args.collab_period, "--collab-period")
+    except ValueError as error:
+        parser.error(str(error))
+    collab_extra["sharded"] = args.sharded
     region_specs = None
     if args.region:
         try:
@@ -212,7 +292,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
                                   region_specs=region_specs)
                   if name in ENGINE_EXPERIMENTS else None)
         print(f"=== {name} ===", file=out)
-        _run_one(name, settings, out, engine=engine)
+        _run_one(name, settings, out, engine=engine,
+                 extra=collab_extra if name == "fig_collab" else None)
         print(file=out)
     return 0
 

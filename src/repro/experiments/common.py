@@ -84,6 +84,15 @@ class ExperimentSettings:
         """A reduced scale for benchmarks and CI (same shapes, ~10× faster)."""
         return cls(runs=2, request_count=400, object_count=300)
 
+    @classmethod
+    def smoke(cls) -> "ExperimentSettings":
+        """The minimal scale: one tiny run per configuration.
+
+        Used by the CI docs job to assert the README quickstart commands
+        actually execute; numbers at this scale are not meaningful.
+        """
+        return cls(runs=1, request_count=120, object_count=100)
+
     def workload(self, skew: float | None = 1.1) -> WorkloadSpec:
         """Build the experiment workload (Zipfian by default, uniform if ``skew`` is None)."""
         if skew is None:

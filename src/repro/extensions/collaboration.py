@@ -12,9 +12,21 @@ This extension implements that step:
   neighbours already cache: chunks available at a nearby cache can be fetched
   at the neighbour-cache latency instead of the backend latency, so caching
   them locally is worth less;
+* :func:`reconfigure_node` — one node's share of a collaborative round: close
+  the popularity period, generate options, discount them by the neighbours'
+  announcements, solve the knapsack and install the result.  This is the unit
+  the sharded engine executes inside per-region worker processes;
 * :class:`CollaborationCoordinator` — wires several :class:`AgarNode` instances
   together, performing the periodic exchange and the discounted
   reconfiguration for each node.
+
+The sharded execution path (``EventEngine.execute_sharded``) distributes the
+coordinator's round over per-region workers: the parent collects every
+worker's announcement, then walks the regions in order, sending each worker
+its neighbours' *current* announcements and applying :func:`reconfigure_node`
+worker-side — the exact staggered-round semantics of
+:meth:`CollaborationCoordinator.reconfigure_all`, with pipes instead of
+shared memory.  See ``docs/collaboration.md``.
 """
 
 from __future__ import annotations
@@ -85,6 +97,47 @@ def discount_options(options_by_key: Mapping[str, Sequence[CachingOption]],
     return discounted
 
 
+def announcement_of(node: AgarNode) -> NeighborAnnouncement:
+    """The announcement ``node`` would broadcast right now."""
+    return NeighborAnnouncement(
+        region=node.local_region,
+        pinned_chunks=node.current_configuration.chunk_ids(),
+    )
+
+
+def reconfigure_node(node: AgarNode, neighbours: Sequence[NeighborAnnouncement],
+                     neighbor_read_ms: float) -> int:
+    """Run one node's share of a collaborative reconfiguration round.
+
+    Closes the node's popularity period, generates its caching options,
+    discounts them by the neighbours' announcements, solves the knapsack and
+    installs the resulting configuration.  Both the in-process coordinator
+    and the sharded engine's per-region workers call exactly this function,
+    which is what keeps the two execution paths bit-identical.
+
+    Returns the number of configured (pinned) chunks.
+    """
+    popularity = node.request_monitor.end_period()
+    manager = node.cache_manager
+    options = manager.generate_options(popularity)
+    discounted = discount_options(options, neighbours, neighbor_read_ms)
+    solver = KnapsackSolver(capacity_weight=manager.capacity_chunks)
+    best = solver.solve_configuration(discounted)
+    manager.install(best)
+    return best.weight
+
+
+def overlap_between(announcements: Sequence[NeighborAnnouncement]
+                    ) -> dict[tuple[str, str], int]:
+    """Identical pinned chunks per region pair (lower = better use of space)."""
+    report: dict[tuple[str, str], int] = {}
+    for i, first in enumerate(announcements):
+        for second in announcements[i + 1:]:
+            shared = len(first.pinned_chunks & second.pinned_chunks)
+            report[(first.region, second.region)] = shared
+    return report
+
+
 class CollaborationCoordinator:
     """Periodic content exchange between the Agar nodes of nearby regions.
 
@@ -117,13 +170,21 @@ class CollaborationCoordinator:
     def broadcast(self) -> list[NeighborAnnouncement]:
         """Collect every node's current configuration into announcements."""
         self._announcements = {
-            node.local_region: NeighborAnnouncement(
-                region=node.local_region,
-                pinned_chunks=node.current_configuration.chunk_ids(),
-            )
-            for node in self._nodes
+            node.local_region: announcement_of(node) for node in self._nodes
         }
         return self.announcements()
+
+    def install_announcements(self, announcements: Sequence[NeighborAnnouncement]) -> None:
+        """Record externally collected announcements (replaces the current set).
+
+        The sharded engine uses this to publish the final configurations its
+        per-region workers reported, so a caller holding the (cold) parent
+        deployment can still inspect the run's overlap via
+        :meth:`latest_overlap`.
+        """
+        self._announcements = {
+            announcement.region: announcement for announcement in announcements
+        }
 
     def reconfigure_all(self, now: float) -> dict[str, int]:
         """Run one collaborative reconfiguration round.
@@ -140,31 +201,27 @@ class CollaborationCoordinator:
         """
         configured: dict[str, int] = {}
         for node in self._nodes:
-            popularity = node.request_monitor.end_period()
-            manager = node.cache_manager
-            options = manager.generate_options(popularity)
             neighbours = [
-                NeighborAnnouncement(
-                    region=other.local_region,
-                    pinned_chunks=other.current_configuration.chunk_ids(),
-                )
+                announcement_of(other)
                 for other in self._nodes
                 if other.local_region != node.local_region
             ]
-            discounted = discount_options(options, neighbours, self._neighbor_read_ms)
-            solver = KnapsackSolver(capacity_weight=manager.capacity_chunks)
-            best = solver.solve_configuration(discounted)
-            manager.install(best)
-            configured[node.local_region] = best.weight
+            configured[node.local_region] = reconfigure_node(
+                node, neighbours, self._neighbor_read_ms
+            )
         self.broadcast()
         return configured
 
     def overlap_report(self) -> dict[tuple[str, str], int]:
         """Number of identical pinned chunks per region pair (lower = better use of space)."""
-        report: dict[tuple[str, str], int] = {}
-        announcements = self.broadcast()
-        for i, first in enumerate(announcements):
-            for second in announcements[i + 1:]:
-                shared = len(first.pinned_chunks & second.pinned_chunks)
-                report[(first.region, second.region)] = shared
-        return report
+        return overlap_between(self.broadcast())
+
+    def latest_overlap(self) -> dict[tuple[str, str], int]:
+        """Overlap of the latest *recorded* announcements, without re-broadcasting.
+
+        Unlike :meth:`overlap_report` this does not read the nodes' live
+        configurations, so it reflects announcements installed via
+        :meth:`install_announcements` — what a sharded run's workers last
+        reported — rather than the parent's untouched node copies.
+        """
+        return overlap_between(self.announcements())

@@ -58,13 +58,18 @@ The previous heap loop is retained verbatim as
 (``tests/sim/test_engine_equivalence.py``) asserts the lane scheduler is
 bit-identical to it on every supported shape.
 
-:meth:`EventEngine.execute_sharded` additionally runs *non-collaborative*
-deployments with one worker process per region (fork: the populated
-:class:`ErasureCodedStore` is shared copy-on-write).  Sharded runs are
-deterministic — the forked and the in-process (``processes=False``) paths are
-bit-identical — but not bit-identical to :meth:`execute`, because each shard
-draws latency jitter from its own region-derived stream instead of
-interleaving one shared stream.
+:meth:`EventEngine.execute_sharded` additionally runs deployments with one
+worker process per region (fork: the populated :class:`ErasureCodedStore` is
+shared copy-on-write).  Non-collaborative regions never interact, so their
+workers run independently; §VI *collaborative* deployments run a
+message-passing protocol instead — workers pause at collaboration-period
+boundaries, exchange :class:`NeighborAnnouncement`s with the parent over
+pipes, apply their share of the coordinator's discount-and-reconfigure round,
+and resume (see ``docs/collaboration.md``).  Sharded runs are deterministic —
+the forked and the in-process (``processes=False``) paths are bit-identical —
+but not bit-identical to :meth:`execute`, because each shard draws latency
+jitter from its own region-derived stream instead of interleaving one shared
+stream.
 """
 
 from __future__ import annotations
@@ -83,7 +88,12 @@ from repro.client.stats import LatencyStats, ReadResult
 from repro.client.strategies import ClientConfig, ReadStrategy, make_strategy
 from repro.core.agar_node import AgarNodeConfig
 from repro.erasure.chunk import ErasureCodingParams
-from repro.extensions.collaboration import CollaborationCoordinator
+from repro.extensions.collaboration import (
+    CollaborationCoordinator,
+    NeighborAnnouncement,
+    announcement_of,
+    reconfigure_node,
+)
 from repro.geo.topology import Topology, default_topology
 from repro.sim.clock import SimulationClock
 from repro.workload.workload import (
@@ -359,9 +369,311 @@ class _LaneOutcome:
     duration: float
 
 
+class _LaneRun:
+    """One resumable lane-scheduler pass over a subset of a deployment.
+
+    This is the state of :meth:`EventEngine._run_lanes` lifted into an object
+    so execution can *pause*: :meth:`run_until` processes every event strictly
+    before a time limit and returns, leaving all lane state (next-event
+    times, rank positions, pre-drawn arrival blocks, tie-guard sequence
+    numbers) intact for the next call.  Running with ``limit=None`` drains the
+    run to completion and is bit-identical to the former single-pass loop.
+
+    The pause point is what sharded collaborative execution builds on: each
+    per-region worker runs its lanes up to a collaboration-period boundary,
+    exchanges announcements with the parent, applies its share of the
+    §VI round, and resumes.  At a boundary ``T`` every event with time < T
+    has been processed and every event at exactly ``T`` has not — matching
+    the reference scheduler, where a collaboration timer at ``T``
+    (priority 0) fires before arrivals at ``T`` (priority 1).
+
+    ``external_collaboration=True`` suppresses the in-loop collaboration
+    timer; the caller drives the rounds between :meth:`run_until` calls
+    instead (the residual timer heap is empty then, because collaborative
+    deployments have no per-region reconfiguration timers).
+    """
+
+    def __init__(self, engine: "EventEngine", deployment: EngineDeployment,
+                 seed: int, region_indices, *,
+                 external_collaboration: bool = False) -> None:
+        config = engine._config
+        self._deployment = deployment
+        self._config = config
+        self._keep = engine._keep_results
+        clock = deployment.clock
+        self._clock = clock
+        strategies = deployment.strategies
+        arrival = config.arrival
+        self._open_loop = arrival.is_open_loop
+        timer_mode = config.uses_timer_reconfiguration
+        self._warmup = config.warmup_requests
+        workload = config.workload
+        self.start = clock.now()
+
+        region_indices = list(region_indices)
+        self.region_indices = region_indices
+        selected = set(region_indices)
+
+        # Shared key space; per-key plans are built lazily inside read_indexed.
+        keys = [workload.key_for_rank(rank) for rank in range(workload.object_count)]
+        for region_index in region_indices:
+            strategies[region_index].prepare_indexed_reads(keys)
+
+        per_client_requests = workload.request_count
+        self.region_stats = {
+            region_index: LatencyStats(
+                capacity=max(config.regions[region_index].clients * per_client_requests, 1)
+            )
+            for region_index in region_indices
+        }
+        self.region_kept: dict[int, list[ReadResult]] = {
+            region_index: [] for region_index in region_indices
+        }
+
+        # Struct-of-arrays lanes.  Ranks are plain Python lists (fastest
+        # scalar indexing); next-event times live in a float64 array for the
+        # argmin.  Open-loop lanes pre-draw exponential blocks per client.
+        lane_region: list[int] = []
+        self.lane_ranks: list[list[int]] = []
+        self.lane_rng: list[np.random.Generator] = []
+        self.lane_block: list[list[float]] = []
+        self.lane_block_pos: list[int] = []
+        self.mean_interarrival = arrival.mean_interarrival_s if self._open_loop else 0.0
+        global_index = 0
+        for region_index, spec in enumerate(config.regions):
+            for _ in range(spec.clients):
+                client_index = global_index
+                global_index += 1
+                if region_index not in selected:
+                    continue
+                ranks = generate_request_ranks(
+                    workload, seed=seed + CLIENT_SEED_STRIDE * client_index
+                )
+                if ranks.size == 0:
+                    continue
+                lane_region.append(region_index)
+                self.lane_ranks.append(ranks.tolist())
+                if self._open_loop:
+                    self.lane_rng.append(np.random.default_rng(
+                        (seed, _ARRIVAL_SEED_TAG, client_index)
+                    ))
+                    self.lane_block.append([])
+                    self.lane_block_pos.append(0)
+
+        lanes = len(lane_region)
+        self.lanes = lanes
+
+        self.next_time = np.empty(max(lanes, 1), dtype=np.float64)
+        self.times: list[float] = [0.0] * lanes
+        for lane in range(lanes):
+            first = (self.start + self._next_interarrival(lane) if self._open_loop
+                     else self.start)
+            self.next_time[lane] = first
+            self.times[lane] = first
+
+        # Residual priority structure: the deployment's few periodic timers.
+        self.timer_heap: list[tuple[float, int, int, int, float]] = []
+        self.timer_seq = 0
+        if timer_mode:
+            for region_index in region_indices:
+                strategies[region_index].set_external_reconfiguration(True)
+            if deployment.coordinator is not None:
+                if not external_collaboration:
+                    period = engine._collaboration_period()
+                    heapq.heappush(
+                        self.timer_heap,
+                        (self.start + period, self.timer_seq, _TIMER_COLLAB, -1, period),
+                    )
+                    self.timer_seq += 1
+            else:
+                for region_index in region_indices:
+                    period = strategies[region_index].reconfiguration_period_s
+                    if period is not None:
+                        heapq.heappush(
+                            self.timer_heap,
+                            (self.start + period, self.timer_seq, _TIMER_REGION,
+                             region_index, period),
+                        )
+                        self.timer_seq += 1
+
+        # Per-lane bound callables: no dict/attribute lookups in the loop.
+        self.lane_read = [strategies[region_index].read_indexed
+                          for region_index in lane_region]
+        self.lane_record = [self.region_stats[region_index].record_read
+                            for region_index in lane_region]
+        self.lane_kept = [self.region_kept[region_index] for region_index in lane_region]
+        self.lane_pos = [0] * lanes
+        self.lane_end = [len(ranks) for ranks in self.lane_ranks]
+
+        # Exact event-time ties between lanes must resolve in the reference's
+        # insertion order.  With jitter on every link a collision is a
+        # measure-zero float coincidence, and the one systematic collision —
+        # all closed-loop lanes starting at `start` — already resolves
+        # correctly because argmin's first-index tie-break equals the initial
+        # scheduling order.  Zero-jitter topologies (e.g. table1) make exact
+        # ties routine, so there each lane carries the sequence number its
+        # current event was scheduled with (mirroring the reference's push
+        # counter) and tied lanes resolve to the smallest one.
+        self.guard_ties = not engine._topology.latency.fully_jittered
+        self.lane_schedule_seq = list(range(lanes))
+        self.schedule_counter = lanes
+
+        self.remaining = lanes
+        self.last_completion = self.start
+
+    def _next_interarrival(self, lane: int) -> float:
+        block = self.lane_block[lane]
+        position = self.lane_block_pos[lane]
+        if position >= len(block):
+            block = self.lane_rng[lane].exponential(
+                self.mean_interarrival, _ARRIVAL_BLOCK
+            ).tolist()
+            self.lane_block[lane] = block
+            position = 0
+        self.lane_block_pos[lane] = position + 1
+        return block[position]
+
+    @property
+    def remaining_events(self) -> int:
+        """Requests not yet processed across this run's lanes."""
+        return sum(end - pos for end, pos in zip(self.lane_end, self.lane_pos))
+
+    def run_until(self, limit: float | None) -> None:
+        """Process events strictly before ``limit`` (None = run to completion).
+
+        Events at exactly ``limit`` are left pending: the caller's boundary
+        work (a collaboration round, mirroring a priority-0 timer) happens
+        before them.
+        """
+        deployment = self._deployment
+        clock = self._clock
+        strategies = deployment.strategies
+        open_loop = self._open_loop
+        warmup = self._warmup
+        keep = self._keep
+        horizon = math.inf if limit is None else limit
+
+        times = self.times
+        next_time = self.next_time
+        timer_heap = self.timer_heap
+        timer_seq = self.timer_seq
+        guard_ties = self.guard_ties
+        lane_schedule_seq = self.lane_schedule_seq
+        schedule_counter = self.schedule_counter
+        lane_read = self.lane_read
+        lane_record = self.lane_record
+        lane_kept = self.lane_kept
+        lane_pos = self.lane_pos
+        lane_end = self.lane_end
+        lane_ranks = self.lane_ranks
+        next_interarrival = self._next_interarrival
+        remaining = self.remaining
+        last_completion = self.last_completion
+        argmin = next_time.argmin
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        infinity = math.inf
+
+        while remaining:
+            lane = int(argmin())
+            event_time = times[lane]
+            if event_time >= horizon:
+                break
+            if guard_ties:
+                tied = np.flatnonzero(next_time == event_time)
+                if tied.shape[0] > 1:
+                    for candidate in tied.tolist():
+                        if lane_schedule_seq[candidate] < lane_schedule_seq[lane]:
+                            lane = candidate
+            # Timers due before (or exactly at) the next arrival fire first —
+            # the reference's (time, priority, seq) order with _PRIO_TIMER 0.
+            while timer_heap and timer_heap[0][0] <= event_time:
+                timer_time, _seq, kind, region_index, period = heappop(timer_heap)
+                clock._now_s = timer_time
+                if kind == _TIMER_COLLAB:
+                    deployment.coordinator.reconfigure_all(timer_time)
+                    _install_neighbor_catalogs(deployment, self._config.neighbor_read_ms)
+                else:
+                    strategies[region_index].tick(timer_time)
+                heappush(timer_heap, (timer_time + period, timer_seq, kind, region_index, period))
+                timer_seq += 1
+            # Direct slot write instead of clock.advance_to: the scheduler's
+            # argmin guarantees monotonically non-decreasing event times, so
+            # the method call and its past-check are pure per-event overhead.
+            clock._now_s = event_time
+
+            position = lane_pos[lane]
+            result = lane_read[lane](lane_ranks[lane][position], event_time)
+            latency_ms = result.latency_ms
+            completion = event_time + latency_ms / 1000.0
+            if completion > last_completion:
+                last_completion = completion
+            if position >= warmup:
+                lane_record[lane](latency_ms, result.hit_type,
+                                  result.chunks_from_cache, result.chunks_from_backend,
+                                  result.chunks_from_neighbors)
+            if keep:
+                lane_kept[lane].append(result)
+            position += 1
+            lane_pos[lane] = position
+            if position < lane_end[lane]:
+                upcoming = (event_time + next_interarrival(lane) if open_loop
+                            else completion)
+                times[lane] = upcoming
+                next_time[lane] = upcoming
+                if guard_ties:
+                    lane_schedule_seq[lane] = schedule_counter
+                    schedule_counter += 1
+            else:
+                next_time[lane] = infinity
+                remaining -= 1
+
+        self.timer_seq = timer_seq
+        self.schedule_counter = schedule_counter
+        self.remaining = remaining
+        self.last_completion = last_completion
+
+    def pause_at(self, boundary: float) -> None:
+        """Align the clock with a collaboration boundary the caller will run.
+
+        Mirrors the reference scheduler advancing the shared clock to a
+        timer's fire time before executing it.
+        """
+        if boundary > self._clock.now():
+            self._clock._now_s = boundary
+
+    def finish(self) -> _LaneOutcome:
+        """Close the run: final clock advance, duration, collected outcome."""
+        clock = self._clock
+        end = clock.now()
+        if self.last_completion > end:
+            end = self.last_completion
+        clock.advance_to(end)
+        return _LaneOutcome(
+            stats=self.region_stats, kept=self.region_kept, duration=end - self.start
+        )
+
+
 def _shard_jitter_seed(seed: int, region_index: int) -> int:
     """Deterministic per-region jitter seed of sharded execution."""
     return seed + _SHARD_SEED_TAG * (region_index + 1)
+
+
+def _install_neighbor_catalogs(deployment: EngineDeployment,
+                               neighbor_read_ms: float) -> None:
+    """Hand every region the union of the *other* regions' pinned chunks.
+
+    Called after each §VI round: the coordinator's fresh announcements become
+    each strategy's neighbour catalog, enabling neighbour-cache reads at
+    ``neighbor_read_ms`` (see :meth:`ReadStrategy.set_neighbor_catalog`).
+    """
+    announcements = deployment.coordinator.announcements()
+    by_region = {a.region: a.pinned_chunks for a in announcements}
+    for strategy in deployment.strategies:
+        others = [pinned for region, pinned in by_region.items()
+                  if region != strategy.client_region]
+        union = frozenset().union(*others) if others else frozenset()
+        strategy.set_neighbor_catalog(union, neighbor_read_ms)
 
 
 def _shard_worker(engine: "EventEngine", deployment: EngineDeployment, seed: int,
@@ -380,6 +692,150 @@ def _shard_worker(engine: "EventEngine", deployment: EngineDeployment, seed: int
         connection.send(payload)
     finally:
         connection.close()
+
+
+def _collab_shard_worker(engine: "EventEngine", deployment: EngineDeployment,
+                         seed: int, region_index: int, connection) -> None:
+    """Body of one forked *collaborative* region worker.
+
+    Unlike :func:`_shard_worker` this is a command loop: the parent drives the
+    worker through collaboration-period boundaries.  Commands over the duplex
+    pipe:
+
+    * ``("segment", boundary, catalog)`` — install the neighbour catalog
+      (``None`` = unchanged; the union of the other regions' pinned chunks
+      after a round), then run this region's lanes up to (strictly before)
+      ``boundary``; reply ``("paused", remaining_events, announcement)``.
+    * ``("round", now, neighbours)`` — apply this node's share of the §VI
+      round (:func:`reconfigure_node` against the neighbours' announcements);
+      reply ``("config", announcement)`` with the freshly installed
+      configuration.
+    * ``("finish",)`` — finalise the shard; reply ``("result",
+      RegionRunResult)`` and exit.
+
+    Errors are shipped to the parent as the exception object itself.
+    """
+    try:
+        run = engine._begin_region_shard(deployment, seed, region_index,
+                                         external_collaboration=True)
+        node = deployment.strategies[region_index].node
+        neighbor_read_ms = engine._config.neighbor_read_ms
+        while True:
+            command = connection.recv()
+            kind = command[0]
+            if kind == "segment":
+                catalog = command[2]
+                if catalog is not None:
+                    deployment.strategies[region_index].set_neighbor_catalog(
+                        catalog, neighbor_read_ms
+                    )
+                run.run_until(command[1])
+                connection.send(("paused", run.remaining_events, announcement_of(node)))
+            elif kind == "round":
+                run.pause_at(command[1])
+                reconfigure_node(node, command[2], neighbor_read_ms)
+                connection.send(("config", announcement_of(node)))
+            elif kind == "finish":
+                outcome = run.finish()
+                connection.send(
+                    ("result", engine._shard_result(deployment, region_index, outcome))
+                )
+                return
+            else:  # pragma: no cover - protocol misuse guard
+                raise RuntimeError(f"unknown shard command {kind!r}")
+    except BaseException as error:  # pragma: no cover - transport for the parent
+        try:
+            connection.send(error)
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        connection.close()
+
+
+class _PipeShard:
+    """Parent-side handle of one forked collaborative region worker."""
+
+    def __init__(self, worker, connection) -> None:
+        self._worker = worker
+        self._connection = connection
+
+    def start_segment(self, boundary: float, catalog) -> None:
+        self._connection.send(("segment", boundary, catalog))
+
+    def finish_segment(self) -> tuple[int, NeighborAnnouncement]:
+        remaining, announcement = self._receive("paused")
+        return remaining, announcement
+
+    def round(self, now: float,
+              neighbours: list[NeighborAnnouncement]) -> NeighborAnnouncement:
+        self._connection.send(("round", now, neighbours))
+        return self._receive("config")[0]
+
+    def finish(self) -> RegionRunResult:
+        self._connection.send(("finish",))
+        result = self._receive("result")[0]
+        self._worker.join()
+        return result
+
+    def terminate(self) -> None:
+        """Abort the worker (error-path cleanup)."""
+        if self._worker.is_alive():
+            self._worker.terminate()
+        self._worker.join()
+        self._connection.close()
+
+    def _receive(self, expected: str):
+        payload = self._connection.recv()
+        if isinstance(payload, BaseException):
+            self._worker.join()
+            raise payload
+        if payload[0] != expected:  # pragma: no cover - protocol misuse guard
+            raise RuntimeError(f"expected {expected!r} from shard, got {payload[0]!r}")
+        return payload[1:]
+
+
+class _LocalShard:
+    """In-process twin of :class:`_PipeShard` over a deep-copied deployment.
+
+    Runs the exact same segment/round/finish protocol sequentially, which is
+    what makes the forked path's bit-identity testable without processes.
+    """
+
+    def __init__(self, engine: "EventEngine", deployment: EngineDeployment,
+                 seed: int, region_index: int) -> None:
+        self._engine = engine
+        self._deployment = deployment
+        self._region_index = region_index
+        self._run = engine._begin_region_shard(deployment, seed, region_index,
+                                               external_collaboration=True)
+        self._node = deployment.strategies[region_index].node
+        self._neighbor_read_ms = engine._config.neighbor_read_ms
+        self._paused: tuple[int, NeighborAnnouncement] | None = None
+
+    def start_segment(self, boundary: float, catalog) -> None:
+        if catalog is not None:
+            self._deployment.strategies[self._region_index].set_neighbor_catalog(
+                catalog, self._neighbor_read_ms
+            )
+        self._run.run_until(boundary)
+        self._paused = (self._run.remaining_events, announcement_of(self._node))
+
+    def finish_segment(self) -> tuple[int, NeighborAnnouncement]:
+        paused, self._paused = self._paused, None
+        return paused
+
+    def round(self, now: float,
+              neighbours: list[NeighborAnnouncement]) -> NeighborAnnouncement:
+        self._run.pause_at(now)
+        reconfigure_node(self._node, neighbours, self._neighbor_read_ms)
+        return announcement_of(self._node)
+
+    def finish(self) -> RegionRunResult:
+        outcome = self._run.finish()
+        return self._engine._shard_result(self._deployment, self._region_index, outcome)
+
+    def terminate(self) -> None:
+        """No-op twin of the pipe handle's abort."""
 
 
 class EventEngine:
@@ -493,7 +949,9 @@ class EventEngine:
         one :class:`Request` object per read.  :meth:`execute` must reproduce
         this bit-for-bit; the equivalence suite compares the two on every
         supported shape, the same way the engine originally proved itself
-        against ``Simulation.run_legacy``.
+        against ``Simulation.run_legacy``.  (One semantic addition since the
+        PR 2 loop: collaborative rounds install the §VI neighbour catalogs —
+        applied to both schedulers in lockstep.)
         """
         config = self._config
         clock = deployment.clock
@@ -599,6 +1057,7 @@ class EventEngine:
                 if kind == "collab":
                     period = payload[1]
                     deployment.coordinator.reconfigure_all(time_s)
+                    _install_neighbor_catalogs(deployment, config.neighbor_read_ms)
                     push(time_s + period, _PRIO_TIMER, ("collab", period))
                 else:
                     region_index, period = payload[1], payload[2]
@@ -629,6 +1088,15 @@ class EventEngine:
     # ------------------------------------------------------------------ #
     # Lane scheduler (the fast path behind execute / execute_sharded)
     # ------------------------------------------------------------------ #
+    def _collaboration_period(self) -> float:
+        """Resolved §VI exchange period (config override or the Agar default)."""
+        config = self._config
+        period = config.collaboration_period_s
+        if period is None:
+            agar = config.agar or AgarNodeConfig()
+            period = agar.reconfiguration_period_s
+        return period
+
     def _run_lanes(self, deployment: EngineDeployment, seed: int,
                    region_indices) -> _LaneOutcome:
         """Run the lane scheduler over the clients of ``region_indices``.
@@ -645,199 +1113,13 @@ class EventEngine:
         timers-first then insertion order — preserved by the lane layout at
         the start-time collision, and by explicit per-lane schedule sequence
         numbers on topologies where zero-jitter links make exact ties
-        systematic — so the two paths are bit-identical.
+        systematic — so the two paths are bit-identical.  The loop itself
+        lives in :class:`_LaneRun` (resumable for sharded collaboration);
+        this wrapper drains one run to completion.
         """
-        config = self._config
-        clock = deployment.clock
-        strategies = deployment.strategies
-        arrival = config.arrival
-        open_loop = arrival.is_open_loop
-        timer_mode = config.uses_timer_reconfiguration
-        warmup = config.warmup_requests
-        keep = self._keep_results
-        workload = config.workload
-        start = clock.now()
-
-        region_indices = list(region_indices)
-        selected = set(region_indices)
-
-        # Shared key space; per-key plans are built lazily inside read_indexed.
-        keys = [workload.key_for_rank(rank) for rank in range(workload.object_count)]
-        for region_index in region_indices:
-            strategies[region_index].prepare_indexed_reads(keys)
-
-        per_client_requests = workload.request_count
-        region_stats = {
-            region_index: LatencyStats(
-                capacity=max(config.regions[region_index].clients * per_client_requests, 1)
-            )
-            for region_index in region_indices
-        }
-        region_kept: dict[int, list[ReadResult]] = {
-            region_index: [] for region_index in region_indices
-        }
-
-        # Struct-of-arrays lanes.  Ranks are plain Python lists (fastest
-        # scalar indexing); next-event times live in a float64 array for the
-        # argmin.  Open-loop lanes pre-draw exponential blocks per client.
-        lane_region: list[int] = []
-        lane_ranks: list[list[int]] = []
-        lane_rng: list[np.random.Generator] = []
-        lane_block: list[list[float]] = []
-        lane_block_pos: list[int] = []
-        mean_interarrival = arrival.mean_interarrival_s if open_loop else 0.0
-        global_index = 0
-        for region_index, spec in enumerate(config.regions):
-            for _ in range(spec.clients):
-                client_index = global_index
-                global_index += 1
-                if region_index not in selected:
-                    continue
-                ranks = generate_request_ranks(
-                    workload, seed=seed + CLIENT_SEED_STRIDE * client_index
-                )
-                if ranks.size == 0:
-                    continue
-                lane_region.append(region_index)
-                lane_ranks.append(ranks.tolist())
-                if open_loop:
-                    lane_rng.append(np.random.default_rng(
-                        (seed, _ARRIVAL_SEED_TAG, client_index)
-                    ))
-                    lane_block.append([])
-                    lane_block_pos.append(0)
-
-        lanes = len(lane_region)
-
-        def next_interarrival(lane: int) -> float:
-            block = lane_block[lane]
-            position = lane_block_pos[lane]
-            if position >= len(block):
-                block = lane_rng[lane].exponential(
-                    mean_interarrival, _ARRIVAL_BLOCK
-                ).tolist()
-                lane_block[lane] = block
-                position = 0
-            lane_block_pos[lane] = position + 1
-            return block[position]
-
-        next_time = np.empty(max(lanes, 1), dtype=np.float64)
-        times: list[float] = [0.0] * lanes
-        for lane in range(lanes):
-            first = start + next_interarrival(lane) if open_loop else start
-            next_time[lane] = first
-            times[lane] = first
-
-        # Residual priority structure: the deployment's few periodic timers.
-        timer_heap: list[tuple[float, int, int, int, float]] = []
-        timer_seq = 0
-        if timer_mode:
-            for region_index in region_indices:
-                strategies[region_index].set_external_reconfiguration(True)
-            if deployment.coordinator is not None:
-                period = config.collaboration_period_s
-                if period is None:
-                    agar = config.agar or AgarNodeConfig()
-                    period = agar.reconfiguration_period_s
-                heapq.heappush(
-                    timer_heap, (start + period, timer_seq, _TIMER_COLLAB, -1, period)
-                )
-                timer_seq += 1
-            else:
-                for region_index in region_indices:
-                    period = strategies[region_index].reconfiguration_period_s
-                    if period is not None:
-                        heapq.heappush(
-                            timer_heap,
-                            (start + period, timer_seq, _TIMER_REGION, region_index, period),
-                        )
-                        timer_seq += 1
-
-        # Per-lane bound callables: no dict/attribute lookups in the loop.
-        lane_read = [strategies[region_index].read_indexed for region_index in lane_region]
-        lane_record = [region_stats[region_index].record_read for region_index in lane_region]
-        lane_kept = [region_kept[region_index] for region_index in lane_region]
-        lane_pos = [0] * lanes
-        lane_end = [len(ranks) for ranks in lane_ranks]
-
-        # Exact event-time ties between lanes must resolve in the reference's
-        # insertion order.  With jitter on every link a collision is a
-        # measure-zero float coincidence, and the one systematic collision —
-        # all closed-loop lanes starting at `start` — already resolves
-        # correctly because argmin's first-index tie-break equals the initial
-        # scheduling order.  Zero-jitter topologies (e.g. table1) make exact
-        # ties routine, so there each lane carries the sequence number its
-        # current event was scheduled with (mirroring the reference's push
-        # counter) and tied lanes resolve to the smallest one.
-        guard_ties = not self._topology.latency.fully_jittered
-        lane_schedule_seq = list(range(lanes))
-        schedule_counter = lanes
-
-        remaining = lanes
-        last_completion = start
-        advance_to = clock.advance_to
-        argmin = next_time.argmin
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        infinity = math.inf
-
-        while remaining:
-            lane = int(argmin())
-            event_time = times[lane]
-            if guard_ties:
-                tied = np.flatnonzero(next_time == event_time)
-                if tied.shape[0] > 1:
-                    for candidate in tied.tolist():
-                        if lane_schedule_seq[candidate] < lane_schedule_seq[lane]:
-                            lane = candidate
-            # Timers due before (or exactly at) the next arrival fire first —
-            # the reference's (time, priority, seq) order with _PRIO_TIMER 0.
-            while timer_heap and timer_heap[0][0] <= event_time:
-                timer_time, _seq, kind, region_index, period = heappop(timer_heap)
-                clock._now_s = timer_time
-                if kind == _TIMER_COLLAB:
-                    deployment.coordinator.reconfigure_all(timer_time)
-                else:
-                    strategies[region_index].tick(timer_time)
-                heappush(timer_heap, (timer_time + period, timer_seq, kind, region_index, period))
-                timer_seq += 1
-            # Direct slot write instead of clock.advance_to: the scheduler's
-            # argmin guarantees monotonically non-decreasing event times, so
-            # the method call and its past-check are pure per-event overhead.
-            clock._now_s = event_time
-
-            position = lane_pos[lane]
-            result = lane_read[lane](lane_ranks[lane][position], event_time)
-            latency_ms = result.latency_ms
-            completion = event_time + latency_ms / 1000.0
-            if completion > last_completion:
-                last_completion = completion
-            if position >= warmup:
-                lane_record[lane](latency_ms, result.hit_type,
-                                  result.chunks_from_cache, result.chunks_from_backend)
-            if keep:
-                lane_kept[lane].append(result)
-            position += 1
-            lane_pos[lane] = position
-            if position < lane_end[lane]:
-                upcoming = (event_time + next_interarrival(lane) if open_loop
-                            else completion)
-                times[lane] = upcoming
-                next_time[lane] = upcoming
-                if guard_ties:
-                    lane_schedule_seq[lane] = schedule_counter
-                    schedule_counter += 1
-            else:
-                next_time[lane] = infinity
-                remaining -= 1
-
-        end = clock.now()
-        if last_completion > end:
-            end = last_completion
-        advance_to(end)
-        return _LaneOutcome(
-            stats=region_stats, kept=region_kept, duration=end - start
-        )
+        run = _LaneRun(self, deployment, seed, region_indices)
+        run.run_until(None)
+        return run.finish()
 
     def _assemble_result(self, deployment: EngineDeployment,
                          outcome: _LaneOutcome) -> EngineResult:
@@ -863,18 +1145,22 @@ class EventEngine:
     # ------------------------------------------------------------------ #
     # Process-parallel region sharding
     # ------------------------------------------------------------------ #
-    def _execute_region_shard(self, deployment: EngineDeployment, seed: int,
-                              region_index: int) -> RegionRunResult:
-        """Run one region of the deployment as an isolated shard.
+    def _begin_region_shard(self, deployment: EngineDeployment, seed: int,
+                            region_index: int, *,
+                            external_collaboration: bool = False) -> _LaneRun:
+        """Reseed a shard's latency model and build its (resumable) lane run.
 
-        Reseeds the deployment's latency model with the region-derived shard
-        seed, then runs the lane scheduler over that region's clients only.
         Runs either inside a forked worker (deployment inherited
         copy-on-write) or against a deep copy (the in-process fallback) —
         both mutate only their private copy, bit-identically.
         """
         deployment.store.topology.latency.reseed(_shard_jitter_seed(seed, region_index))
-        outcome = self._run_lanes(deployment, seed, [region_index])
+        return _LaneRun(self, deployment, seed, [region_index],
+                        external_collaboration=external_collaboration)
+
+    def _shard_result(self, deployment: EngineDeployment, region_index: int,
+                      outcome: _LaneOutcome) -> RegionRunResult:
+        """Wrap one finished shard's outcome as its region's run result."""
         spec = self._config.regions[region_index]
         return RegionRunResult(
             region=spec.region,
@@ -885,6 +1171,13 @@ class EventEngine:
             cache_snapshot=deployment.strategies[region_index].cache_snapshot(),
             results=outcome.kept[region_index],
         )
+
+    def _execute_region_shard(self, deployment: EngineDeployment, seed: int,
+                              region_index: int) -> RegionRunResult:
+        """Run one non-collaborative region shard start to finish."""
+        run = self._begin_region_shard(deployment, seed, region_index)
+        run.run_until(None)
+        return self._shard_result(deployment, region_index, run.finish())
 
     def execute_sharded(self, deployment: EngineDeployment, seed: int,
                         processes: bool | None = None) -> EngineResult:
@@ -907,6 +1200,14 @@ class EventEngine:
         sharded runs never warm the caller's caches; per-region durations are
         each shard's own span and the merged ``duration_s`` is their maximum.
 
+        Collaborative (§VI) deployments shard too: the regions never share
+        caches, but their Agar nodes must exchange announcements every
+        collaboration period.  Those deployments run a *message-passing*
+        round protocol — workers pause at each period boundary, the parent
+        relays announcements and drives the staggered discount-and-
+        reconfigure round, then the workers resume — see
+        :meth:`_execute_sharded_collaborative`.
+
         Args:
             deployment: the deployment to shard.
             seed: per-run seed (same meaning as in :meth:`execute`).
@@ -914,14 +1215,10 @@ class EventEngine:
                 whenever the platform supports the fork start method and
                 there is more than one region, ``False`` runs the shards
                 sequentially in-process against deep copies.
-
-        Raises:
-            ValueError: for collaborative deployments (cross-region coupling
-                cannot be sharded).
         """
         config = self._config
         if deployment.coordinator is not None:
-            raise ValueError("sharded execution requires a non-collaborative deployment")
+            return self._execute_sharded_collaborative(deployment, seed, processes)
         if processes is None:
             processes = "fork" in multiprocessing.get_all_start_methods()
 
@@ -951,6 +1248,105 @@ class EventEngine:
                     self._execute_region_shard(shard, seed, region_index)
                 )
 
+        duration = max((result.duration_s for result in region_results), default=0.0)
+        return EngineResult(
+            workload_name=config.workload.name,
+            duration_s=duration,
+            regions={result.region: result for result in region_results},
+        )
+
+    def _execute_sharded_collaborative(self, deployment: EngineDeployment, seed: int,
+                                       processes: bool | None = None) -> EngineResult:
+        """Sharded execution of a §VI collaborative deployment.
+
+        One worker per region runs its lanes in *segments* between
+        collaboration-period boundaries.  At each boundary ``T``:
+
+        1. every worker pauses having processed all events strictly before
+           ``T`` and reports its remaining-request count and current
+           announcement;
+        2. if any requests remain deployment-wide (the reference scheduler's
+           "timers only fire while requests remain" rule), the parent walks
+           the regions in order, sending each worker its neighbours' current
+           announcements — regions earlier in the round already carry their
+           *new* configuration, the staggered-round semantics of
+           :meth:`CollaborationCoordinator.reconfigure_all` — and the worker
+           applies :func:`reconfigure_node` locally and replies with its new
+           announcement;
+        3. the workers resume towards ``T + period``.
+
+        The forked and in-process (``processes=False``) paths run the exact
+        same protocol and are bit-identical; like non-collaborative sharding,
+        neither is bit-comparable to :meth:`execute` because each shard draws
+        jitter from its own region-derived stream.  The final announcements
+        are installed into the parent deployment's coordinator
+        (:meth:`~repro.extensions.collaboration.CollaborationCoordinator.install_announcements`),
+        so callers can read the run's cache-content overlap via
+        ``coordinator.latest_overlap()`` even though the parent's node copies
+        stay cold.
+        """
+        config = self._config
+        period = self._collaboration_period()
+        start = deployment.clock.now()
+        region_count = len(config.regions)
+        if processes is None:
+            processes = "fork" in multiprocessing.get_all_start_methods()
+
+        shards: list[_PipeShard | _LocalShard] = []
+        if processes and region_count > 1:
+            context = multiprocessing.get_context("fork")
+            for region_index in range(region_count):
+                parent_end, worker_end = context.Pipe(duplex=True)
+                worker = context.Process(
+                    target=_collab_shard_worker,
+                    args=(self, deployment, seed, region_index, worker_end),
+                )
+                worker.start()
+                worker_end.close()
+                shards.append(_PipeShard(worker, parent_end))
+        else:
+            for region_index in range(region_count):
+                shard_deployment = copy.deepcopy(deployment)
+                shards.append(_LocalShard(self, shard_deployment, seed, region_index))
+
+        announcements: list[NeighborAnnouncement | None] = [None] * region_count
+        catalogs: list[frozenset | None] = [None] * region_count
+        try:
+            boundary = start + period
+            while True:
+                for region_index, shard in enumerate(shards):
+                    shard.start_segment(boundary, catalogs[region_index])
+                total_remaining = 0
+                for region_index, shard in enumerate(shards):
+                    remaining, announcement = shard.finish_segment()
+                    announcements[region_index] = announcement
+                    total_remaining += remaining
+                if total_remaining == 0:
+                    break
+                for region_index, shard in enumerate(shards):
+                    neighbours = [announcements[other] for other in range(region_count)
+                                  if other != region_index]
+                    announcements[region_index] = shard.round(boundary, neighbours)
+                # The next segment starts with the round's *final* catalogs
+                # (every region's new configuration), matching the in-process
+                # engine, which installs catalogs after the whole round.
+                catalogs = [
+                    frozenset().union(*(
+                        announcements[other].pinned_chunks
+                        for other in range(region_count) if other != region_index
+                    )) if region_count > 1 else frozenset()
+                    for region_index in range(region_count)
+                ]
+                boundary += period
+            region_results = [shard.finish() for shard in shards]
+        except BaseException:
+            for shard in shards:
+                shard.terminate()
+            raise
+
+        deployment.coordinator.install_announcements(
+            [announcement for announcement in announcements if announcement is not None]
+        )
         duration = max((result.duration_s for result in region_results), default=0.0)
         return EngineResult(
             workload_name=config.workload.name,

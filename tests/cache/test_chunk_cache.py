@@ -50,6 +50,69 @@ class TestBasicOperations:
         assert cache.used_bytes == 50
         assert len(cache) == 1
 
+    def test_same_size_reput_is_in_place(self):
+        """Re-putting a cached chunk of unchanged size refreshes the existing
+        entry (no new CacheEntry, no insertion churn) but still renews its
+        recency and insertion rank."""
+        cache = ChunkCache(capacity_bytes=200, policy=LRUEvictionPolicy())
+        cache.put(make_chunk("a", 0))
+        entry_before = cache._entries[ChunkId("a", 0)]
+        cache.put(make_chunk("b", 0))
+        cache.put(make_chunk("a", 0))  # refresh: "a" becomes most recent
+        assert cache._entries[ChunkId("a", 0)] is entry_before
+        assert cache.stats.insertions == 2
+        assert cache.stats.refreshes == 1
+        cache.put(make_chunk("c", 0))  # evicts "b", the least recently re-put
+        assert cache.contains(ChunkId("a", 0))
+        assert not cache.contains(ChunkId("b", 0))
+
+    def test_refresh_matches_reinsert_for_fifo_order(self):
+        """The in-place refresh must rank exactly like remove-and-reinsert
+        under FIFO (insertion time resets)."""
+        cache = ChunkCache(capacity_bytes=200, policy=FIFOEvictionPolicy())
+        cache.put(make_chunk("a", 0))
+        cache.put(make_chunk("b", 0))
+        cache.put(make_chunk("a", 0))  # refresh: "a" now newest by insertion
+        cache.put(make_chunk("c", 0))  # overflow: FIFO evicts "b"
+        assert cache.contains(ChunkId("a", 0))
+        assert not cache.contains(ChunkId("b", 0))
+
+    def test_refresh_resets_access_count(self):
+        cache = ChunkCache(capacity_bytes=300)
+        cache.put(make_chunk("a", 0))
+        cache.get(ChunkId("a", 0))
+        assert cache._entries[ChunkId("a", 0)].access_count == 1
+        cache.put(make_chunk("a", 0))
+        assert cache._entries[ChunkId("a", 0)].access_count == 0
+
+    def test_touch_refreshes_without_payload(self):
+        cache = ChunkCache(capacity_bytes=200, policy=LRUEvictionPolicy())
+        cache.put(make_chunk("a", 0))
+        cache.put(make_chunk("b", 0))
+        assert cache.touch(ChunkId("a", 0))
+        assert cache.stats.refreshes == 1
+        cache.put(make_chunk("c", 0))  # evicts "b"
+        assert cache.contains(ChunkId("a", 0))
+        assert not cache.contains(ChunkId("b", 0))
+
+    def test_touch_absent_chunk(self):
+        cache = ChunkCache(capacity_bytes=300)
+        assert not cache.touch(ChunkId("nope", 0))
+        assert cache.stats.refreshes == 0
+
+    def test_touch_respects_admission(self):
+        """A pinned-configuration cache refuses to touch a chunk that has
+        fallen out of the configuration, mirroring put's admission veto."""
+        from repro.cache.policies import PinnedConfigurationPolicy
+
+        policy = PinnedConfigurationPolicy()
+        policy.set_configuration({ChunkId("a", 0)})
+        cache = ChunkCache(capacity_bytes=300, policy=policy)
+        cache.put(make_chunk("a", 0))
+        policy.set_configuration({ChunkId("b", 0)})
+        assert not cache.touch(ChunkId("a", 0))
+        assert cache.stats.rejections == 1
+
     def test_delete_and_clear(self):
         cache = ChunkCache(capacity_bytes=500)
         cache.put(make_chunk("a", 0))

@@ -1,0 +1,167 @@
+"""Tests for the §VI collaboration sweep experiment (fig_collab)."""
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.common import EngineOptions, ExperimentSettings
+from repro.experiments.fig_collab import (
+    DEPLOYMENT_LABEL,
+    compute_crossover,
+    render_fig_collab,
+    run_fig_collab,
+)
+
+
+def tiny_settings() -> ExperimentSettings:
+    return ExperimentSettings(runs=1, request_count=100, object_count=60)
+
+
+class TestComputeCrossover:
+    def test_always_wins(self):
+        row = compute_crossover("a+b", 30.0, [(10.0, 5.0), (100.0, 1.0)])
+        assert row.always_wins and not row.never_wins
+        assert row.crossover_ms is None
+        assert "wins across the whole sweep" in row.describe()
+
+    def test_never_wins(self):
+        row = compute_crossover("a+b", 30.0, [(10.0, -5.0), (100.0, -1.0)])
+        assert row.never_wins and not row.always_wins
+        assert "independent" in row.describe()
+
+    def test_interpolated_crossover(self):
+        # Advantage +4 at 100 ms, -4 at 300 ms -> crossover at 200 ms.
+        row = compute_crossover("a+b", 30.0, [(100.0, 4.0), (300.0, -4.0)])
+        assert row.crossover_ms == pytest.approx(200.0)
+        assert "below ~200 ms" in row.describe()
+
+    def test_inverted_direction_reported_honestly(self):
+        """A sweep that starts losing and ends winning must say 'above', not
+        'below'."""
+        row = compute_crossover("a+b", 30.0, [(10.0, -2.0), (50.0, 2.0)])
+        assert row.crossover_ms == pytest.approx(30.0)
+        assert not row.wins_below
+        assert "wins above ~30 ms" in row.describe()
+
+    def test_non_monotonic_sweep_flagged(self):
+        row = compute_crossover(
+            "a+b", 30.0, [(10.0, 2.0), (50.0, -1.0), (100.0, 1.0), (200.0, -3.0)]
+        )
+        assert not row.monotonic
+        assert "not monotonic" in row.describe()
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            compute_crossover("a+b", 30.0, [])
+
+
+class TestRunFigCollab:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig_collab(
+            tiny_settings(),
+            options=EngineOptions(regions=("frankfurt", "dublin"),
+                                  clients_per_region=2),
+            neighbor_read_ms_values=(10.0, 500.0),
+        )
+
+    def test_row_structure(self, result):
+        # One pairing x one period x two sweep points x (2 regions + "all").
+        assert len(result.rows) == 2 * 3
+        regions = {row.region for row in result.rows}
+        assert regions == {"frankfurt", "dublin", DEPLOYMENT_LABEL}
+        assert all(row.pairing == "frankfurt+dublin" for row in result.rows)
+        assert len(result.overlaps) == 2
+        assert len(result.crossovers) == 1
+
+    def test_independent_baseline_constant_across_sweep(self, result):
+        """The independent numbers do not depend on neighbor_read_ms."""
+        by_region: dict[str, set[float]] = {}
+        for row in result.rows:
+            by_region.setdefault(row.region, set()).add(row.independent_mean_ms)
+        assert all(len(values) == 1 for values in by_region.values())
+
+    def test_collaboration_reduces_overlap(self, result):
+        """The mechanism §VI exploits: collaborating caches pin fewer
+        identical chunks than independent ones."""
+        for overlap in result.overlaps:
+            assert overlap.collab_overlap_chunks < overlap.independent_overlap_chunks
+
+    def test_cheap_neighbors_beat_expensive_neighbors(self, result):
+        """Collaborative latency must degrade as neighbour reads get more
+        expensive (the dependence the sweep exists to map)."""
+        aggregate = sorted(
+            (row for row in result.rows if row.region == DEPLOYMENT_LABEL),
+            key=lambda row: row.neighbor_read_ms,
+        )
+        assert aggregate[0].collab_mean_ms < aggregate[-1].collab_mean_ms
+
+    def test_render_contains_all_sections(self, result):
+        text = render_fig_collab(result)
+        assert "Collaboration sweep" in text
+        assert "Crossover" in text
+        assert "Cache-content overlap" in text
+        assert "frankfurt+dublin" in text
+
+    def test_sharded_path_runs(self):
+        result = run_fig_collab(
+            tiny_settings(),
+            options=EngineOptions(regions=("frankfurt", "dublin"),
+                                  clients_per_region=2),
+            neighbor_read_ms_values=(10.0,),
+            sharded=True,
+        )
+        assert result.sharded
+        assert len(result.rows) == 3
+        assert result.overlaps[0].collab_overlap_chunks < \
+            result.overlaps[0].independent_overlap_chunks
+
+    def test_pairing_validation(self):
+        with pytest.raises(ValueError):
+            run_fig_collab(tiny_settings(), pairings=(("frankfurt",),))
+        with pytest.raises(ValueError):
+            run_fig_collab(tiny_settings(), neighbor_read_ms_values=())
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        import io
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_fig_collab_smoke(self):
+        code, text = self.run_cli(
+            "fig_collab", "--smoke", "--regions", "frankfurt,dublin",
+            "--neighbor-read-ms", "20,400",
+        )
+        assert code == 0
+        assert "Collaboration sweep" in text
+        assert "Crossover" in text
+        assert "Cache-content overlap" in text
+
+    def test_collab_flags_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--quick", "--sharded"])
+        with pytest.raises(SystemExit):
+            main(["table1", "--neighbor-read-ms", "10"])
+
+    def test_quick_and_smoke_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["fig_collab", "--quick", "--smoke"])
+
+    def test_single_region_pairing_rejected_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["fig_collab", "--smoke", "--regions", "frankfurt"])
+
+    def test_collaboration_flag_rejected(self):
+        """fig_collab compares collaboration vs independent itself; the
+        engine flag would be a silent no-op, so it is refused."""
+        with pytest.raises(SystemExit):
+            main(["fig_collab", "--smoke", "--no-collaboration"])
+
+    def test_malformed_sweep_values(self):
+        with pytest.raises(SystemExit):
+            main(["fig_collab", "--smoke", "--neighbor-read-ms", "ten"])
+        with pytest.raises(SystemExit):
+            main(["fig_collab", "--smoke", "--collab-period", "-5"])

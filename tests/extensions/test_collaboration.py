@@ -8,7 +8,10 @@ from repro.erasure import ChunkId
 from repro.extensions.collaboration import (
     CollaborationCoordinator,
     NeighborAnnouncement,
+    announcement_of,
     discount_options,
+    overlap_between,
+    reconfigure_node,
 )
 
 MEGABYTE = 1024 * 1024
@@ -51,6 +54,28 @@ class TestDiscountOptions:
     def test_negative_neighbor_latency_rejected(self):
         with pytest.raises(ValueError):
             discount_options({}, [], neighbor_read_ms=-1.0)
+
+    def test_empty_neighbours_keep_options_unchanged(self):
+        """No announcements (a node alone, or the very first period) must be
+        a strict no-op on every option."""
+        options = {"a": [option("a", 3, 600.0), option("a", 5, 900.0)]}
+        result = discount_options(options, [], neighbor_read_ms=100.0)
+        assert [o.latency_improvement_ms for o in result["a"]] == [600.0, 900.0]
+
+    def test_all_chunks_remote_discounts_everything_to_zero(self):
+        """When neighbours pin every chunk of every option, no caching option
+        retains value (floor 0): the node should pin nothing new."""
+        options = {
+            "a": [option("a", 3, 600.0), option("a", 5, 900.0)],
+            "b": [option("b", 2, 400.0)],
+        }
+        everything = frozenset(
+            ChunkId(key, index) for key in ("a", "b") for index in range(9)
+        )
+        announcement = NeighborAnnouncement("dublin", everything)
+        result = discount_options(options, [announcement], neighbor_read_ms=10.0)
+        for discounted in result.values():
+            assert all(o.latency_improvement_ms == 0.0 for o in discounted)
 
 
 class TestCoordinator:
@@ -110,3 +135,62 @@ class TestCoordinator:
     def test_regions_property(self, nodes):
         coordinator = CollaborationCoordinator(nodes)
         assert coordinator.regions == ["frankfurt", "dublin"]
+
+    def test_overlap_report_single_node_is_empty(self, store):
+        """One node has no pairs: the report must be empty, not an error."""
+        node = AgarNode("frankfurt", store, cache_capacity_bytes=3 * MEGABYTE)
+        coordinator = CollaborationCoordinator([node])
+        assert coordinator.overlap_report() == {}
+
+    def test_round_excludes_the_node_itself(self, store):
+        """A node's own pinned chunks must not discount its own options: a
+        single-node 'collaboration' round equals an undiscounted round."""
+        solo = AgarNode("frankfurt", store, cache_capacity_bytes=3 * MEGABYTE)
+        control = AgarNode("frankfurt", store, cache_capacity_bytes=3 * MEGABYTE)
+        for node in (solo, control):
+            for _ in range(20):
+                node.request_monitor.record_request("object-0")
+            for _ in range(10):
+                node.request_monitor.record_request("object-1")
+        # Two successive rounds: the second sees the first's own configuration
+        # installed, which must still not discount anything.
+        coordinator = CollaborationCoordinator([solo])
+        coordinator.reconfigure_all(now=30.0)
+        reconfigure_node(control, [], neighbor_read_ms=120.0)
+        assert solo.current_configuration.chunk_ids() == \
+            control.current_configuration.chunk_ids()
+        assert solo.current_configuration.chunk_ids()
+
+    def test_all_chunks_remote_round_pins_nothing(self, store, nodes):
+        """A node whose neighbours pin every chunk it could cache installs an
+        empty configuration (everything is cheap remotely)."""
+        node = nodes[0]
+        for _ in range(20):
+            node.request_monitor.record_request("object-0")
+            node.request_monitor.record_request("object-1")
+        everything = frozenset(
+            ChunkId(key, index) for key in store.keys() for index in range(12)
+        )
+        configured = reconfigure_node(
+            node, [NeighborAnnouncement("dublin", everything)], neighbor_read_ms=10.0,
+        )
+        assert configured == 0
+        assert not node.current_configuration.chunk_ids()
+
+    def test_install_announcements_and_latest_overlap(self, nodes):
+        coordinator = CollaborationCoordinator(nodes)
+        shared = frozenset({ChunkId("object-0", 0), ChunkId("object-0", 1)})
+        coordinator.install_announcements([
+            NeighborAnnouncement("frankfurt", shared | {ChunkId("object-1", 0)}),
+            NeighborAnnouncement("dublin", shared),
+        ])
+        assert coordinator.latest_overlap() == {("frankfurt", "dublin"): 2}
+        # overlap_report re-broadcasts the (empty) live configurations.
+        assert coordinator.overlap_report() == {("frankfurt", "dublin"): 0}
+
+    def test_overlap_between_and_announcement_of(self, nodes):
+        announcements = [announcement_of(node) for node in nodes]
+        assert {a.region for a in announcements} == {"frankfurt", "dublin"}
+        assert overlap_between(announcements) == {("frankfurt", "dublin"): 0}
+        assert overlap_between(announcements[:1]) == {}
+        assert overlap_between([]) == {}

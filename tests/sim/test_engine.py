@@ -244,6 +244,26 @@ class TestTimersAndCollaboration:
         assert any(strategy.node.current_configuration.weight > 0
                    for strategy in deployment.strategies)
 
+    def test_collaboration_enables_neighbor_reads(self):
+        """After the first §VI round, regions read neighbour-pinned chunks at
+        neighbor_read_ms instead of the backend — the read-path half of the
+        collaboration (counted as chunks_from_neighbors, not as hits)."""
+        config = multi_region_config(
+            clients=4,
+            workload=small_workload(requests=200),
+            collaboration=True,
+            neighbor_read_ms=10.0,
+        )
+        engine = EventEngine(config)
+        engine.topology.latency.reseed(config.topology_seed + 1)
+        deployment = engine.build_deployment()
+        result = engine.execute(deployment, seed=1)
+        total_neighbor = sum(region.stats.neighbor_chunks_total
+                             for region in result.regions.values())
+        assert total_neighbor > 0
+        for strategy in deployment.strategies:
+            assert strategy._neighbor_pinned is not None
+
     def test_warm_deployment_persists_across_executes(self):
         config = multi_region_config(strategy="lfu-5", clients=2)
         engine = EventEngine(config)

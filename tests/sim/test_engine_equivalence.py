@@ -102,7 +102,8 @@ def assert_results_identical(fast, reference):
         assert np.array_equal(fast_region.stats.latencies_array(),
                               reference_region.stats.latencies_array())
         for counter in ("full_hits", "partial_hits", "misses",
-                        "cache_chunks_total", "backend_chunks_total"):
+                        "cache_chunks_total", "backend_chunks_total",
+                        "neighbor_chunks_total"):
             assert getattr(fast_region.stats, counter) == \
                 getattr(reference_region.stats, counter), (region, counter)
         assert fast_region.results == reference_region.results
@@ -219,20 +220,6 @@ class TestShardedDeterminism:
             in_process_keys = sorted(r.key for r in in_process.regions[region].results)
             assert sharded_keys == in_process_keys
 
-    def test_sharded_rejects_collaboration(self):
-        config = EngineConfig(
-            workload=workload(requests=40),
-            regions=(RegionSpec("frankfurt", clients=2),
-                     RegionSpec("sydney", clients=2)),
-            cache_capacity_bytes=5 * MEGABYTE,
-            collaboration=True,
-        )
-        engine = EventEngine(config)
-        engine.topology.latency.reseed(1)
-        deployment = engine.build_deployment()
-        with pytest.raises(ValueError):
-            engine.execute_sharded(deployment, 1)
-
     def test_parent_deployment_left_cold(self):
         """Sharded workers mutate copies; the caller's deployment stays cold."""
         config = self.sharded_config()
@@ -244,6 +231,105 @@ class TestShardedDeterminism:
             snapshot = strategy.cache_snapshot()
             if snapshot is not None:
                 assert not snapshot.chunks_per_key
+
+
+class TestCollaborativeSharding:
+    """§VI deployments shard through the message-passing round protocol:
+    workers pause at collaboration-period boundaries, exchange announcements
+    with the parent, apply their share of the staggered round and resume.
+    The forked path must match the in-process protocol bit-for-bit."""
+
+    def collab_config(self, regions=("frankfurt", "sydney"), clients=4,
+                      requests=120, **kwargs):
+        return EngineConfig(
+            workload=workload(requests=requests),
+            regions=tuple(RegionSpec(region, clients=clients) for region in regions),
+            cache_capacity_bytes=5 * MEGABYTE,
+            collaboration=True,
+            **kwargs,
+        )
+
+    def test_fork_matches_in_process_protocol(self):
+        config = self.collab_config()
+        forked = EventEngine(config, keep_results=True).run_sharded(seed=5, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(seed=5, processes=False)
+        assert_results_identical(forked, sequential)
+
+    def test_fork_matches_in_process_three_regions(self):
+        """Three regions exercise the staggered-round ordering: region i's
+        round must see the new configurations of regions < i and the previous
+        configurations of regions > i."""
+        config = self.collab_config(regions=("frankfurt", "dublin", "sydney"),
+                                    clients=2, requests=90)
+        forked = EventEngine(config, keep_results=True).run_sharded(seed=7, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(seed=7, processes=False)
+        assert_results_identical(forked, sequential)
+
+    def test_reproducible(self):
+        config = self.collab_config()
+        first = EventEngine(config).run_sharded(seed=5)
+        second = EventEngine(config).run_sharded(seed=5)
+        assert_results_identical(first, second)
+
+    def test_collaboration_period_override(self):
+        config = self.collab_config(collaboration_period_s=10.0)
+        forked = EventEngine(config, keep_results=True).run_sharded(seed=3, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(seed=3, processes=False)
+        assert_results_identical(forked, sequential)
+
+    def test_rounds_change_the_outcome(self):
+        """The exchange rounds must actually happen: a collaborative sharded
+        run differs from the same deployment with collaboration disabled
+        (same per-shard jitter streams, so any difference comes from the
+        discounted configurations)."""
+        collab = EventEngine(self.collab_config()).run_sharded(seed=5, processes=False)
+        independent_config = EngineConfig(
+            workload=workload(requests=120),
+            regions=(RegionSpec("frankfurt", clients=4),
+                     RegionSpec("sydney", clients=4)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            timer_reconfiguration=True,
+        )
+        independent = EventEngine(independent_config).run_sharded(seed=5, processes=False)
+        assert any(
+            collab.regions[region].stats.latencies_array().tolist()
+            != independent.regions[region].stats.latencies_array().tolist()
+            for region in collab.regions
+        )
+
+    def test_publishes_final_announcements(self):
+        """The parent coordinator receives the workers' final configurations
+        (for overlap reporting) while the parent deployment itself stays cold."""
+        config = self.collab_config()
+        engine = EventEngine(config)
+        engine.topology.latency.reseed(config.topology_seed + 5)
+        deployment = engine.build_deployment()
+        engine.execute_sharded(deployment, 5)
+        announcements = deployment.coordinator.announcements()
+        assert {a.region for a in announcements} == {"frankfurt", "sydney"}
+        assert any(a.pinned_chunks for a in announcements)
+        overlap = deployment.coordinator.latest_overlap()
+        assert ("frankfurt", "sydney") in overlap
+        for strategy in deployment.strategies:
+            assert not strategy.cache_snapshot().chunks_per_key
+
+    def test_single_region_collaborative(self):
+        """A one-region §VI deployment degenerates to rounds with no
+        neighbours; the sharded path must still run it (local protocol)."""
+        config = self.collab_config(regions=("frankfurt",), clients=2, requests=60)
+        sharded = EventEngine(config).run_sharded(seed=2)
+        assert sharded.regions["frankfurt"].stats.count == 2 * 60
+
+    def test_warm_deployment_runs_from_current_clock(self):
+        """Boundaries are anchored at the deployment clock's current time, so
+        repeated sharded runs against one parent deployment stay aligned."""
+        config = self.collab_config(requests=60, clients=2)
+        engine = EventEngine(config)
+        engine.topology.latency.reseed(config.topology_seed + 5)
+        deployment = engine.build_deployment()
+        first = engine.execute_sharded(deployment, 5, processes=False)
+        second = engine.execute_sharded(deployment, 5, processes=False)
+        assert first.total_requests == second.total_requests == 2 * 2 * 60
 
 
 class TestDeploymentAggregate:

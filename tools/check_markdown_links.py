@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links point at files that exist.
+
+Scans every ``*.md`` file in the repository for inline links and images
+(``[text](target)`` / ``![alt](target)``), resolves relative targets against
+the linking file, and reports targets that do not exist.  External links
+(``http(s)://``, ``mailto:``), pure in-page anchors (``#section``) and links
+inside fenced code blocks are ignored; a ``target#anchor`` link is checked
+for the file part only.
+
+Usage::
+
+    python tools/check_markdown_links.py            # check the whole repo
+    python tools/check_markdown_links.py docs/*.md  # check specific files
+
+Exits 0 when every link resolves, 1 otherwise (listing the broken ones) —
+the CI docs job runs this on every push.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Inline markdown link/image: [text](target) — target captured up to the
+#: first closing parenthesis or whitespace (titles are not used in this repo).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Directories never scanned for markdown files.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+#: Link schemes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    """Every ``*.md`` file under ``root``, skipping tooling directories."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def _strip_fenced_code(text: str) -> str:
+    """Blank out fenced code blocks so example links are not checked."""
+    lines = text.splitlines()
+    kept = []
+    in_fence = False
+    for line in lines:
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            kept.append("")
+            continue
+        kept.append("" if in_fence else line)
+    return "\n".join(kept)
+
+
+def broken_links(path: pathlib.Path) -> list[tuple[str, str]]:
+    """``(target, reason)`` pairs for every unresolvable link in ``path``."""
+    failures: list[tuple[str, str]] = []
+    text = _strip_fenced_code(path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            failures.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            failures.append((target, "target does not exist"))
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    files = ([pathlib.Path(argument).resolve() for argument in arguments]
+             if arguments else markdown_files(REPO_ROOT))
+    total_failures = 0
+    for path in files:
+        for target, reason in broken_links(path):
+            relative = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+            print(f"{relative}: broken link {target!r} ({reason})")
+            total_failures += 1
+    if total_failures:
+        print(f"{total_failures} broken markdown link(s)")
+        return 1
+    checked = len(files)
+    print(f"ok: {checked} markdown file(s), all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
