@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-baseline docs-check
+.PHONY: test bench bench-baseline bench-gated docs-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -22,3 +22,9 @@ bench:
 ## performance changes, and commit the result).
 bench-baseline:
 	$(PYTHON) benchmarks/run_bench.py --update
+
+## The gated comparison CI runs: codec + engine-scale benchmarks against
+## benchmarks/ci_baseline.json with per-benchmark tolerance bands.
+bench-gated:
+	$(PYTHON) benchmarks/run_bench.py --compare benchmarks/ci_baseline.json \
+		--only test_bench_codec_encode_many,test_bench_engine_scale_closed_loop

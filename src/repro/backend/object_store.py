@@ -15,6 +15,7 @@ experiments use; see :meth:`ErasureCodedStore.populate`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.backend.bucket import ChunkNotFoundError, RegionBucket
 from repro.backend.placement import PlacementPolicy, RoundRobinPlacement
@@ -103,6 +104,19 @@ class ErasureCodedStore:
         encoded = self._codec.encode(key, data, version=version)
         return self._store_encoded(encoded)
 
+    def put_many(self, items: Sequence[tuple[str, bytes]],
+                 version: int = 0) -> list[ObjectMetadata]:
+        """Encode and store a batch of ``(key, data)`` objects.
+
+        The whole batch goes through :meth:`ErasureCodec.encode_many`, which
+        applies the parity operator once per group of equally sized objects —
+        the fast path for bulk ingest (:meth:`populate` with real payloads
+        uses it).  Placement and metadata are identical to repeated
+        :meth:`put` calls.
+        """
+        encoded_objects = self._codec.encode_many(items, version=version)
+        return [self._store_encoded(encoded) for encoded in encoded_objects]
+
     def put_virtual(self, key: str, object_size: int, version: int = 0) -> ObjectMetadata:
         """Store an object without payloads (metadata and placement only)."""
         encoded = self._codec.encode_virtual(key, object_size, version=version)
@@ -138,16 +152,22 @@ class ErasureCodedStore:
         """
         import numpy as np
 
-        rng = np.random.default_rng(seed)
-        keys = []
-        for index in range(object_count):
-            key = f"{key_prefix}-{index}"
-            if virtual:
+        keys = [f"{key_prefix}-{index}" for index in range(object_count)]
+        if virtual:
+            for key in keys:
                 self.put_virtual(key, object_size)
-            else:
-                payload = rng.integers(0, 256, size=object_size, dtype=np.uint8).tobytes()
-                self.put(key, payload)
-            keys.append(key)
+            return keys
+
+        rng = np.random.default_rng(seed)
+        # Real payloads go through the batched encode path; bounded batches
+        # keep transient memory at a few dozen objects regardless of count.
+        batch = 32
+        for start in range(0, object_count, batch):
+            items = [
+                (key, rng.integers(0, 256, size=object_size, dtype=np.uint8).tobytes())
+                for key in keys[start:start + batch]
+            ]
+            self.put_many(items)
         return keys
 
     def delete(self, key: str) -> None:

@@ -134,6 +134,19 @@ def gf_log(a: int) -> int:
     return int(_LOG_TABLE[a])
 
 
+def gf_multiplication_table() -> np.ndarray:
+    """Read-only view of the full 256×256 GF(256) multiplication table.
+
+    The pluggable kernel backends (:mod:`repro.erasure.backends`) share this
+    one table, which is what makes their outputs bit-identical by
+    construction: every backend evaluates the same entries, only the loop
+    structure differs.
+    """
+    view = _MUL_TABLE.view()
+    view.flags.writeable = False
+    return view
+
+
 def gf_mul_bytes(coefficient: int, data: np.ndarray) -> np.ndarray:
     """Multiply every byte of ``data`` by a constant ``coefficient``.
 

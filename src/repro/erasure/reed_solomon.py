@@ -10,10 +10,11 @@ exactly the contract the paper's storage backend relies on (§II-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.erasure.galois import PackedGFMatrix, gf_matmul_bytes
+from repro.erasure.backends import CodecBackend, MatrixOperator, get_backend
 from repro.erasure.matrix import (
     decode_matrix,
     submatrix,
@@ -57,6 +58,11 @@ class ReedSolomon:
         parity_shards: ``m``.
         construction: matrix construction, ``"cauchy"`` (default) or
             ``"vandermonde"``.
+        backend: GF(256) kernel backend — a name (``"numpy"``, ``"numba"``,
+            ``"naive"``), a :class:`~repro.erasure.backends.CodecBackend`
+            instance, or ``None`` to consult ``$REPRO_CODEC_BACKEND`` /
+            the default.  All backends are bit-identical; see
+            :mod:`repro.erasure.backends`.
 
     Example:
         >>> rs = ReedSolomon(4, 2)
@@ -66,7 +72,8 @@ class ReedSolomon:
         b'hello erasure world!'
     """
 
-    def __init__(self, data_shards: int, parity_shards: int, construction: str = "cauchy") -> None:
+    def __init__(self, data_shards: int, parity_shards: int, construction: str = "cauchy",
+                 backend: str | CodecBackend | None = None) -> None:
         if data_shards <= 0:
             raise ValueError("data_shards must be positive")
         if parity_shards < 0:
@@ -76,15 +83,17 @@ class ReedSolomon:
         self._data_shards = data_shards
         self._parity_shards = parity_shards
         self._construction = construction
+        self._backend = get_backend(backend)
         self._matrix = systematic_encoding_matrix(data_shards, parity_shards, construction)
-        # The parity rows never change: compile their gather tables once.
+        # The parity rows never change: compile their operator once.
         self._parity_op = (
-            PackedGFMatrix(self._matrix[data_shards:, :]) if parity_shards else None
+            self._backend.compile_matrix(self._matrix[data_shards:, :])
+            if parity_shards else None
         )
         # Decode operators per surviving-shard pattern, built on demand.
-        self._decode_ops: dict[tuple[int, ...], tuple[np.ndarray, PackedGFMatrix]] = {}
+        self._decode_ops: dict[tuple[int, ...], tuple[np.ndarray, MatrixOperator]] = {}
         # Per-parity-row operators for verify()'s short-circuit, built lazily.
-        self._parity_row_ops: list[PackedGFMatrix] | None = None
+        self._parity_row_ops: list[MatrixOperator] | None = None
 
     @property
     def data_shards(self) -> int:
@@ -105,6 +114,11 @@ class ReedSolomon:
     def encoding_matrix(self) -> np.ndarray:
         """Copy of the ``(k + m) × k`` systematic encoding matrix."""
         return self._matrix.copy()
+
+    @property
+    def backend(self) -> "CodecBackend":
+        """The GF(256) kernel backend executing this code's operators."""
+        return self._backend
 
     # ------------------------------------------------------------------ #
     # Encoding
@@ -154,6 +168,43 @@ class ReedSolomon:
             shards.extend(parity[i] for i in range(self._parity_shards))
         return shards
 
+    def encode_many(self, data_matrices: np.ndarray) -> np.ndarray:
+        """Encode a whole batch of pre-split objects in one operator application.
+
+        Args:
+            data_matrices: ``(objects, k, shard_len)`` ``uint8`` array — one
+                pre-split object per row (see :meth:`split`).
+
+        Returns:
+            ``(objects, k + m, shard_len)`` ``uint8`` array: per object, the
+            ``k`` data shards followed by the ``m`` parity shards.
+
+        The batch is folded along the shard axis — ``(k, objects × shard_len)``
+        — so the parity operator runs **once** for the whole batch and the
+        per-call Python overhead (operator dispatch, index setup, block loop)
+        amortises across objects.  Bit-identical to encoding each object
+        alone: the kernels are elementwise along the shard axis.
+        """
+        stacked = np.asarray(data_matrices, dtype=np.uint8)
+        if stacked.ndim != 3:
+            raise ValueError("data_matrices must be a 3-D (objects, k, shard_len) array")
+        objects, rows, shard_len = stacked.shape
+        if rows != self._data_shards:
+            raise ValueError(
+                f"expected {self._data_shards} data shards per object, got {rows}"
+            )
+        out = np.empty((objects, self.total_shards, shard_len), dtype=np.uint8)
+        out[:, : self._data_shards, :] = stacked
+        if self._parity_op is not None and objects:
+            folded = np.ascontiguousarray(stacked.transpose(1, 0, 2)).reshape(
+                self._data_shards, objects * shard_len
+            )
+            parity = self._parity_op.apply(folded)
+            out[:, self._data_shards:, :] = parity.reshape(
+                self._parity_shards, objects, shard_len
+            ).transpose(1, 0, 2)
+        return out
+
     # ------------------------------------------------------------------ #
     # Decoding
     # ------------------------------------------------------------------ #
@@ -193,14 +244,71 @@ class ReedSolomon:
         stacked = np.stack(arrays)
         return operator.apply(stacked)
 
-    def _decode_op(self, indices: tuple[int, ...]) -> tuple[np.ndarray, PackedGFMatrix]:
+    def decode_many(self, shard_stacks: np.ndarray,
+                    indices: Sequence[int]) -> np.ndarray:
+        """Reconstruct a batch of objects sharing one surviving-shard pattern.
+
+        Args:
+            shard_stacks: ``(objects, len(indices), shard_len)`` ``uint8``
+                array; ``shard_stacks[o, j]`` is shard ``indices[j]`` of
+                object ``o``.
+            indices: the shard indices present, identical for every object in
+                the batch (at least ``k`` of them).
+
+        Returns:
+            ``(objects, k, shard_len)`` ``uint8`` array of data matrices.
+
+        Like :meth:`encode_many`, the batch folds along the shard axis so the
+        decode operator for the pattern runs once per call; results are
+        bit-identical to per-object :meth:`decode_shards` with the same
+        survivors.
+        """
+        stacked = np.asarray(shard_stacks, dtype=np.uint8)
+        if stacked.ndim != 3:
+            raise ValueError("shard_stacks must be a 3-D (objects, shards, shard_len) array")
+        objects, provided, shard_len = stacked.shape
+        index_list = [int(index) for index in indices]
+        if len(index_list) != provided:
+            raise DecodingError(
+                f"indices lists {len(index_list)} shards but the stack has {provided}"
+            )
+        if len(set(index_list)) != len(index_list):
+            raise DecodingError("indices must not repeat")
+        if provided < self._data_shards:
+            raise DecodingError(
+                f"need {self._data_shards} shards to decode, got {provided}"
+            )
+        for index in index_list:
+            if not 0 <= index < self.total_shards:
+                raise DecodingError(
+                    f"shard index {index} out of range 0..{self.total_shards - 1}"
+                )
+        # Mirror decode_shards: survivors sorted ascending, first k used.
+        order = sorted(range(provided), key=lambda position: index_list[position])
+        order = order[: self._data_shards]
+        survivors = tuple(index_list[position] for position in order)
+        selected = stacked[:, order, :]
+
+        if survivors == tuple(range(self._data_shards)):
+            return np.ascontiguousarray(selected)
+
+        _, operator = self._decode_op(survivors)
+        folded = np.ascontiguousarray(selected.transpose(1, 0, 2)).reshape(
+            self._data_shards, objects * shard_len
+        )
+        decoded = operator.apply(folded)
+        return np.ascontiguousarray(
+            decoded.reshape(self._data_shards, objects, shard_len).transpose(1, 0, 2)
+        )
+
+    def _decode_op(self, indices: tuple[int, ...]) -> tuple[np.ndarray, MatrixOperator]:
         """The (inverse matrix, compiled operator) pair for a survivor pattern."""
         cached = self._decode_ops.get(indices)
         if cached is None:
             if len(self._decode_ops) >= _DECODE_CACHE_LIMIT:
                 self._decode_ops.clear()
             inverse = decode_matrix(self._matrix, list(indices), self._data_shards)
-            cached = (inverse, PackedGFMatrix(inverse))
+            cached = (inverse, self._backend.compile_matrix(inverse))
             self._decode_ops[indices] = cached
         return cached
 
@@ -224,7 +332,7 @@ class ReedSolomon:
             raise DecodingError(f"shard index {target_index} out of range")
         data_matrix = self.decode_shards(available)
         row = submatrix(self._matrix, [target_index])
-        return gf_matmul_bytes(row, data_matrix)[0]
+        return self._backend.matmul(row, data_matrix)[0]
 
     def verify(self, shards: dict[int, np.ndarray]) -> bool:
         """Check that a *complete* shard set is consistent with the code.
@@ -239,8 +347,9 @@ class ReedSolomon:
         data_matrix = np.stack([np.asarray(shards[i], dtype=np.uint8) for i in range(self._data_shards)])
         if self._parity_row_ops is None:
             self._parity_row_ops = [
-                PackedGFMatrix(self._matrix[self._data_shards + offset:
-                                            self._data_shards + offset + 1, :])
+                self._backend.compile_matrix(
+                    self._matrix[self._data_shards + offset:
+                                 self._data_shards + offset + 1, :])
                 for offset in range(self._parity_shards)
             ]
         for offset, row_op in enumerate(self._parity_row_ops):

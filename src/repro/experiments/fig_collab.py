@@ -76,6 +76,10 @@ class CollabPointRow:
     independent_mean_ms: float
     collab_hit_ratio: float
     independent_hit_ratio: float
+    #: Chunks the collaborative deployment read from neighbouring caches at
+    #: this point, averaged per run (the independent baseline has no
+    #: neighbour catalogs, so its count is structurally zero).
+    collab_neighbor_chunks: float = 0.0
 
     @property
     def advantage_pct(self) -> float:
@@ -144,6 +148,7 @@ class _RunAggregate:
 
     mean_ms: dict[str, float]
     hit_ratio: dict[str, float]
+    neighbor_chunks: dict[str, float]
     overlap: dict[tuple[str, str], int]
 
 
@@ -216,8 +221,10 @@ def _run_point(settings: ExperimentSettings, regions: tuple[str, ...],
 
     mean_sums: dict[str, float] = {region: 0.0 for region in regions}
     hit_sums: dict[str, float] = {region: 0.0 for region in regions}
+    neighbor_sums: dict[str, float] = {region: 0.0 for region in regions}
     aggregate_mean = 0.0
     aggregate_hit = 0.0
+    aggregate_neighbor = 0.0
     result: EngineResult | None = None
     for run_index in range(settings.runs):
         seed = base_seed + run_index
@@ -228,18 +235,23 @@ def _run_point(settings: ExperimentSettings, regions: tuple[str, ...],
         for region, region_result in result.regions.items():
             mean_sums[region] += region_result.mean_latency_ms
             hit_sums[region] += region_result.hit_ratio
+            neighbor_sums[region] += region_result.stats.neighbor_chunks_total
         merged = result.aggregate()
         aggregate_mean += merged.mean_latency_ms
         aggregate_hit += merged.hit_ratio
+        aggregate_neighbor += merged.neighbor_chunks
 
     runs = settings.runs
     mean_ms = {region: total / runs for region, total in mean_sums.items()}
     hit_ratio = {region: total / runs for region, total in hit_sums.items()}
+    neighbor_chunks = {region: total / runs for region, total in neighbor_sums.items()}
     mean_ms[DEPLOYMENT_LABEL] = aggregate_mean / runs
     hit_ratio[DEPLOYMENT_LABEL] = aggregate_hit / runs
+    neighbor_chunks[DEPLOYMENT_LABEL] = aggregate_neighbor / runs
     return _RunAggregate(
         mean_ms=mean_ms,
         hit_ratio=hit_ratio,
+        neighbor_chunks=neighbor_chunks,
         overlap=_deployment_overlap(deployment, result, sharded),
     )
 
@@ -337,6 +349,7 @@ def run_fig_collab(settings: ExperimentSettings | None = None,
                         independent_mean_ms=independent.mean_ms[region],
                         collab_hit_ratio=collab.hit_ratio[region],
                         independent_hit_ratio=independent.hit_ratio[region],
+                        collab_neighbor_chunks=collab.neighbor_chunks[region],
                     ))
                 for position, first in enumerate(pairing):
                     for second in pairing[position + 1:]:
@@ -366,7 +379,7 @@ def render_fig_collab(result: CollabSweepResult) -> str:
         title=f"Collaboration sweep — collaborative vs independent caches ({mode})",
         columns=("pairing", "period (s)", "neighbor read (ms)", "region",
                  "collab mean (ms)", "indep mean (ms)", "advantage (%)",
-                 "collab hit (%)", "indep hit (%)"),
+                 "collab hit (%)", "indep hit (%)", "collab nbr chunks"),
     )
     for row in result.rows:
         sweep_table.add_row(
@@ -379,6 +392,7 @@ def render_fig_collab(result: CollabSweepResult) -> str:
             row.advantage_pct,
             row.collab_hit_ratio * 100.0,
             row.independent_hit_ratio * 100.0,
+            row.collab_neighbor_chunks,
         )
 
     overlap_table = Table(

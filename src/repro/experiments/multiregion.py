@@ -58,6 +58,9 @@ class RegionAggregate:
     hit_ratio: float
     full_hit_ratio: float
     throughput_rps: float
+    #: Chunks served from neighbouring regions' caches, averaged per run
+    #: (§VI neighbour reads; 0 outside collaborative deployments).
+    neighbor_chunks: float
     per_run_latency_ms: list[float]
 
 
@@ -77,6 +80,7 @@ def _aggregate_region(results: list[RegionRunResult]) -> RegionAggregate:
         hit_ratio=sum(r.hit_ratio for r in results) / count,
         full_hit_ratio=sum(r.stats.full_hit_ratio for r in results) / count,
         throughput_rps=sum(r.throughput_rps for r in results) / count,
+        neighbor_chunks=sum(r.stats.neighbor_chunks_total for r in results) / count,
         per_run_latency_ms=latencies,
     )
 
@@ -104,6 +108,7 @@ def _aggregate_deployment(config: EngineConfig,
         hit_ratio=sum(a.hit_ratio for a in aggregates) / count,
         full_hit_ratio=sum(a.full_hit_ratio for a in aggregates) / count,
         throughput_rps=sum(a.throughput_rps for a in aggregates) / count,
+        neighbor_chunks=sum(a.neighbor_chunks for a in aggregates) / count,
         per_run_latency_ms=latencies,
     )
 
@@ -246,6 +251,8 @@ class MultiRegionRow:
     p99_latency_ms: float
     hit_ratio: float
     throughput_rps: float
+    #: Mean chunks per run read from neighbouring caches (§VI traffic).
+    neighbor_chunks: float
 
 
 def _row_from_aggregate(clients: int, aggregate: RegionAggregate) -> MultiRegionRow:
@@ -259,6 +266,7 @@ def _row_from_aggregate(clients: int, aggregate: RegionAggregate) -> MultiRegion
         p99_latency_ms=aggregate.p99_latency_ms,
         hit_ratio=aggregate.hit_ratio,
         throughput_rps=aggregate.throughput_rps,
+        neighbor_chunks=aggregate.neighbor_chunks,
     )
 
 
@@ -329,7 +337,8 @@ def render_multiregion(rows: list[MultiRegionRow],
     table = Table(
         title=title,
         columns=("clients/region", "region", "strategy", "mean (ms)", "p50 (ms)",
-                 "p95 (ms)", "p99 (ms)", "hit ratio (%)", "throughput (req/s)"),
+                 "p95 (ms)", "p99 (ms)", "hit ratio (%)", "throughput (req/s)",
+                 "neighbor chunks"),
     )
     for row in rows:
         table.add_row(
@@ -342,5 +351,6 @@ def render_multiregion(rows: list[MultiRegionRow],
             row.p99_latency_ms,
             row.hit_ratio * 100.0,
             row.throughput_rps,
+            row.neighbor_chunks,
         )
     return table

@@ -64,6 +64,22 @@ def discount_options(options_by_key: Mapping[str, Sequence[CachingOption]],
     fraction of its chunks already available nearby (they were going to be
     cheap anyway), but never below ``local_backend_floor_ms`` of improvement.
 
+    The discount *strength* is modulated by the neighbour's cost relative to
+    the option's own latencies: an option improves the read from
+    ``residual + improvement`` (the furthest source contacted with no local
+    caching) down to ``residual``; a neighbour can only deliver the part of
+    that improvement its read latency actually undercuts, so the per-chunk
+    strength is::
+
+        strength = clamp((residual + improvement - neighbor_read_ms)
+                         / improvement, 0, 1)
+
+    A free neighbour (``neighbor_read_ms`` at or below the residual) gives the
+    full proportional discount; a neighbour as slow as the un-cached read path
+    gives none — very expensive neighbours no longer suppress local caching of
+    chunks they cannot serve competitively.  Strength is monotonically
+    non-increasing in ``neighbor_read_ms`` (asserted in the unit tests).
+
     Args:
         options_by_key: the node's locally generated options.
         announcements: the latest broadcast of every neighbour.
@@ -82,16 +98,23 @@ def discount_options(options_by_key: Mapping[str, Sequence[CachingOption]],
     for key, options in options_by_key.items():
         new_options = []
         for option in options:
+            improvement = option.latency_improvement_ms
+            if option.weight == 0 or improvement <= 0.0:
+                new_options.append(option)
+                continue
             covered = sum(
                 1
                 for index in option.chunk_indices
                 if any(announcement.has_chunk(key, index) for announcement in announcements)
             )
-            if covered == 0 or option.weight == 0:
+            if covered == 0:
                 new_options.append(option)
                 continue
             coverage = covered / option.weight
-            adjusted = max(option.latency_improvement_ms * (1.0 - coverage), local_backend_floor_ms)
+            headroom = option.residual_latency_ms + improvement - neighbor_read_ms
+            strength = min(max(headroom / improvement, 0.0), 1.0)
+            adjusted = max(improvement * (1.0 - coverage * strength),
+                           local_backend_floor_ms)
             new_options.append(replace(option, latency_improvement_ms=adjusted))
         discounted[key] = new_options
     return discounted

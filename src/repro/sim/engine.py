@@ -302,6 +302,9 @@ class DeploymentAggregate:
     hit_ratio: float
     full_hit_ratio: float
     throughput_rps: float
+    #: Chunks served from neighbouring regions' caches across the deployment
+    #: (§VI neighbour reads); 0 outside collaborative deployments.
+    neighbor_chunks: int = 0
 
 
 @dataclass
@@ -340,6 +343,7 @@ class EngineResult:
             hit_ratio=merged.hit_ratio,
             full_hit_ratio=merged.full_hit_ratio,
             throughput_rps=self.throughput_rps,
+            neighbor_chunks=merged.neighbor_chunks_total,
         )
 
 

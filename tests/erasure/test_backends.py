@@ -1,0 +1,357 @@
+"""Cross-backend equivalence suite for the pluggable GF(256) kernel tier.
+
+Every registered backend must produce **bit-identical** shards: they share
+one multiplication table, so any divergence is a kernel bug.  The suite
+covers the flat kernels, full encode round-trips under *every* erasure
+pattern up to ``m`` losses (any ``k`` of ``k + m`` shards), and the batched
+``encode_many``/``decode_many`` API against looped single-object calls.
+
+The ``numba`` backend joins the matrix automatically when it is importable;
+without numba the suite runs on ``naive`` + ``numpy`` and additionally
+asserts the registry's gated fallback behaviour.
+"""
+
+import itertools
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.erasure import ErasureCodec, ErasureCodingParams, ReedSolomon
+from repro.erasure.backends import (
+    BACKEND_ENV_VAR,
+    CodecBackend,
+    NaiveBackend,
+    NumpyBackend,
+    backend_available,
+    backend_names,
+    default_backend_name,
+    get_backend,
+    probe_backend,
+    register_backend,
+)
+from repro.erasure.galois import gf_mul
+
+#: Backends exercised by the equivalence matrix; numba only when importable.
+EQUIVALENCE_BACKENDS = [
+    name for name in ("naive", "numpy", "numba") if backend_available(name)
+]
+
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
+
+
+def scalar_matmul(matrix: np.ndarray, shards: np.ndarray) -> np.ndarray:
+    rows, cols = matrix.shape
+    out = np.zeros((rows, shards.shape[1]), dtype=np.uint8)
+    for row in range(rows):
+        for col in range(cols):
+            coefficient = int(matrix[row, col])
+            for position in range(shards.shape[1]):
+                out[row, position] ^= gf_mul(coefficient, int(shards[col, position]))
+    return out
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"naive", "numpy", "numba"} <= set(backend_names())
+
+    def test_numpy_and_naive_always_available(self):
+        assert backend_available("numpy")
+        assert backend_available("naive")
+
+    def test_get_backend_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert default_backend_name() == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "naive")
+        assert get_backend().name == "naive"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "naive")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_instances_pass_through(self):
+        backend = NaiveBackend()
+        assert get_backend(backend) is backend
+
+    def test_instances_are_singletons_per_name(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_unknown_backend_falls_back_with_one_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = get_backend("no-such-kernel")
+            again = get_backend("no-such-kernel")
+        assert backend.name == "numpy"
+        assert again.name == "numpy"
+        fallback_warnings = [w for w in caught
+                             if issubclass(w.category, RuntimeWarning)]
+        assert len(fallback_warnings) == 1  # one-time, not per call
+        assert "no-such-kernel" in str(fallback_warnings[0].message)
+
+    def test_strict_mode_raises_instead_of_falling_back(self):
+        with pytest.raises(ValueError, match="unavailable"):
+            get_backend("no-such-kernel", fallback=False)
+
+    def test_probe_rejects_miscompiling_backend(self):
+        class LyingBackend(NumpyBackend):
+            name = "lying"
+
+            def matmul(self, matrix, shards):
+                return super().matmul(matrix, shards) ^ 1  # corrupt every byte
+
+        register_backend("lying", LyingBackend)
+        try:
+            assert not backend_available("lying")
+            assert "incorrect" in probe_backend("lying")
+        finally:
+            # Leave the registry clean for other tests.
+            register_backend("lying", LyingBackend)
+            import repro.erasure.backends as backends_module
+            backends_module._FACTORIES.pop("lying", None)
+            backends_module._PROBE_RESULTS.pop("lying", None)
+
+    def test_probe_result_is_cached(self):
+        calls = []
+
+        class CountingBackend(NumpyBackend):
+            name = "counting"
+
+            def __init__(self):
+                calls.append(1)
+                super().__init__()
+
+        register_backend("counting", CountingBackend)
+        try:
+            assert backend_available("counting")
+            assert backend_available("counting")
+            assert len(calls) == 1
+        finally:
+            import repro.erasure.backends as backends_module
+            backends_module._FACTORIES.pop("counting", None)
+            backends_module._PROBE_RESULTS.pop("counting", None)
+            backends_module._INSTANCES.pop("counting", None)
+
+    def test_register_backend_names_are_case_insensitive(self):
+        register_backend("MiXeD", NaiveBackend)
+        try:
+            assert get_backend("mixed", fallback=False).name == "naive"
+            assert get_backend("MIXED", fallback=False).name == "naive"
+        finally:
+            import repro.erasure.backends as backends_module
+            backends_module._FACTORIES.pop("mixed", None)
+            backends_module._PROBE_RESULTS.pop("mixed", None)
+            backends_module._INSTANCES.pop("mixed", None)
+
+    def test_numba_gated_never_a_hard_dependency(self):
+        """Whether or not numba is installed, resolving it must not raise."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            backend = get_backend("numba")
+        assert backend.name in ("numba", "numpy")
+
+
+@pytest.mark.parametrize("backend_name", EQUIVALENCE_BACKENDS)
+class TestKernelEquivalence:
+    def test_matmul_matches_scalar_definition(self, backend_name):
+        backend = get_backend(backend_name, fallback=False)
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            rows = int(rng.integers(1, 13))
+            cols = int(rng.integers(1, 13))
+            length = int(rng.integers(1, 64))
+            matrix = rng.integers(0, 256, (rows, cols), dtype=np.uint8)
+            shards = rng.integers(0, 256, (cols, length), dtype=np.uint8)
+            expected = scalar_matmul(matrix, shards)
+            assert np.array_equal(backend.matmul(matrix, shards), expected)
+            operator = backend.compile_matrix(matrix)
+            assert np.array_equal(operator.apply(shards), expected)
+
+    def test_mul_and_addmul_match_scalar_definition(self, backend_name):
+        backend = get_backend(backend_name, fallback=False)
+        rng = np.random.default_rng(8)
+        data = rng.integers(0, 256, 97, dtype=np.uint8)
+        for coefficient in (0, 1, 2, 29, 255):
+            expected = np.array([gf_mul(coefficient, int(b)) for b in data],
+                                dtype=np.uint8)
+            assert np.array_equal(backend.mul_bytes(coefficient, data), expected)
+            accumulator = rng.integers(0, 256, 97, dtype=np.uint8)
+            reference = accumulator ^ expected
+            backend.addmul_bytes(accumulator, coefficient, data)
+            assert np.array_equal(accumulator, reference)
+
+    def test_addmul_updates_non_contiguous_accumulator(self, backend_name):
+        """addmul must update a strided accumulator view in place (a
+        reshape-based implementation would XOR into a silent copy)."""
+        backend = get_backend(backend_name, fallback=False)
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 256, 50, dtype=np.uint8)
+        for coefficient in (1, 29):
+            buffer = rng.integers(0, 256, 100, dtype=np.uint8)
+            view = buffer[::2]
+            expected = view ^ np.array(
+                [gf_mul(coefficient, int(b)) for b in data], dtype=np.uint8)
+            backend.addmul_bytes(view, coefficient, data)
+            assert np.array_equal(view, expected)
+
+
+@pytest.mark.parametrize("backend_name", EQUIVALENCE_BACKENDS)
+@pytest.mark.parametrize("k,m", [(4, 2), (3, 3), (2, 1)])
+class TestRoundTripAllPatterns:
+    def test_all_erasure_patterns_bit_identical(self, backend_name, k, m):
+        """Every survivor pattern (any k of k+m shards) round-trips and every
+        backend produces byte-identical shards and decodes."""
+        reference = ReedSolomon(k, m, backend="numpy")
+        rs = ReedSolomon(k, m, backend=backend_name)
+        payload = bytes(np.random.default_rng(k * 16 + m).integers(
+            0, 256, 61, dtype=np.uint8))
+
+        expected_shards = reference.encode(payload)
+        shards = rs.encode(payload)
+        assert len(shards) == k + m
+        for mine, theirs in zip(shards, expected_shards):
+            assert np.array_equal(mine, theirs)
+
+        for survivors in itertools.combinations(range(k + m), k):
+            available = {index: shards[index] for index in survivors}
+            assert rs.decode_data(available, len(payload)) == payload
+            expected_matrix = reference.decode_shards(
+                {index: expected_shards[index] for index in survivors})
+            assert np.array_equal(rs.decode_shards(available), expected_matrix)
+
+    def test_reconstruct_every_shard(self, backend_name, k, m):
+        rs = ReedSolomon(k, m, backend=backend_name)
+        reference = ReedSolomon(k, m, backend="numpy")
+        payload = bytes(np.random.default_rng(99).integers(0, 256, 40, dtype=np.uint8))
+        shards = rs.encode(payload)
+        for target in range(k + m):
+            available = {i: s for i, s in enumerate(shards) if i != target}
+            rebuilt = rs.reconstruct_shard(available, target)
+            expected = reference.reconstruct_shard(
+                {i: s for i, s in enumerate(reference.encode(payload)) if i != target},
+                target)
+            assert np.array_equal(rebuilt, expected)
+            assert np.array_equal(rebuilt, shards[target])
+
+
+@pytest.mark.parametrize("backend_name", EQUIVALENCE_BACKENDS)
+class TestBatchedEquivalence:
+    def test_encode_many_equals_looped_encode(self, backend_name):
+        rs = ReedSolomon(4, 2, backend=backend_name)
+        rng = np.random.default_rng(11)
+        stack = rng.integers(0, 256, (6, 4, 33), dtype=np.uint8)
+        batched = rs.encode_many(stack)
+        assert batched.shape == (6, 6, 33)
+        for position in range(stack.shape[0]):
+            looped = rs.encode_shards(stack[position])
+            for index, shard in enumerate(looped):
+                assert np.array_equal(batched[position, index], shard)
+
+    def test_decode_many_equals_looped_decode(self, backend_name):
+        rs = ReedSolomon(4, 2, backend=backend_name)
+        rng = np.random.default_rng(12)
+        stack = rng.integers(0, 256, (5, 4, 21), dtype=np.uint8)
+        encoded = rs.encode_many(stack)
+        for survivors in ((0, 1, 2, 3), (2, 3, 4, 5), (0, 2, 4, 5), (1, 2, 3, 4, 5)):
+            selected = encoded[:, list(survivors), :]
+            batched = rs.decode_many(selected, survivors)
+            for position in range(stack.shape[0]):
+                looped = rs.decode_shards(
+                    {index: encoded[position, index] for index in survivors})
+                assert np.array_equal(batched[position], looped)
+                assert np.array_equal(batched[position], stack[position])
+
+    def test_decode_many_validates_input(self, backend_name):
+        from repro.erasure import DecodingError
+
+        rs = ReedSolomon(4, 2, backend=backend_name)
+        stack = np.zeros((2, 3, 8), dtype=np.uint8)
+        with pytest.raises(DecodingError):
+            rs.decode_many(stack, (0, 1, 2))  # too few shards
+        with pytest.raises(DecodingError):
+            rs.decode_many(np.zeros((2, 4, 8), dtype=np.uint8), (0, 1, 2))  # mismatch
+        with pytest.raises(DecodingError):
+            rs.decode_many(np.zeros((2, 4, 8), dtype=np.uint8), (0, 1, 2, 9))
+        with pytest.raises(DecodingError):
+            rs.decode_many(np.zeros((2, 4, 8), dtype=np.uint8), (0, 1, 2, 2))
+        with pytest.raises(ValueError):
+            rs.decode_many(np.zeros((4, 8), dtype=np.uint8), (0, 1, 2, 3))
+
+    def test_codec_encode_many_mixed_sizes(self, backend_name):
+        codec = ErasureCodec(ErasureCodingParams(4, 2), backend=backend_name)
+        rng = np.random.default_rng(13)
+        items = [
+            (f"object-{index}", bytes(rng.integers(0, 256, size, dtype=np.uint8)))
+            for index, size in enumerate((100, 64, 100, 7, 0, 64))
+        ]
+        batched = codec.encode_many(items)
+        assert [encoded.metadata.key for encoded in batched] == \
+            [key for key, _ in items]
+        for (key, data), encoded in zip(items, batched):
+            single = codec.encode(key, data)
+            assert encoded.metadata == single.metadata
+            assert [c.payload for c in encoded.chunks] == \
+                [c.payload for c in single.chunks]
+
+    def test_codec_decode_many_mixed_patterns(self, backend_name):
+        codec = ErasureCodec(ErasureCodingParams(4, 2), backend=backend_name)
+        rng = np.random.default_rng(14)
+        items = [(f"object-{index}", bytes(rng.integers(0, 256, 80, dtype=np.uint8)))
+                 for index in range(4)]
+        encoded = codec.encode_many(items)
+        patterns = [(0, 1, 2, 3), (2, 3, 4, 5), (0, 1, 2, 3), (1, 3, 4, 5)]
+        request = [
+            (enc.metadata, {c.index: c for c in enc.chunks if c.index in pattern})
+            for enc, pattern in zip(encoded, patterns)
+        ]
+        decoded = codec.decode_many(request)
+        assert decoded == [data for _, data in items]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.binary(min_size=0, max_size=200),
+    k=st.integers(min_value=1, max_value=6),
+    m=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_round_trip_identical_across_backends(data, k, m, seed):
+    """Random payloads, geometries and survivor patterns: all available
+    backends emit byte-identical shards and reconstruct the payload."""
+    rng = np.random.default_rng(seed)
+    codecs = {name: ReedSolomon(k, m, backend=name)
+              for name in EQUIVALENCE_BACKENDS}
+    reference_shards = None
+    survivors = sorted(rng.choice(k + m, size=k, replace=False).tolist())
+    for name, rs in codecs.items():
+        shards = rs.encode(data)
+        if reference_shards is None:
+            reference_shards = shards
+        else:
+            for mine, theirs in zip(shards, reference_shards):
+                assert np.array_equal(mine, theirs), name
+        available = {index: shards[index] for index in survivors}
+        assert rs.decode_data(available, len(data)) == data, name
+
+
+class TestStoreBatchedIngest:
+    def test_put_many_matches_put(self):
+        from repro.backend import ErasureCodedStore
+        from repro.geo.topology import default_topology
+
+        rng = np.random.default_rng(21)
+        items = [(f"bulk-{index}", bytes(rng.integers(0, 256, 96, dtype=np.uint8)))
+                 for index in range(5)]
+        batched_store = ErasureCodedStore(default_topology(seed=0))
+        batched_store.put_many(items)
+        looped_store = ErasureCodedStore(default_topology(seed=0))
+        for key, data in items:
+            looped_store.put(key, data)
+        for key, data in items:
+            assert batched_store.get_object(key) == data
+            for index in range(batched_store.params.total_chunks):
+                assert batched_store.get_chunk(key, index).payload == \
+                    looped_store.get_chunk(key, index).payload

@@ -127,6 +127,13 @@ class TestCliEngine:
         assert deployment[0].throughput_rps == pytest.approx(
             sum(row.throughput_rps for row in regions), rel=1e-6
         )
+        # Neighbour-read traffic is reported per region and summed in the
+        # deployment row (and rendered as its own column).
+        assert deployment[0].neighbor_chunks == pytest.approx(
+            sum(row.neighbor_chunks for row in regions)
+        )
+        from repro.experiments.multiregion import render_multiregion
+        assert "neighbor chunks" in render_multiregion(first).render()
 
 
 class TestHeterogeneousRegionOptions:

@@ -101,6 +101,20 @@ class TestRunFigCollab:
         assert "Crossover" in text
         assert "Cache-content overlap" in text
         assert "frankfurt+dublin" in text
+        assert "collab nbr chunks" in text
+
+    def test_neighbor_chunk_traffic_reported(self, result):
+        """Every row carries the collaborative deployment's neighbour-read
+        chunk count, and the deployment-wide row sums its regions."""
+        by_point: dict[tuple, dict[str, float]] = {}
+        for row in result.rows:
+            point = (row.pairing, row.period_s, row.neighbor_read_ms)
+            by_point.setdefault(point, {})[row.region] = \
+                row.collab_neighbor_chunks
+        for counts in by_point.values():
+            regions_total = sum(count for region, count in counts.items()
+                                if region != DEPLOYMENT_LABEL)
+            assert counts[DEPLOYMENT_LABEL] == pytest.approx(regions_total)
 
     def test_sharded_path_runs(self):
         result = run_fig_collab(

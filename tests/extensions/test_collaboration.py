@@ -62,6 +62,53 @@ class TestDiscountOptions:
         result = discount_options(options, [], neighbor_read_ms=100.0)
         assert [o.latency_improvement_ms for o in result["a"]] == [600.0, 900.0]
 
+    def test_discount_weakens_as_neighbor_gets_more_expensive(self):
+        """Monotonicity of the residual-latency modulation: a higher
+        neighbor_read_ms must never strengthen the discount (i.e. the adjusted
+        improvement is non-decreasing in neighbor_read_ms)."""
+        options = {"a": [option("a", 2, 500.0)]}  # residual 100 -> baseline 600
+        announcement = NeighborAnnouncement(
+            "dublin", frozenset({ChunkId("a", 0), ChunkId("a", 1)}))
+        previous = -1.0
+        for neighbor_read_ms in (0.0, 50.0, 100.0, 200.0, 400.0, 600.0, 1000.0):
+            result = discount_options(options, [announcement],
+                                      neighbor_read_ms=neighbor_read_ms)
+            adjusted = result["a"][0].latency_improvement_ms
+            assert adjusted >= previous
+            previous = adjusted
+
+    def test_cheap_neighbor_keeps_full_discount(self):
+        """neighbor_read_ms at or below the option's residual latency is the
+        pre-refinement behaviour: the covered fraction discounts fully."""
+        options = {"a": [option("a", 2, 500.0)]}  # residual 100
+        announcement = NeighborAnnouncement(
+            "dublin", frozenset({ChunkId("a", 0), ChunkId("a", 1)}))
+        for neighbor_read_ms in (0.0, 50.0, 100.0):
+            result = discount_options(options, [announcement],
+                                      neighbor_read_ms=neighbor_read_ms)
+            assert result["a"][0].latency_improvement_ms == pytest.approx(0.0)
+
+    def test_neighbor_as_slow_as_uncached_read_discounts_nothing(self):
+        """A neighbour no faster than the un-cached read path (residual +
+        improvement) cannot serve any chunk competitively: no discount."""
+        options = {"a": [option("a", 2, 500.0)]}  # baseline 600
+        announcement = NeighborAnnouncement(
+            "dublin", frozenset({ChunkId("a", 0), ChunkId("a", 1)}))
+        for neighbor_read_ms in (600.0, 900.0):
+            result = discount_options(options, [announcement],
+                                      neighbor_read_ms=neighbor_read_ms)
+            assert result["a"][0].latency_improvement_ms == pytest.approx(500.0)
+
+    def test_intermediate_neighbor_cost_discounts_partially(self):
+        """Between the residual and the baseline the strength interpolates
+        linearly: residual 100, improvement 500, neighbour at 350 ->
+        strength 0.5, fully covered -> improvement halves."""
+        options = {"a": [option("a", 2, 500.0)]}
+        announcement = NeighborAnnouncement(
+            "dublin", frozenset({ChunkId("a", 0), ChunkId("a", 1)}))
+        result = discount_options(options, [announcement], neighbor_read_ms=350.0)
+        assert result["a"][0].latency_improvement_ms == pytest.approx(250.0)
+
     def test_all_chunks_remote_discounts_everything_to_zero(self):
         """When neighbours pin every chunk of every option, no caching option
         retains value (floor 0): the node should pin nothing new."""
@@ -122,8 +169,11 @@ class TestCoordinator:
             & independent[1].current_configuration.chunk_ids()
         )
 
-        # Collaborative round over the same workload.
-        coordinator = CollaborationCoordinator(nodes, neighbor_read_ms=120.0)
+        # Collaborative round over the same workload.  A cheap neighbour read
+        # (well under every option's residual latency) exercises the full
+        # discount; at higher neighbor_read_ms the residual-latency modulation
+        # deliberately weakens the discount and overlap may persist.
+        coordinator = CollaborationCoordinator(nodes, neighbor_read_ms=20.0)
         self._feed_identical_workload(nodes)
         configured = coordinator.reconfigure_all(now=30.0)
         assert configured["frankfurt"] > 0
