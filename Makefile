@@ -12,6 +12,7 @@ docs-check:
 	$(PYTHON) tools/check_markdown_links.py
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig6 --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig_collab --smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig_failures --smoke
 
 ## Run the guarded hot-path benchmarks, write BENCH_<date>.json and fail on
 ## a >20% regression vs benchmarks/baseline.json.
@@ -23,8 +24,9 @@ bench:
 bench-baseline:
 	$(PYTHON) benchmarks/run_bench.py --update
 
-## The gated comparison CI runs: codec + engine-scale benchmarks against
-## benchmarks/ci_baseline.json with per-benchmark tolerance bands.
+## The gated comparison CI runs: codec + engine-scale + faulted-engine
+## benchmarks against benchmarks/ci_baseline.json with per-benchmark
+## tolerance bands.
 bench-gated:
 	$(PYTHON) benchmarks/run_bench.py --compare benchmarks/ci_baseline.json \
-		--only test_bench_codec_encode_many,test_bench_engine_scale_closed_loop
+		--only test_bench_codec_encode_many,test_bench_engine_scale_closed_loop,test_bench_engine_faulted

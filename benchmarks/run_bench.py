@@ -2,7 +2,8 @@
 """Benchmark regression guard for the Agar hot paths.
 
 Runs the pytest-benchmark micro-suite (knapsack solver, Reed-Solomon codec,
-request monitor, engine scale-out, collaborative sharding), writes the
+request monitor, engine scale-out, faulted replay, collaborative sharding),
+writes the
 results to ``BENCH_<date>.json`` in the repository root, and compares the
 guarded benchmarks against ``benchmarks/baseline.json``.  The run fails
 (exit code 1) if a guarded benchmark's mean regresses beyond its tolerance
@@ -50,6 +51,7 @@ GUARDED_BENCHMARKS = (
     "test_bench_request_monitor",
     "test_bench_engine_multi_client",
     "test_bench_engine_scale_closed_loop",
+    "test_bench_engine_faulted",
     "test_bench_collab_sharded_rounds",
 )
 
@@ -57,6 +59,7 @@ GUARDED_BENCHMARKS = (
 _BENCH_FILES = {
     "test_bench_engine_multi_client": "test_bench_engine.py",
     "test_bench_engine_scale_closed_loop": "test_bench_engine.py",
+    "test_bench_engine_faulted": "test_bench_engine.py",
     "test_bench_collab_sharded_rounds": "test_bench_collab.py",
     "test_bench_codec_encode_many": "test_bench_codec.py",
     "test_bench_request_monitor": "test_bench_monitor.py",
@@ -77,6 +80,8 @@ DEFAULT_TOLERANCES = {
     # Suite-context runs of the scale scenario swing up to ~1.65x its
     # in-isolation mean on a loaded single-core host (BENCH history).
     "test_bench_engine_scale_closed_loop": 0.75,
+    # Same shape and host sensitivity as the scale scenario.
+    "test_bench_engine_faulted": 0.75,
     "test_bench_collab_sharded_rounds": 0.50,
 }
 

@@ -10,6 +10,9 @@ Two guarded benchmarks:
   scheduler.  Also runs the retained PR 2 heap loop
   (``execute_reference``) once, cold-for-cold, and emits the speedup so the
   ≥3× acceptance criterion is visible in every bench run.
+* ``test_bench_engine_faulted`` — the ISSUE 6 scenario: the closed-loop
+  deployment with a mid-run region outage, so the fault-state checks and
+  the degraded re-plan path on the hot read loop stay guarded.
 
 The measured bodies exclude deployment construction (store population and
 warm-up probes) so the numbers track the event loops themselves.
@@ -20,6 +23,7 @@ import time
 from conftest import emit
 
 from repro.sim.engine import EngineConfig, EventEngine, RegionSpec
+from repro.sim.faults import FaultSchedule, RegionOutage
 from repro.workload.workload import poisson_arrivals, zipfian_workload
 
 MEGABYTE = 1024 * 1024
@@ -109,3 +113,43 @@ def test_bench_engine_scale_closed_loop(benchmark, settings):
     )
     assert total == 512 * workload.request_count
     assert reference_result.total_requests == total
+
+
+def test_bench_engine_faulted(benchmark, settings):
+    """Lane-scheduler cost with a mid-run region outage (ISSUE 6).
+
+    Same closed-loop shape as the scale benchmark at reduced client count,
+    with a ``RegionOutage`` of Sao Paulo — a region inside the clients'
+    nearest-9 plan — covering the middle of the run.  Guards the per-read
+    fault-state check (the common no-fault case must stay a set lookup) and
+    the degraded re-plan path itself.
+    """
+    workload = zipfian_workload(
+        1.1, request_count=20, object_count=settings.object_count, seed=settings.seed,
+    )
+    config = EngineConfig(
+        workload=workload,
+        regions=(
+            RegionSpec(region="frankfurt", clients=128),
+            RegionSpec(region="dublin", clients=128),
+        ),
+        cache_capacity_bytes=10 * MEGABYTE,
+        topology_seed=settings.seed,
+        faults=FaultSchedule([RegionOutage("sao_paulo", start_s=5.0, end_s=15.0)]),
+    )
+    engine = EventEngine(config)
+    engine.topology.latency.reseed(config.topology_seed + 1)
+    deployment = engine.build_deployment()
+
+    result = benchmark(engine.execute, deployment, 1)
+
+    stats = result.overall_stats()
+    total = result.total_requests
+    emit(
+        "engine faulted replay (256 clients, 10 s region outage)",
+        f"{total} requests, simulated {result.duration_s:.1f} s; "
+        f"{stats.degraded_reads} degraded, {stats.unavailable_reads} unavailable",
+    )
+    assert total == 256 * workload.request_count
+    assert stats.degraded_reads > 0
+    assert stats.unavailable_reads == 0

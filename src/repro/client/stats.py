@@ -15,8 +15,9 @@ beyond the :class:`ReadResult` itself.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -54,17 +55,24 @@ class ReadResult:
             neighbour region's cache (§VI deployments only).
         backend_regions: distinct backend regions contacted.
         started_at_s: simulated time at which the read started.
+        degraded: the read succeeded but had to deviate from its failure-free
+            plan because of an active fault (cache skipped during an AZ
+            failure, or backend fetches re-planned around a region outage).
+        failed: fewer than ``k`` chunks were reachable anywhere — the object
+            could not be reconstructed (an *unavailable read*).
     """
 
     __slots__ = ("key", "latency_ms", "hit_type", "chunks_from_cache",
                  "chunks_from_backend", "chunks_from_neighbors",
-                 "backend_regions", "started_at_s")
+                 "backend_regions", "started_at_s", "degraded", "failed")
 
     def __init__(self, key: str, latency_ms: float, hit_type: HitType,
                  chunks_from_cache: int, chunks_from_backend: int,
                  backend_regions: tuple[str, ...] = (),
                  started_at_s: float = 0.0,
-                 chunks_from_neighbors: int = 0) -> None:
+                 chunks_from_neighbors: int = 0,
+                 degraded: bool = False,
+                 failed: bool = False) -> None:
         self.key = key
         self.latency_ms = latency_ms
         self.hit_type = hit_type
@@ -73,11 +81,13 @@ class ReadResult:
         self.chunks_from_neighbors = chunks_from_neighbors
         self.backend_regions = backend_regions
         self.started_at_s = started_at_s
+        self.degraded = degraded
+        self.failed = failed
 
     def _astuple(self) -> tuple:
         return (self.key, self.latency_ms, self.hit_type, self.chunks_from_cache,
                 self.chunks_from_backend, self.chunks_from_neighbors,
-                self.backend_regions, self.started_at_s)
+                self.backend_regions, self.started_at_s, self.degraded, self.failed)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ReadResult):
@@ -93,7 +103,8 @@ class ReadResult:
                 f"chunks_from_backend={self.chunks_from_backend!r}, "
                 f"chunks_from_neighbors={self.chunks_from_neighbors!r}, "
                 f"backend_regions={self.backend_regions!r}, "
-                f"started_at_s={self.started_at_s!r})")
+                f"started_at_s={self.started_at_s!r}, "
+                f"degraded={self.degraded!r}, failed={self.failed!r})")
 
     def __getstate__(self) -> tuple:
         return self._astuple()
@@ -101,7 +112,8 @@ class ReadResult:
     def __setstate__(self, state: tuple) -> None:
         (self.key, self.latency_ms, self.hit_type, self.chunks_from_cache,
          self.chunks_from_backend, self.chunks_from_neighbors,
-         self.backend_regions, self.started_at_s) = state
+         self.backend_regions, self.started_at_s, self.degraded,
+         self.failed) = state
 
 
 #: Initial capacity of the latency buffer (doubles as it fills).
@@ -118,7 +130,7 @@ class LatencyStats:
 
     __slots__ = ("_buffer", "_count", "full_hits", "partial_hits", "misses",
                  "cache_chunks_total", "backend_chunks_total",
-                 "neighbor_chunks_total")
+                 "neighbor_chunks_total", "degraded_reads", "unavailable_reads")
 
     def __init__(self, capacity: int = _INITIAL_BUFFER) -> None:
         self._buffer = np.empty(max(int(capacity), 1), dtype=np.float64)
@@ -129,6 +141,8 @@ class LatencyStats:
         self.cache_chunks_total = 0
         self.backend_chunks_total = 0
         self.neighbor_chunks_total = 0
+        self.degraded_reads = 0
+        self.unavailable_reads = 0
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -137,12 +151,25 @@ class LatencyStats:
         """Add one read result."""
         self.record_read(result.latency_ms, result.hit_type,
                          result.chunks_from_cache, result.chunks_from_backend,
-                         result.chunks_from_neighbors)
+                         result.chunks_from_neighbors, result.degraded,
+                         result.failed)
 
     def record_read(self, latency_ms: float, hit_type: HitType,
                     chunks_from_cache: int = 0, chunks_from_backend: int = 0,
-                    chunks_from_neighbors: int = 0) -> None:
-        """Scalar fast path: add one read without a :class:`ReadResult`."""
+                    chunks_from_neighbors: int = 0, degraded: bool = False,
+                    failed: bool = False) -> None:
+        """Scalar fast path: add one read without a :class:`ReadResult`.
+
+        A failed (unavailable) read carries no meaningful latency or hit
+        classification — the object was never reconstructed — so it only
+        bumps :attr:`unavailable_reads` and stays out of every latency and
+        hit-ratio aggregate.
+        """
+        if failed:
+            self.unavailable_reads += 1
+            return
+        if degraded:
+            self.degraded_reads += 1
         count = self._count
         buffer = self._buffer
         if count == buffer.shape[0]:
@@ -250,6 +277,8 @@ class LatencyStats:
             "cache_chunks": float(self.cache_chunks_total),
             "backend_chunks": float(self.backend_chunks_total),
             "neighbor_chunks": float(self.neighbor_chunks_total),
+            "degraded_reads": float(self.degraded_reads),
+            "unavailable_reads": float(self.unavailable_reads),
         }
 
     @classmethod
@@ -274,6 +303,8 @@ class LatencyStats:
             merged.cache_chunks_total += part.cache_chunks_total
             merged.backend_chunks_total += part.backend_chunks_total
             merged.neighbor_chunks_total += part.neighbor_chunks_total
+            merged.degraded_reads += part.degraded_reads
+            merged.unavailable_reads += part.unavailable_reads
         merged._count = total
         return merged
 
@@ -290,4 +321,103 @@ class LatencyStats:
         merged.cache_chunks_total = self.cache_chunks_total + other.cache_chunks_total
         merged.backend_chunks_total = self.backend_chunks_total + other.backend_chunks_total
         merged.neighbor_chunks_total = self.neighbor_chunks_total + other.neighbor_chunks_total
+        merged.degraded_reads = self.degraded_reads + other.degraded_reads
+        merged.unavailable_reads = self.unavailable_reads + other.unavailable_reads
         return merged
+
+
+# ---------------------------------------------------------------------- #
+# Recovery-aware reporting: windowed tail-latency time series
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class LatencyWindow:
+    """Aggregates of the reads that *started* in one time window.
+
+    Attributes:
+        start_s: inclusive window start (simulated seconds).
+        end_s: exclusive window end.
+        reads: successful reads in the window (failed reads excluded).
+        mean_ms / p50_ms / p99_ms: latency aggregates of those reads
+            (0.0 for an empty window).
+        degraded: degraded reads in the window.
+        unavailable: failed (unavailable) reads in the window.
+    """
+
+    start_s: float
+    end_s: float
+    reads: int
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    degraded: int
+    unavailable: int
+
+
+def _nearest_rank(ordered: np.ndarray, percentile: float) -> float:
+    rank = max(0, math.ceil(percentile / 100.0 * ordered.shape[0]) - 1)
+    return float(ordered[rank])
+
+
+def windowed_latency_series(results: Sequence[ReadResult], window_s: float,
+                            start_s: float = 0.0,
+                            end_s: float | None = None) -> list[LatencyWindow]:
+    """Bucket read results into fixed windows of simulated time.
+
+    This is the recovery-aware view of a faulted run: the per-window p99
+    spikes while a disturbance is active and settles back once caches are
+    rebuilt, making reconfiguration lag visible where a run-wide percentile
+    would smear it out.  Reads are assigned to the window containing their
+    ``started_at_s``; percentiles use the same nearest-rank rule as
+    :meth:`LatencyStats.percentile`.  Empty windows are kept (zero
+    aggregates) so the series is contiguous and plottable as-is.
+
+    Args:
+        results: read results from any number of regions/clients (order
+            irrelevant).
+        window_s: window width in simulated seconds (must be positive).
+        start_s: start of the first window.
+        end_s: coverage horizon; defaults to the latest read start.  The last
+            window is extended/truncated on a whole-window grid so every read
+            in ``[start_s, end_s]`` lands in some window.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if end_s is None:
+        end_s = max((result.started_at_s for result in results), default=start_s)
+    if end_s < start_s:
+        raise ValueError("end_s must not precede start_s")
+    window_count = max(1, math.ceil((end_s - start_s) / window_s - 1e-9))
+    buckets: list[list[float]] = [[] for _ in range(window_count)]
+    degraded = [0] * window_count
+    unavailable = [0] * window_count
+    for result in results:
+        index = int((result.started_at_s - start_s) / window_s)
+        if index < 0 or index >= window_count:
+            continue
+        if result.failed:
+            unavailable[index] += 1
+            continue
+        buckets[index].append(result.latency_ms)
+        if result.degraded:
+            degraded[index] += 1
+    series: list[LatencyWindow] = []
+    for index in range(window_count):
+        latencies = buckets[index]
+        if latencies:
+            ordered = np.sort(np.asarray(latencies, dtype=np.float64))
+            mean_ms = float(ordered.mean())
+            p50_ms = _nearest_rank(ordered, 50.0)
+            p99_ms = _nearest_rank(ordered, 99.0)
+        else:
+            mean_ms = p50_ms = p99_ms = 0.0
+        series.append(LatencyWindow(
+            start_s=start_s + index * window_s,
+            end_s=start_s + (index + 1) * window_s,
+            reads=len(latencies),
+            mean_ms=mean_ms,
+            p50_ms=p50_ms,
+            p99_ms=p99_ms,
+            degraded=degraded[index],
+            unavailable=unavailable[index],
+        ))
+    return series

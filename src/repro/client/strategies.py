@@ -245,6 +245,16 @@ class ReadStrategy(ABC):
         # collaboration, the default for every non-collaborative deployment.
         self._neighbor_pinned: frozenset[ChunkId] | None = None
         self._neighbor_read_ms = 0.0
+        self._neighbor_jitter = 0.0
+        # Live fault state (see repro.sim.faults and set_fault_state).  The
+        # read path only pays for faults while one is active: _faulted is the
+        # single flag the hot paths test.
+        self._fault_state = None
+        self._faulted = False
+        self._down_backends: frozenset[str] = frozenset()
+        self._brownouts: dict[str, float] | None = None
+        self._cache_down = False
+        self._all_nearest_cache: dict[str, list[PlacedChunk]] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -286,26 +296,130 @@ class ReadStrategy(ABC):
     # §VI collaboration: the neighbour catalog
     # ------------------------------------------------------------------ #
     def set_neighbor_catalog(self, pinned: frozenset[ChunkId] | None,
-                             neighbor_read_ms: float) -> None:
+                             neighbor_read_ms: float,
+                             neighbor_jitter: float = 0.0) -> None:
         """Install what the collaborating neighbour caches currently pin.
 
         After each §VI exchange round the engine hands every region the union
         of the *other* regions' pinned chunks.  A needed chunk that misses the
         local cache but appears in this catalog is then read from the
-        neighbour's cache at a flat ``neighbor_read_ms`` (the same estimate
-        the option discounting uses) instead of from its backend bucket —
-        the read-path half of the collaboration §VI sketches: give up caching
-        what a nearby cache already holds, and fetch it from there.
+        neighbour's cache at ``neighbor_read_ms`` expected latency (the same
+        estimate the option discounting uses) instead of from its backend
+        bucket — the read-path half of the collaboration §VI sketches: give
+        up caching what a nearby cache already holds, and fetch it from there.
 
-        Neighbour reads draw no latency jitter (the catalog is an estimate,
-        not a modelled link), which keeps the jitter streams of collaborative
-        runs aligned between the string and indexed read paths.  ``None``
-        disables neighbour reads (the default).
+        ``neighbor_jitter`` is the log-normal σ of the neighbour link
+        (``Topology.neighbor_link``); when positive, each neighbour chunk
+        draws one sample from the strategy's refillable normal block exactly
+        like cache/backend chunks, keeping the string and indexed read paths
+        bit-identical.  The default 0 preserves the flat, draw-free estimate
+        for direct callers.  ``None`` pinned disables neighbour reads (the
+        default).
         """
         if neighbor_read_ms < 0:
             raise ValueError("neighbor_read_ms must be non-negative")
+        if neighbor_jitter < 0:
+            raise ValueError("neighbor_jitter must be non-negative")
         self._neighbor_pinned = pinned if pinned else None
         self._neighbor_read_ms = neighbor_read_ms
+        self._neighbor_jitter = neighbor_jitter
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (repro.sim.faults)
+    # ------------------------------------------------------------------ #
+    def set_fault_state(self, state) -> None:
+        """Install the fault state active from now on (None/clear = no faults).
+
+        The engine calls this from the fault-schedule timer events; reads
+        issued afterwards see the new availability mask immediately.  The
+        per-key plan caches are *not* invalidated: they memoise pure
+        functions of the immutable placement (the failure-free plan), and the
+        degraded-read path consults this live state on every read instead of
+        baking availability into a cached plan.
+        """
+        if state is None or state.is_clear:
+            self._fault_state = state
+            self._faulted = False
+            self._down_backends = frozenset()
+            self._brownouts = None
+            self._cache_down = False
+            return
+        self._fault_state = state
+        self._faulted = True
+        self._down_backends = state.down_backends
+        self._brownouts = dict(state.brownouts) if state.brownouts else None
+        self._cache_down = self._region in state.down_caches
+
+    @property
+    def fault_state(self):
+        """The currently installed fault state (None when never faulted)."""
+        return self._fault_state
+
+    def _all_nearest(self, key: str) -> list[PlacedChunk]:
+        """Every placed chunk of ``key``, nearest first (cached per key).
+
+        The degraded-read planner draws survivors from this full ``k + m``
+        list, unlike the failure-free plan which pre-discards the ``m``
+        furthest chunks.  Caching is safe for the same reason as
+        :meth:`_needed`: placement is immutable, and availability is applied
+        at read time against the live fault state.
+        """
+        nearest = self._all_nearest_cache.get(key)
+        if nearest is None:
+            latencies = self._expected_latencies
+            placed = [
+                PlacedChunk(index=index, region=region, latency_ms=latencies[region])
+                for region, indices in self._store.chunks_by_region(key).items()
+                for index in indices
+            ]
+            # Same ordering key as needed_chunks (furthest first), reversed.
+            placed.sort(key=lambda chunk: (-chunk.latency_ms, chunk.region, -chunk.index))
+            placed.reverse()
+            self._all_nearest_cache[key] = nearest = placed
+        return nearest
+
+    def _degraded_backend_plan(self, key: str, exclude_indices: set[int] | frozenset[int],
+                               planned: list[PlacedChunk]
+                               ) -> tuple[list[PlacedChunk], bool, bool]:
+        """Re-plan backend fetches against the live fault state.
+
+        Returns ``(backend_chunks, replanned, failed)``.  If no planned fetch
+        touches a down region the failure-free plan stands.  Otherwise the
+        nearest surviving chunks (over all ``k + m`` placed chunks, excluding
+        those already obtained from cache/neighbours) substitute; when fewer
+        than ``k`` total chunks are reachable the read fails.
+        """
+        down = self._down_backends
+        if not down or not any(placed.region in down for placed in planned):
+            return planned, False, False
+        required = self._store.params.data_chunks - len(exclude_indices)
+        survivors = [placed for placed in self._all_nearest(key)
+                     if placed.region not in down
+                     and placed.index not in exclude_indices]
+        if len(survivors) < required:
+            return [], False, True
+        return survivors[:required], True, False
+
+    def _failed_result(self, key: str, now: float, cache_hits: int,
+                       extra_overhead_ms: float = 0.0,
+                       neighbor_chunks: int = 0) -> ReadResult:
+        """An unavailable read: fewer than ``k`` chunks reachable anywhere.
+
+        The client learns of the failure after its fixed overhead (no chunk
+        transfer or decode is charged); the result carries no backend regions
+        and is counted only as :attr:`LatencyStats.unavailable_reads`.
+        """
+        return ReadResult(
+            key=key,
+            latency_ms=self._overhead_ms + extra_overhead_ms,
+            hit_type=HitType.MISS,
+            chunks_from_cache=cache_hits,
+            chunks_from_backend=0,
+            chunks_from_neighbors=neighbor_chunks,
+            backend_regions=(),
+            started_at_s=now,
+            failed=True,
+        )
 
     # ------------------------------------------------------------------ #
     # Read path
@@ -315,7 +429,16 @@ class ReadStrategy(ABC):
         """Perform one object read at simulated time ``now`` (seconds)."""
 
     def _needed(self, key: str) -> list[PlacedChunk]:
-        """The k chunks a failure-free read fetches, furthest first (cached per key)."""
+        """The ``k`` chunks a *failure-free* read fetches, furthest first.
+
+        Cached per key, which is sound because the plan depends only on the
+        immutable placement and expected latencies — deliberately *not* on
+        chunk availability.  When a fault takes regions down the read path
+        does not consult a (stale) per-key plan: it re-plans against the live
+        fault state on every read (:meth:`_degraded_backend_plan` over
+        :meth:`_all_nearest`), so no cache invalidation is needed when the
+        availability mask changes.
+        """
         plan = self._needed_cache.get(key)
         if plan is None:
             params = self._store.params
@@ -334,17 +457,21 @@ class ReadStrategy(ABC):
     def _compose_result(self, key: str, now: float, cache_chunks: list[PlacedChunk],
                         backend_chunks: list[PlacedChunk],
                         extra_overhead_ms: float = 0.0,
-                        neighbor_chunks: int = 0) -> ReadResult:
+                        neighbor_chunks: int = 0,
+                        degraded: bool = False) -> ReadResult:
         """Sample per-chunk latencies and build the read result.
 
         ``neighbor_chunks`` chunks are fetched from a collaborating
-        neighbour's cache at the flat catalog latency — in parallel with the
-        other fetches, contributing to the slowest-chunk maximum but drawing
-        no jitter.
+        neighbour's cache — in parallel with the other fetches, contributing
+        to the slowest-chunk maximum; each draws one jitter sample when the
+        neighbour link carries a σ (see :meth:`set_neighbor_catalog`).
+        Backend chunks read from a browned-out region have their sampled
+        latency multiplied by the brownout factor.
         """
         chunk_size = self._chunk_size(key)
         latency = self._latency
         region = self._region
+        brownouts = self._brownouts
         slowest = 0.0
         for _ in cache_chunks:
             sample = latency.sample_cache_read(region, chunk_size)
@@ -352,10 +479,24 @@ class ReadStrategy(ABC):
                 slowest = sample
         for placed in backend_chunks:
             sample = latency.sample_backend_read(region, placed.region, chunk_size)
+            if brownouts is not None:
+                multiplier = brownouts.get(placed.region)
+                if multiplier is not None:
+                    sample *= multiplier
             if sample > slowest:
                 slowest = sample
-        if neighbor_chunks and self._neighbor_read_ms > slowest:
-            slowest = self._neighbor_read_ms
+        if neighbor_chunks:
+            neighbor_ms = self._neighbor_read_ms
+            sigma = self._neighbor_jitter
+            if sigma > 0.0:
+                exp = math.exp
+                draw = latency.next_standard_normal
+                for _ in range(neighbor_chunks):
+                    sample = neighbor_ms * exp(sigma * draw())
+                    if sample > slowest:
+                        slowest = sample
+            elif neighbor_ms > slowest:
+                slowest = neighbor_ms
 
         total = self._config.overhead_ms + extra_overhead_ms + slowest
         if self._config.include_decode_cost:
@@ -377,6 +518,7 @@ class ReadStrategy(ABC):
             chunks_from_neighbors=neighbor_chunks,
             backend_regions=tuple(sorted({placed.region for placed in backend_chunks})),
             started_at_s=now,
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------------ #
@@ -488,8 +630,23 @@ class ReadStrategy(ABC):
                 if sample > slowest:
                     slowest = sample
 
-        if neighbor_count and self._neighbor_read_ms > slowest:
-            slowest = self._neighbor_read_ms
+        if neighbor_count:
+            neighbor_ms = self._neighbor_read_ms
+            sigma = self._neighbor_jitter
+            if sigma > 0.0:
+                # Same stream positions as the string path (neighbour draws
+                # come after the cache+backend draws); exp is monotonic, so
+                # only the largest z can be the slowest neighbour chunk.
+                draws = self._latency.take_standard_normals(neighbor_count)
+                largest = draws[0]
+                for extra in range(1, neighbor_count):
+                    if draws[extra] > largest:
+                        largest = draws[extra]
+                sample = neighbor_ms * exp(sigma * largest)
+                if sample > slowest:
+                    slowest = sample
+            elif neighbor_ms > slowest:
+                slowest = neighbor_ms
 
         total = self._overhead_ms + extra_overhead_ms + slowest
         if self._include_decode:
@@ -540,9 +697,22 @@ class BackendReadStrategy(ReadStrategy):
 
     def read(self, key: str, now: float) -> ReadResult:
         backend_chunks = self._backend_plan(key, exclude_indices=set())
-        return self._compose_result(key, now, cache_chunks=[], backend_chunks=backend_chunks)
+        degraded = False
+        if self._faulted:
+            backend_chunks, degraded, failed = self._degraded_backend_plan(
+                key, frozenset(), backend_chunks
+            )
+            if failed:
+                return self._failed_result(key, now, 0)
+        return self._compose_result(key, now, cache_chunks=[],
+                                    backend_chunks=backend_chunks, degraded=degraded)
 
     def read_indexed(self, key_index: int, now: float) -> ReadResult:
+        if self._faulted:
+            # Faulted reads take the string path: re-planning against the
+            # live fault state is identical there across all schedulers, and
+            # the indexed fast path resumes the moment the state clears.
+            return self.read(self._indexed_keys[key_index], now)
         plan = self._indexed_plan(key_index)
         return self._compose_indexed(plan, now, 0, plan.selection_for_hits(()))
 
@@ -616,22 +786,42 @@ class FixedChunkCachingStrategy(ReadStrategy):
     def read(self, key: str, now: float) -> ReadResult:
         self._cache.record_request(key)
         targets = self._target_chunks(key)
+        # During an AZ failure of this region the cache server is
+        # unreachable: no lookups, no fills — but request bookkeeping (the
+        # client-side proxy) continues, so popularity state stays warm.
+        cache_down = self._faulted and self._cache_down
 
         cache_hits: list[PlacedChunk] = []
-        for placed in targets:
-            if self._cache.get(ChunkId(key=key, index=placed.index)) is not None:
-                cache_hits.append(placed)
+        if not cache_down:
+            for placed in targets:
+                if self._cache.get(ChunkId(key=key, index=placed.index)) is not None:
+                    cache_hits.append(placed)
 
-        backend_chunks = self._backend_plan(key, exclude_indices={p.index for p in cache_hits})
-        result = self._compose_result(key, now, cache_hits, backend_chunks)
+        exclude = {p.index for p in cache_hits}
+        backend_chunks = self._backend_plan(key, exclude_indices=exclude)
+        degraded = cache_down
+        if self._faulted:
+            backend_chunks, replanned, failed = self._degraded_backend_plan(
+                key, exclude, backend_chunks
+            )
+            if failed:
+                return self._failed_result(key, now, len(cache_hits))
+            degraded = degraded or replanned
+        result = self._compose_result(key, now, cache_hits, backend_chunks,
+                                      degraded=degraded)
 
         # Populate the cache off the critical path (not charged to latency).
-        chunk_size = self._chunk_size(key)
-        for placed in targets:
-            self._cache.put(Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size))
+        if not cache_down:
+            chunk_size = self._chunk_size(key)
+            for placed in targets:
+                self._cache.put(
+                    Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size)
+                )
         return result
 
     def read_indexed(self, key_index: int, now: float) -> ReadResult:
+        if self._faulted:
+            return self.read(self._indexed_keys[key_index], now)
         plan = self._indexed_plan(key_index)
         cache = self._cache
         cache.record_request(plan.key)
@@ -758,25 +948,45 @@ class PeriodicLFUStrategy(ReadStrategy):
         if not self._external_reconfiguration:
             self._maybe_reconfigure(key, now)
         self._tracker.record_access(key)
+        # Reconfiguration and frequency tracking are control-plane work the
+        # proxy keeps doing through an AZ failure; only the cache data path
+        # (lookups and fills) is unreachable.
+        cache_down = self._faulted and self._cache_down
 
         targets = self._needed(key)[: self._chunks_per_object]
         cache_hits: list[PlacedChunk] = []
         missing_targets: list[PlacedChunk] = []
-        for placed in targets:
-            if self._cache.get(ChunkId(key=key, index=placed.index)) is not None:
-                cache_hits.append(placed)
-            else:
-                missing_targets.append(placed)
+        if not cache_down:
+            for placed in targets:
+                if self._cache.get(ChunkId(key=key, index=placed.index)) is not None:
+                    cache_hits.append(placed)
+                else:
+                    missing_targets.append(placed)
 
-        backend_chunks = self._backend_plan(key, exclude_indices={p.index for p in cache_hits})
-        result = self._compose_result(key, now, cache_hits, backend_chunks)
+        exclude = {p.index for p in cache_hits}
+        backend_chunks = self._backend_plan(key, exclude_indices=exclude)
+        degraded = cache_down
+        if self._faulted:
+            backend_chunks, replanned, failed = self._degraded_backend_plan(
+                key, exclude, backend_chunks
+            )
+            if failed:
+                return self._failed_result(key, now, len(cache_hits))
+            degraded = degraded or replanned
+        result = self._compose_result(key, now, cache_hits, backend_chunks,
+                                      degraded=degraded)
 
-        chunk_size = self._chunk_size(key)
-        for placed in missing_targets:
-            self._cache.put(Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size))
+        if not cache_down:
+            chunk_size = self._chunk_size(key)
+            for placed in missing_targets:
+                self._cache.put(
+                    Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size)
+                )
         return result
 
     def read_indexed(self, key_index: int, now: float) -> ReadResult:
+        if self._faulted:
+            return self.read(self._indexed_keys[key_index], now)
         plan = self._indexed_plan(key_index)
         key = plan.key
         if not self._external_reconfiguration:
@@ -858,19 +1068,23 @@ class AgarReadStrategy(ReadStrategy):
         self._node.reconfigure(now)
 
     def read(self, key: str, now: float) -> ReadResult:
+        # The Agar node (popularity monitor, knapsack) is control-plane state
+        # that survives an AZ failure; only the cache data path goes dark.
         hints = self._node.on_request(key, now)
         cache = self._node.cache
+        cache_down = self._faulted and self._cache_down
 
         hinted = set(hints.cached_chunk_indices)
         cache_hits: list[PlacedChunk] = []
         missing_hinted: list[PlacedChunk] = []
-        for placed in self._needed(key):
-            if placed.index not in hinted:
-                continue
-            if cache.get(ChunkId(key=key, index=placed.index)) is not None:
-                cache_hits.append(placed)
-            else:
-                missing_hinted.append(placed)
+        if not cache_down:
+            for placed in self._needed(key):
+                if placed.index not in hinted:
+                    continue
+                if cache.get(ChunkId(key=key, index=placed.index)) is not None:
+                    cache_hits.append(placed)
+                else:
+                    missing_hinted.append(placed)
 
         # §VI: needed chunks that missed the local cache but are pinned by a
         # collaborating neighbour are read from that neighbour's cache.
@@ -886,22 +1100,40 @@ class AgarReadStrategy(ReadStrategy):
                     exclude.add(placed.index)
 
         backend_chunks = self._backend_plan(key, exclude_indices=exclude)
+        degraded = cache_down
+        if self._faulted:
+            backend_chunks, replanned, failed = self._degraded_backend_plan(
+                key, exclude, backend_chunks
+            )
+            if failed:
+                return self._failed_result(
+                    key, now, len(cache_hits),
+                    extra_overhead_ms=hints.processing_overhead_ms,
+                    neighbor_chunks=neighbor_chunks,
+                )
+            degraded = degraded or replanned
         result = self._compose_result(
             key, now, cache_hits, backend_chunks,
             extra_overhead_ms=hints.processing_overhead_ms,
             neighbor_chunks=neighbor_chunks,
+            degraded=degraded,
         )
 
         # Write the hinted chunks the client had to fetch from the backend into
         # the cache (done by a separate thread pool in the prototype, §V-A).
-        chunk_size = self._chunk_size(key)
-        fetched_indices = {placed.index for placed in backend_chunks}
-        for placed in missing_hinted:
-            if placed.index in fetched_indices:
-                cache.put(Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size))
+        if not cache_down:
+            chunk_size = self._chunk_size(key)
+            fetched_indices = {placed.index for placed in backend_chunks}
+            for placed in missing_hinted:
+                if placed.index in fetched_indices:
+                    cache.put(
+                        Chunk(chunk_id=ChunkId(key=key, index=placed.index), size=chunk_size)
+                    )
         return result
 
     def read_indexed(self, key_index: int, now: float) -> ReadResult:
+        if self._faulted:
+            return self.read(self._indexed_keys[key_index], now)
         plan = self._indexed_plan(key_index)
         hinted = self._node.on_request_indices(plan.key, now)
         cache = self._node.cache

@@ -41,6 +41,7 @@ from repro.experiments.fig8_sweeps import agar_lead_by_group, render_sweep, run_
 from repro.experiments.fig9_popularity import render_fig9, run_fig9
 from repro.experiments.fig10_cache_contents import render_fig10, run_fig10
 from repro.experiments.fig_collab import render_fig_collab, run_fig_collab
+from repro.experiments.fig_failures import render_fig_failures, run_fig_failures
 from repro.experiments.microbench import run_capacity_scaling, run_microbench
 from repro.experiments.multiregion import (
     DEFAULT_ARRIVAL_RATE_RPS,
@@ -50,10 +51,11 @@ from repro.experiments.multiregion import (
 from repro.experiments.table1_latency import render_table1, run_table1
 
 EXPERIMENTS = ("table1", "fig2", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10",
-               "fig_collab", "microbench", "multiregion")
+               "fig_collab", "fig_failures", "microbench", "multiregion")
 
 #: Experiments that understand the engine flags.
-ENGINE_EXPERIMENTS = ("fig6", "fig7", "fig8a", "fig8b", "fig_collab", "multiregion")
+ENGINE_EXPERIMENTS = ("fig6", "fig7", "fig8a", "fig8b", "fig_collab", "fig_failures",
+                      "multiregion")
 
 
 def _settings(args: argparse.Namespace) -> ExperimentSettings:
@@ -160,6 +162,15 @@ def _run_one(name: str, settings: ExperimentSettings, out,
             sharded=bool(extra.get("sharded")),
         )
         print(render_fig_collab(result), file=out)
+    elif name == "fig_failures":
+        result = run_fig_failures(
+            settings,
+            options=engine,
+            outage_fractions=extra.get("outage_fractions"),
+            fault_region=extra.get("fault_region") or "sao_paulo",
+            sharded=bool(extra.get("sharded")),
+        )
+        print(render_fig_failures(result), file=out)
     elif name == "multiregion":
         rows = run_multiregion_scaling(settings, options=engine)
         print(render_multiregion(rows, options=engine).render(), file=out)
@@ -200,9 +211,16 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
                         help="collaboration periods in seconds swept by "
                              "fig_collab (comma separated; default 30)")
     parser.add_argument("--sharded", action="store_true",
-                        help="run fig_collab through the process-parallel "
-                             "sharded engine (one worker per region, §VI "
-                             "message-passing rounds)")
+                        help="run fig_collab/fig_failures through the "
+                             "process-parallel sharded engine (one worker per "
+                             "region, §VI message-passing rounds)")
+    parser.add_argument("--outage-fraction", default=None, metavar="F1,F2,...",
+                        help="outage durations swept by fig_failures, as "
+                             "fractions of the clean-run duration (comma "
+                             "separated, each in (0, 1); default 0.15,0.3)")
+    parser.add_argument("--fault-region", default=None, metavar="REGION",
+                        help="backend region fig_failures takes down "
+                             "(default sao_paulo; must not be a client region)")
     parser.add_argument("--regions", default=None, metavar="R1,R2,...",
                         help="client regions of the simulated deployment "
                              "(comma separated; engine experiments only)")
@@ -232,12 +250,19 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     if args.quick and args.smoke:
         parser.error("--quick and --smoke are mutually exclusive")
     fig_collab_selected = args.experiment in ("fig_collab", "all")
+    fig_failures_selected = args.experiment in ("fig_failures", "all")
     if not fig_collab_selected:
         for flag, value in (("--neighbor-read-ms", args.neighbor_read_ms),
-                            ("--collab-period", args.collab_period),
-                            ("--sharded", args.sharded or None)):
+                            ("--collab-period", args.collab_period)):
             if value is not None:
                 parser.error(f"{flag} only applies to fig_collab")
+    if not fig_failures_selected:
+        for flag, value in (("--outage-fraction", args.outage_fraction),
+                            ("--fault-region", args.fault_region)):
+            if value is not None:
+                parser.error(f"{flag} only applies to fig_failures")
+    if args.sharded and not (fig_collab_selected or fig_failures_selected):
+        parser.error("--sharded only applies to fig_collab/fig_failures")
     if args.experiment == "fig_collab":
         if args.region:
             parser.error("fig_collab sweeps fixed-strategy (agar) pairings; "
@@ -249,7 +274,15 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
             parser.error("fig_collab compares collaboration against "
                          "independent caches itself; --collaboration/"
                          "--no-collaboration does not apply")
+    if args.experiment == "fig_failures":
+        if args.region:
+            parser.error("fig_failures sweeps the strategy itself; use "
+                         "--regions to override the client regions")
+        if args.collaboration is not None:
+            parser.error("fig_failures sweeps collaboration on/off itself; "
+                         "--collaboration/--no-collaboration does not apply")
     collab_extra: dict = {}
+    failures_extra: dict = {}
     try:
         if args.neighbor_read_ms:
             collab_extra["neighbor_read_ms"] = _parse_float_list(
@@ -257,9 +290,17 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
         if args.collab_period:
             collab_extra["collab_periods"] = _parse_float_list(
                 args.collab_period, "--collab-period")
+        if args.outage_fraction:
+            fractions = _parse_float_list(args.outage_fraction, "--outage-fraction")
+            if any(fraction >= 1.0 for fraction in fractions):
+                raise ValueError("--outage-fraction values must be below 1")
+            failures_extra["outage_fractions"] = fractions
     except ValueError as error:
         parser.error(str(error))
+    if args.fault_region:
+        failures_extra["fault_region"] = args.fault_region
     collab_extra["sharded"] = args.sharded
+    failures_extra["sharded"] = args.sharded
     region_specs = None
     if args.region:
         try:
@@ -292,8 +333,12 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
                                   region_specs=region_specs)
                   if name in ENGINE_EXPERIMENTS else None)
         print(f"=== {name} ===", file=out)
-        _run_one(name, settings, out, engine=engine,
-                 extra=collab_extra if name == "fig_collab" else None)
+        extra = None
+        if name == "fig_collab":
+            extra = collab_extra
+        elif name == "fig_failures":
+            extra = failures_extra
+        _run_one(name, settings, out, engine=engine, extra=extra)
         print(file=out)
     return 0
 

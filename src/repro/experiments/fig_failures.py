@@ -1,0 +1,338 @@
+"""Fault-injection sweep: how strategies ride out a region outage and recover.
+
+The paper evaluates Agar on healthy AWS deployments; erasure coding's point,
+though, is exactly that reads survive ``n - k`` lost chunks.  This experiment
+injects a :class:`~repro.sim.faults.RegionOutage` into the discrete-event
+engine and maps the outage response along three axes:
+
+* **outage duration** — swept as fractions of the (measured) clean-run
+  duration, so the paper/quick/smoke scales all see comparable windows;
+* **read strategy** — Agar versus a static policy;
+* **collaboration** — §VI collaborating caches on or off (collaboration
+  softens the blow when the caches cover more distinct chunks).
+
+Each sweep point reports the degraded/unavailable read counts, the mean
+latency against the clean baseline, and a recovery profile computed from the
+windowed latency series of :func:`repro.client.stats.windowed_latency_series`:
+p99 before, during and after the outage window plus the number of windows the
+deployment needed after the repair until p99 fell back to the pre-outage
+level.  The acceptance invariants — degraded reads occur **only** during the
+outage, no request fails while at least ``k`` chunks stay reachable, and the
+windowed p99 spikes then recovers — are asserted by the test suite for both
+the in-process and the sharded engine.  See ``docs/failures.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import Table, percent_difference
+from repro.client.stats import LatencyWindow, windowed_latency_series
+from repro.experiments.common import (
+    EngineOptions,
+    ExperimentSettings,
+    agar_config_for_capacity,
+)
+from repro.sim.engine import EngineConfig, EngineResult, EventEngine, RegionSpec
+from repro.sim.faults import FaultSchedule, RegionOutage
+
+#: Outage durations swept by default, as fractions of the clean-run duration.
+DEFAULT_OUTAGE_FRACTIONS: tuple[float, ...] = (0.15, 0.3)
+
+#: Region taken down by default.  It must sit *inside* the clients' nearest-k
+#: backend plan for the outage to force degraded re-planning: from Frankfurt
+#: and Dublin the RS(9, 3) plan drops the furthest three chunks (Sydney's two
+#: and one of Tokyo's), so Sao Paulo is the nearest planned region whose loss
+#: is actually felt.
+DEFAULT_FAULT_REGION = "sao_paulo"
+
+#: Client regions of the swept deployment (a nearby pair, so the
+#: collaborative legs mirror the fig_collab setup).
+DEFAULT_REGIONS: tuple[str, ...] = ("frankfurt", "dublin")
+
+#: (strategy, collaboration) legs swept by default.
+DEFAULT_LEGS: tuple[tuple[str, bool], ...] = (
+    ("agar", False),
+    ("agar", True),
+    ("lfu-5", False),
+)
+
+#: The outage starts this far into the run (fraction of the clean duration),
+#: leaving a pre-outage span for the recovery baseline.
+OUTAGE_START_FRACTION = 0.25
+
+#: Windows per clean-run duration in the recovery time series.
+WINDOWS_PER_RUN = 24
+
+#: A post-outage window counts as recovered once its p99 is back within this
+#: factor of the pre-outage p99.
+RECOVERY_TOLERANCE = 1.2
+
+
+@dataclass(frozen=True)
+class FailurePointRow:
+    """One (strategy, collaboration, outage duration) sweep point."""
+
+    strategy: str
+    collaboration: bool
+    outage_fraction: float
+    outage_start_s: float
+    outage_end_s: float
+    reads: int
+    degraded_reads: int
+    unavailable_reads: int
+    mean_ms: float
+    clean_mean_ms: float
+    p99_before_ms: float
+    p99_during_ms: float
+    p99_after_ms: float
+    #: Windows after the repair until p99 returned to the pre-outage level;
+    #: None when it never did within the observed series.
+    recovery_windows: int | None
+
+    @property
+    def leg(self) -> str:
+        """Display label of the (strategy, collaboration) leg."""
+        return f"{self.strategy}+collab" if self.collaboration else self.strategy
+
+    @property
+    def slowdown_pct(self) -> float:
+        """Mean-latency penalty of the faulted run vs the clean baseline."""
+        return percent_difference(self.mean_ms, self.clean_mean_ms)
+
+
+@dataclass(frozen=True)
+class FailureSweepResult:
+    """Everything one `fig_failures` invocation produced."""
+
+    rows: list[FailurePointRow]
+    #: Windowed latency series of each leg's *longest* outage, keyed by the
+    #: leg label — the recovery curve worth plotting.
+    series: dict[str, list[LatencyWindow]]
+    fault_region: str
+    window_s: float
+    sharded: bool
+
+
+def _build_config(settings: ExperimentSettings, regions: tuple[str, ...],
+                  strategy: str, clients: int, arrival, collaboration: bool,
+                  faults: FaultSchedule | None) -> EngineConfig:
+    capacity = settings.cache_capacity_bytes
+    return EngineConfig(
+        workload=settings.workload(skew=1.1),
+        regions=tuple(
+            RegionSpec(region=region, clients=clients, strategy=strategy)
+            for region in regions
+        ),
+        cache_capacity_bytes=capacity,
+        agar=agar_config_for_capacity(capacity),
+        topology_seed=settings.seed,
+        arrival=arrival,
+        collaboration=collaboration,
+        collaboration_period_s=30.0 if collaboration else None,
+        timer_reconfiguration=True,
+        faults=faults,
+    )
+
+
+def _execute(settings: ExperimentSettings, config: EngineConfig,
+             sharded: bool) -> list[EngineResult]:
+    """Run one deployment ``settings.runs`` times, keeping every ReadResult."""
+    engine = EventEngine(config, keep_results=True)
+    base_seed = config.workload.seed
+    engine.topology.latency.reseed(config.topology_seed + base_seed)
+    deployment = engine.build_deployment()
+    results = []
+    for run_index in range(settings.runs):
+        seed = base_seed + run_index
+        if sharded:
+            results.append(engine.execute_sharded(deployment, seed))
+        else:
+            results.append(engine.execute(deployment, seed))
+    return results
+
+
+def _duration_s(results: list[EngineResult]) -> float:
+    """Longest per-region duration over the runs (the shared time axis)."""
+    return max(
+        region_result.duration_s
+        for result in results
+        for region_result in result.regions.values()
+    )
+
+
+def _collect_reads(results: list[EngineResult]):
+    """Every retained ReadResult across runs and regions (shared time axis:
+    each run restarts its clock at zero, so windows pool the repetitions)."""
+    reads = []
+    for result in results:
+        for region_result in result.regions.values():
+            reads.extend(region_result.results)
+    return reads
+
+
+def _merged_stats(results: list[EngineResult]):
+    merged = results[0].overall_stats()
+    for result in results[1:]:
+        merged = merged.merge(result.overall_stats())
+    return merged
+
+
+def _phase_p99(windows: list[LatencyWindow], start_s: float,
+               end_s: float | None) -> float:
+    """Max windowed p99 over [start_s, end_s) — the phase's worst window."""
+    values = [
+        window.p99_ms
+        for window in windows
+        if window.reads > 0 and window.start_s >= start_s
+        and (end_s is None or window.start_s < end_s)
+    ]
+    return max(values) if values else 0.0
+
+
+def _recovery_windows(windows: list[LatencyWindow], outage_end_s: float,
+                      baseline_p99_ms: float) -> int | None:
+    """Windows after the repair until p99 re-enters the recovery band."""
+    position = 0
+    for window in windows:
+        if window.start_s < outage_end_s:
+            continue
+        if window.reads == 0 or \
+                window.p99_ms <= baseline_p99_ms * RECOVERY_TOLERANCE:
+            return position
+        position += 1
+    return None
+
+
+def run_fig_failures(settings: ExperimentSettings | None = None,
+                     options: EngineOptions | None = None,
+                     outage_fractions: tuple[float, ...] | None = None,
+                     fault_region: str = DEFAULT_FAULT_REGION,
+                     legs: tuple[tuple[str, bool], ...] | None = None,
+                     sharded: bool = False) -> FailureSweepResult:
+    """Run the outage sweep.
+
+    For every (strategy, collaboration) leg a clean baseline run measures the
+    leg's duration and pre-fault latency profile; the outage window is then
+    placed at ``OUTAGE_START_FRACTION`` of that duration and swept over
+    ``outage_fractions`` of it.  ``options`` contributes client count,
+    arrival process and (via ``--regions``) the deployment's regions.
+    """
+    settings = settings or ExperimentSettings.quick()
+    options = options or EngineOptions()
+    clients = options.clients_per_region
+    arrival = options.arrival_spec()
+    regions = options.regions or DEFAULT_REGIONS
+    if fault_region in regions:
+        raise ValueError(
+            f"fault region {fault_region!r} is a client region; take down a "
+            "backend-only region so clients keep running")
+    fractions = (DEFAULT_OUTAGE_FRACTIONS if outage_fractions is None
+                 else tuple(sorted(outage_fractions)))
+    if not fractions:
+        raise ValueError("outage_fractions must not be empty")
+    if any(not 0.0 < fraction < 1.0 for fraction in fractions):
+        raise ValueError("outage fractions must lie strictly between 0 and 1")
+    legs = DEFAULT_LEGS if legs is None else tuple(legs)
+
+    rows: list[FailurePointRow] = []
+    series: dict[str, list[LatencyWindow]] = {}
+    window_s = 0.0
+    for strategy, collaboration in legs:
+        clean_config = _build_config(settings, regions, strategy, clients,
+                                     arrival, collaboration, faults=None)
+        clean_runs = _execute(settings, clean_config, sharded)
+        duration = _duration_s(clean_runs)
+        window_s = max(window_s, duration / WINDOWS_PER_RUN)
+        leg_window = duration / WINDOWS_PER_RUN
+        clean_stats = _merged_stats(clean_runs)
+        clean_windows = windowed_latency_series(
+            _collect_reads(clean_runs), leg_window, end_s=duration)
+        outage_start = duration * OUTAGE_START_FRACTION
+
+        leg_label = f"{strategy}+collab" if collaboration else strategy
+        for fraction in fractions:
+            outage_end = outage_start + duration * fraction
+            faults = FaultSchedule([
+                RegionOutage(fault_region, start_s=outage_start,
+                             end_s=outage_end),
+            ])
+            config = _build_config(settings, regions, strategy, clients,
+                                   arrival, collaboration, faults=faults)
+            runs = _execute(settings, config, sharded)
+            stats = _merged_stats(runs)
+            reads = _collect_reads(runs)
+            faulted_duration = max(duration, _duration_s(runs))
+            windows = windowed_latency_series(reads, leg_window,
+                                              end_s=faulted_duration)
+            before_p99 = _phase_p99(windows, 0.0, outage_start)
+            if before_p99 == 0.0:
+                before_p99 = _phase_p99(clean_windows, 0.0, outage_start)
+            rows.append(FailurePointRow(
+                strategy=strategy,
+                collaboration=collaboration,
+                outage_fraction=fraction,
+                outage_start_s=outage_start,
+                outage_end_s=outage_end,
+                reads=stats.count,
+                degraded_reads=stats.degraded_reads,
+                unavailable_reads=stats.unavailable_reads,
+                mean_ms=stats.mean_latency_ms,
+                clean_mean_ms=clean_stats.mean_latency_ms,
+                p99_before_ms=before_p99,
+                p99_during_ms=_phase_p99(windows, outage_start, outage_end),
+                p99_after_ms=_phase_p99(windows, outage_end, None),
+                recovery_windows=_recovery_windows(windows, outage_end,
+                                                   before_p99),
+            ))
+            if fraction == fractions[-1]:
+                series[leg_label] = windows
+    return FailureSweepResult(rows=rows, series=series,
+                              fault_region=fault_region, window_s=window_s,
+                              sharded=sharded)
+
+
+def render_fig_failures(result: FailureSweepResult) -> str:
+    """Render the sweep as a figure-style report (table + recovery curves)."""
+    mode = "sharded engine" if result.sharded else "in-process engine"
+    table = Table(
+        title=(f"Outage sweep — {result.fault_region} down, degraded reads "
+               f"and recovery ({mode})"),
+        columns=("leg", "outage (frac)", "outage (s)", "reads", "degraded",
+                 "unavailable", "mean (ms)", "clean mean (ms)",
+                 "slowdown (%)", "p99 before", "p99 during", "p99 after",
+                 "recovery (windows)"),
+    )
+    for row in result.rows:
+        table.add_row(
+            row.leg,
+            row.outage_fraction,
+            row.outage_end_s - row.outage_start_s,
+            row.reads,
+            row.degraded_reads,
+            row.unavailable_reads,
+            row.mean_ms,
+            row.clean_mean_ms,
+            row.slowdown_pct,
+            row.p99_before_ms,
+            row.p99_during_ms,
+            row.p99_after_ms,
+            "-" if row.recovery_windows is None else row.recovery_windows,
+        )
+    lines = [table.render(), ""]
+    lines.append("Windowed p99 of each leg's longest outage "
+                 "(* marks the outage window):")
+    for leg, windows in result.series.items():
+        outage = next(row for row in reversed(result.rows)
+                      if row.leg == leg)
+        lines.append(f"  {leg}:")
+        for window in windows:
+            in_outage = (window.start_s < outage.outage_end_s
+                         and window.end_s > outage.outage_start_s)
+            marker = "*" if in_outage else " "
+            lines.append(
+                f"   {marker} [{window.start_s:8.1f}s, {window.end_s:8.1f}s) "
+                f"reads={window.reads:4d} p99={window.p99_ms:9.1f} ms "
+                f"degraded={window.degraded:3d} unavailable={window.unavailable:3d}"
+            )
+    return "\n".join(lines)

@@ -168,10 +168,13 @@ class CollaborationCoordinator:
         nodes: the participating Agar nodes (typically regions of the same
             continent, e.g. Frankfurt and Dublin).
         neighbor_read_ms: latency of a cross-region cache read used when
-            discounting option values.
+            discounting option values — either a single flat estimate or a
+            per-region mapping (each node discounts with its own entry, the
+            expected latency of reading from its nearest partner's cache).
     """
 
-    def __init__(self, nodes: Sequence[AgarNode], neighbor_read_ms: float = 120.0) -> None:
+    def __init__(self, nodes: Sequence[AgarNode],
+                 neighbor_read_ms: float | Mapping[str, float] = 120.0) -> None:
         if not nodes:
             raise ValueError("at least one node is required")
         regions = [node.local_region for node in nodes]
@@ -180,6 +183,13 @@ class CollaborationCoordinator:
         self._nodes = list(nodes)
         self._neighbor_read_ms = neighbor_read_ms
         self._announcements: dict[str, NeighborAnnouncement] = {}
+
+    def _discount_for(self, region: str) -> float:
+        """The neighbour-read estimate ``region``'s node discounts with."""
+        estimate = self._neighbor_read_ms
+        if isinstance(estimate, Mapping):
+            return estimate[region]
+        return estimate
 
     @property
     def regions(self) -> list[str]:
@@ -230,7 +240,7 @@ class CollaborationCoordinator:
                 if other.local_region != node.local_region
             ]
             configured[node.local_region] = reconfigure_node(
-                node, neighbours, self._neighbor_read_ms
+                node, neighbours, self._discount_for(node.local_region)
             )
         self.broadcast()
         return configured

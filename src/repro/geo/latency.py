@@ -74,6 +74,26 @@ class LinkProfile:
         return cls(rtt_ms=rtt_ms, bandwidth_mbps=bandwidth_mbps, jitter=jitter)
 
 
+@dataclass(frozen=True, slots=True)
+class NeighborLink:
+    """Latency profile of reads from a collaborating neighbour's cache (§VI).
+
+    Attributes:
+        expected_ms: expected latency of one neighbour-cache chunk read.
+        sigma: standard deviation of the multiplicative log-normal jitter
+            applied to sampled neighbour reads (0 disables jitter).
+    """
+
+    expected_ms: float
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.expected_ms < 0:
+            raise ValueError("expected_ms must be non-negative")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+
 #: Default number of standard-normal jitter draws refilled per block.
 DEFAULT_JITTER_BLOCK = 1024
 
@@ -177,6 +197,22 @@ class LatencyModel:
     def expected_cache_read(self, region: str, size_bytes: int = DEFAULT_CHUNK_SIZE) -> float:
         """Expected latency of one local cache chunk read, without jitter."""
         return self.cache_link(region).expected_read_ms(size_bytes)
+
+    def neighbor_link(self, client_region: str, neighbor_region: str,
+                      size_bytes: int = DEFAULT_CHUNK_SIZE) -> NeighborLink:
+        """Derived profile of reading from ``neighbor_region``'s cache (§VI).
+
+        A neighbour-cache read crosses the inter-region WAN link (its fixed
+        round-trip component) and is then served from the neighbour's cache
+        server, so the expectation is ``rtt + neighbour cache read``; the
+        jitter σ is the WAN link's, the dominant noise source of the path.
+        """
+        link = self.link(client_region, neighbor_region)
+        cache = self.cache_link(neighbor_region)
+        return NeighborLink(
+            expected_ms=link.rtt_ms + cache.expected_read_ms(size_bytes),
+            sigma=link.jitter,
+        )
 
     # ------------------------------------------------------------------ #
     # Sampled latencies

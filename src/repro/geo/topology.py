@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.geo.latency import DEFAULT_CHUNK_SIZE, LatencyModel, LinkProfile
+from repro.geo.latency import DEFAULT_CHUNK_SIZE, LatencyModel, LinkProfile, NeighborLink
 from repro.geo.regions import PAPER_REGIONS, Region, region_names
 
 
@@ -28,11 +28,16 @@ class Topology:
         regions: the regions of the deployment, in a stable order.
         latency: the latency model covering every (client, backend) pair.
         name: human-readable preset name (used in experiment reports).
+        neighbor_links: optional explicit ``(client, neighbor) ->``
+            :class:`NeighborLink` overrides for §VI neighbour-cache reads;
+            pairs not listed (or ``None``) fall back to the profile derived
+            from the latency model (see :meth:`neighbor_link`).
     """
 
     regions: list[Region]
     latency: LatencyModel
     name: str = "custom"
+    neighbor_links: dict[tuple[str, str], NeighborLink] | None = None
     _names: list[str] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -77,6 +82,23 @@ class Topology:
         """Region names sorted from nearest to furthest as seen by ``client_region``."""
         latencies = self.expected_read_latencies(client_region, size_bytes)
         return sorted(latencies, key=lambda name: (latencies[name], name))
+
+    def neighbor_link(self, client_region: str, neighbor_region: str,
+                      size_bytes: int = DEFAULT_CHUNK_SIZE) -> NeighborLink:
+        """Profile of ``client_region`` reading from ``neighbor_region``'s cache.
+
+        Returns the explicit per-pair override from :attr:`neighbor_links`
+        when one is configured, otherwise the profile derived from the
+        latency model (WAN round-trip plus the neighbour's cache read; the
+        WAN link's jitter σ).
+        """
+        self.validate_region(client_region)
+        self.validate_region(neighbor_region)
+        if self.neighbor_links is not None:
+            override = self.neighbor_links.get((client_region, neighbor_region))
+            if override is not None:
+                return override
+        return self.latency.neighbor_link(client_region, neighbor_region, size_bytes)
 
 
 def _model_from_matrix(matrix: dict[str, dict[str, float]],

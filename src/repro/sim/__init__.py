@@ -12,6 +12,14 @@ from repro.sim.engine import (
     RegionRunResult,
     RegionSpec,
 )
+from repro.sim.faults import (
+    CLEAR_STATE,
+    AZFailure,
+    BackendBrownout,
+    FaultSchedule,
+    FaultState,
+    RegionOutage,
+)
 from repro.sim.simulation import (
     AggregatedResult,
     Simulation,
@@ -22,13 +30,19 @@ from repro.sim.simulation import (
 )
 
 __all__ = [
+    "AZFailure",
     "AggregatedResult",
+    "BackendBrownout",
+    "CLEAR_STATE",
     "CLIENT_SEED_STRIDE",
     "DeploymentAggregate",
     "EngineConfig",
     "EngineDeployment",
     "EngineResult",
     "EventEngine",
+    "FaultSchedule",
+    "FaultState",
+    "RegionOutage",
     "RegionRunResult",
     "RegionSpec",
     "Simulation",

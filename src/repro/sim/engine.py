@@ -13,7 +13,10 @@ shared :class:`~repro.sim.clock.SimulationClock` interleaves
 * **collaboration timers** — §VI cache collaboration: the regions' Agar nodes
   periodically exchange contents through a
   :class:`~repro.extensions.collaboration.CollaborationCoordinator` and
-  reconfigure against the discounted option values.
+  reconfigure against the discounted option values;
+* **fault transitions** — one-shot timer events installing the successive
+  states of an :class:`~repro.sim.faults.FaultSchedule` into the strategies
+  (region outages, brownouts, AZ failures; see ``docs/failures.md``).
 
 All clients of one region share that region's strategy instance — and with it
 the region's :class:`~repro.core.agar_node.AgarNode` / chunk cache — so
@@ -96,6 +99,7 @@ from repro.extensions.collaboration import (
 )
 from repro.geo.topology import Topology, default_topology
 from repro.sim.clock import SimulationClock
+from repro.sim.faults import FaultSchedule, FaultState
 from repro.workload.workload import (
     ArrivalSpec,
     Request,
@@ -127,9 +131,13 @@ _ARRIVAL_BLOCK = 256
 #: draws from its own deterministic latency-jitter stream.
 _SHARD_SEED_TAG = 15485863
 
-#: Timer kinds of the lane scheduler's residual heap.
+#: Timer kinds of the lane scheduler's residual heap.  Fault transitions are
+#: one-shot (never re-pushed) and are pushed before the periodic timers, so at
+#: equal timestamps a fault state change precedes a collaboration round or a
+#: reconfiguration tick in both schedulers.
 _TIMER_COLLAB = 0
 _TIMER_REGION = 1
+_TIMER_FAULT = 2
 
 
 @dataclass(frozen=True)
@@ -182,12 +190,24 @@ class EngineConfig:
             run the ``agar`` strategy and implies timer-driven reconfiguration.
         collaboration_period_s: collaborative exchange period (defaults to the
             Agar reconfiguration period).
-        neighbor_read_ms: cross-region cache read estimate used when
-            discounting collaborative option values.
+        neighbor_read_ms: expected cross-region cache read latency (ms) used
+            for §VI neighbour reads and option discounting.  A float applies
+            the same flat expectation to every region (the historical
+            behaviour); ``None`` derives a per-region expectation from the
+            topology's per-pair neighbour links
+            (:meth:`~repro.geo.topology.Topology.neighbor_link`, nearest
+            collaboration partner).  Either way the neighbour link's jitter σ
+            comes from the topology, so neighbour reads draw log-normal
+            jitter like any other link.
         timer_reconfiguration: drive periodic reconfiguration from engine
             timer events instead of the read path.  ``None`` (default) picks
             automatically: piggybacked for the 1-region/1-client closed loop
             (bit-compatible with the legacy driver), timer-driven otherwise.
+        faults: optional fault schedule (``repro.sim.faults``).  Its state
+            transitions become one-shot timer events consumed identically by
+            :meth:`EventEngine.execute`, :meth:`EventEngine.execute_reference`
+            and :meth:`EventEngine.execute_sharded`; schedule times are
+            relative to each run's start.
     """
 
     workload: WorkloadSpec
@@ -201,8 +221,9 @@ class EngineConfig:
     arrival: ArrivalSpec = ArrivalSpec()
     collaboration: bool = False
     collaboration_period_s: float | None = None
-    neighbor_read_ms: float = 120.0
+    neighbor_read_ms: float | None = 120.0
     timer_reconfiguration: bool | None = None
+    faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         if not self.regions:
@@ -219,6 +240,8 @@ class EngineConfig:
                 )
         if self.warmup_requests < 0:
             raise ValueError("warmup_requests must be non-negative")
+        if self.neighbor_read_ms is not None and self.neighbor_read_ms < 0:
+            raise ValueError("neighbor_read_ms must be non-negative (or None)")
 
     @property
     def total_clients(self) -> int:
@@ -393,8 +416,12 @@ class _LaneRun:
 
     ``external_collaboration=True`` suppresses the in-loop collaboration
     timer; the caller drives the rounds between :meth:`run_until` calls
-    instead (the residual timer heap is empty then, because collaborative
-    deployments have no per-region reconfiguration timers).
+    instead (the residual timer heap then holds only the one-shot fault
+    transitions, if any — collaborative deployments have no per-region
+    reconfiguration timers).  A fault transition landing exactly on a segment
+    boundary ``T`` stays pending at the pause and fires attached to the next
+    segment's first arrival at or after ``T`` — the same state every read
+    at time ≥ ``T`` would see in-process.
     """
 
     def __init__(self, engine: "EventEngine", deployment: EngineDeployment,
@@ -475,9 +502,35 @@ class _LaneRun:
             self.next_time[lane] = first
             self.times[lane] = first
 
-        # Residual priority structure: the deployment's few periodic timers.
+        # Residual priority structure: the deployment's few periodic timers
+        # plus the one-shot fault transitions.
         self.timer_heap: list[tuple[float, int, int, int, float]] = []
         self.timer_seq = 0
+
+        # Fault schedule: install the state at t=0 and push one one-shot
+        # timer per transition.  Pushed before the periodic timers (lower
+        # seq), and unconditionally — faults fire in piggyback/legacy
+        # reconfiguration mode too.  Each entry's region_index slot carries
+        # the transition index instead.
+        self._fault_states: tuple[FaultState, ...] = ()
+        self._fault_targets = [strategies[region_index].set_fault_state
+                               for region_index in region_indices]
+        faults = config.faults
+        if faults is not None and not faults.is_empty:
+            initial = faults.initial_state
+            for install in self._fault_targets:
+                install(initial)
+            transitions = faults.transitions
+            self._fault_states = tuple(state for _, state in transitions)
+            for index, (offset, _state) in enumerate(transitions):
+                heapq.heappush(
+                    self.timer_heap,
+                    (self.start + offset, self.timer_seq, _TIMER_FAULT, index, 0.0),
+                )
+                self.timer_seq += 1
+
+        self._neighbor_profiles = (engine._neighbor_profiles()
+                                   if deployment.coordinator is not None else None)
         if timer_mode:
             for region_index in region_indices:
                 strategies[region_index].set_external_reconfiguration(True)
@@ -561,6 +614,8 @@ class _LaneRun:
         next_time = self.next_time
         timer_heap = self.timer_heap
         timer_seq = self.timer_seq
+        fault_states = self._fault_states
+        fault_targets = self._fault_targets
         guard_ties = self.guard_ties
         lane_schedule_seq = self.lane_schedule_seq
         schedule_counter = self.schedule_counter
@@ -594,9 +649,16 @@ class _LaneRun:
             while timer_heap and timer_heap[0][0] <= event_time:
                 timer_time, _seq, kind, region_index, period = heappop(timer_heap)
                 clock._now_s = timer_time
+                if kind == _TIMER_FAULT:
+                    # One-shot fault transition (region_index carries the
+                    # transition index): install and do not re-push.
+                    state = fault_states[region_index]
+                    for install in fault_targets:
+                        install(state)
+                    continue
                 if kind == _TIMER_COLLAB:
                     deployment.coordinator.reconfigure_all(timer_time)
-                    _install_neighbor_catalogs(deployment, self._config.neighbor_read_ms)
+                    _install_neighbor_catalogs(deployment, self._neighbor_profiles)
                 else:
                     strategies[region_index].tick(timer_time)
                 heappush(timer_heap, (timer_time + period, timer_seq, kind, region_index, period))
@@ -615,7 +677,8 @@ class _LaneRun:
             if position >= warmup:
                 lane_record[lane](latency_ms, result.hit_type,
                                   result.chunks_from_cache, result.chunks_from_backend,
-                                  result.chunks_from_neighbors)
+                                  result.chunks_from_neighbors, result.degraded,
+                                  result.failed)
             if keep:
                 lane_kept[lane].append(result)
             position += 1
@@ -664,12 +727,14 @@ def _shard_jitter_seed(seed: int, region_index: int) -> int:
 
 
 def _install_neighbor_catalogs(deployment: EngineDeployment,
-                               neighbor_read_ms: float) -> None:
+                               profiles: dict[str, tuple[float, float]]) -> None:
     """Hand every region the union of the *other* regions' pinned chunks.
 
     Called after each §VI round: the coordinator's fresh announcements become
-    each strategy's neighbour catalog, enabling neighbour-cache reads at
-    ``neighbor_read_ms`` (see :meth:`ReadStrategy.set_neighbor_catalog`).
+    each strategy's neighbour catalog, enabling neighbour-cache reads over
+    the region's resolved ``(expected_ms, sigma)`` neighbour-link profile
+    (see :meth:`EventEngine._neighbor_profiles` and
+    :meth:`ReadStrategy.set_neighbor_catalog`).
     """
     announcements = deployment.coordinator.announcements()
     by_region = {a.region: a.pinned_chunks for a in announcements}
@@ -677,7 +742,8 @@ def _install_neighbor_catalogs(deployment: EngineDeployment,
         others = [pinned for region, pinned in by_region.items()
                   if region != strategy.client_region]
         union = frozenset().union(*others) if others else frozenset()
-        strategy.set_neighbor_catalog(union, neighbor_read_ms)
+        expected_ms, sigma = profiles[strategy.client_region]
+        strategy.set_neighbor_catalog(union, expected_ms, sigma)
 
 
 def _shard_worker(engine: "EventEngine", deployment: EngineDeployment, seed: int,
@@ -723,7 +789,8 @@ def _collab_shard_worker(engine: "EventEngine", deployment: EngineDeployment,
         run = engine._begin_region_shard(deployment, seed, region_index,
                                          external_collaboration=True)
         node = deployment.strategies[region_index].node
-        neighbor_read_ms = engine._config.neighbor_read_ms
+        region_name = engine._config.regions[region_index].region
+        neighbor_read_ms, neighbor_jitter = engine._neighbor_profiles()[region_name]
         while True:
             command = connection.recv()
             kind = command[0]
@@ -731,7 +798,7 @@ def _collab_shard_worker(engine: "EventEngine", deployment: EngineDeployment,
                 catalog = command[2]
                 if catalog is not None:
                     deployment.strategies[region_index].set_neighbor_catalog(
-                        catalog, neighbor_read_ms
+                        catalog, neighbor_read_ms, neighbor_jitter
                     )
                 run.run_until(command[1])
                 connection.send(("paused", run.remaining_events, announcement_of(node)))
@@ -813,13 +880,16 @@ class _LocalShard:
         self._run = engine._begin_region_shard(deployment, seed, region_index,
                                                external_collaboration=True)
         self._node = deployment.strategies[region_index].node
-        self._neighbor_read_ms = engine._config.neighbor_read_ms
+        region_name = engine._config.regions[region_index].region
+        self._neighbor_read_ms, self._neighbor_jitter = (
+            engine._neighbor_profiles()[region_name]
+        )
         self._paused: tuple[int, NeighborAnnouncement] | None = None
 
     def start_segment(self, boundary: float, catalog) -> None:
         if catalog is not None:
             self._deployment.strategies[self._region_index].set_neighbor_catalog(
-                catalog, self._neighbor_read_ms
+                catalog, self._neighbor_read_ms, self._neighbor_jitter
             )
         self._run.run_until(boundary)
         self._paused = (self._run.remaining_events, announcement_of(self._node))
@@ -859,6 +929,9 @@ class EventEngine:
         self._topology = topology or default_topology(seed=config.topology_seed)
         for spec in config.regions:
             self._topology.validate_region(spec.region)
+        if config.faults is not None:
+            for region in sorted(config.faults.regions()):
+                self._topology.validate_region(region)
         self._keep_results = keep_results
 
     @property
@@ -870,6 +943,34 @@ class EventEngine:
     def topology(self) -> Topology:
         """The deployment's topology."""
         return self._topology
+
+    def _neighbor_profiles(self) -> dict[str, tuple[float, float]]:
+        """Resolved §VI neighbour-read ``(expected_ms, sigma)`` per region.
+
+        Each region's profile comes from its *nearest* collaboration partner
+        (smallest expected neighbour-link latency, name-tiebroken):
+        ``config.neighbor_read_ms`` overrides the expectation when it is a
+        float, while ``None`` uses the topology-derived per-pair value; the
+        jitter σ always comes from the topology's neighbour link, so
+        collaborative neighbour reads are jittered exactly like other links.
+        Single-region deployments fall back to a flat, jitter-free profile.
+        """
+        config = self._config
+        names = [spec.region for spec in config.regions]
+        flat = config.neighbor_read_ms
+        profiles: dict[str, tuple[float, float]] = {}
+        for region in names:
+            partners = [other for other in names if other != region]
+            if not partners:
+                profiles[region] = (flat if flat is not None else 0.0, 0.0)
+                continue
+            links = {other: self._topology.neighbor_link(region, other)
+                     for other in partners}
+            nearest = min(partners, key=lambda other: (links[other].expected_ms, other))
+            link = links[nearest]
+            expected = link.expected_ms if flat is None else flat
+            profiles[region] = (expected, link.sigma)
+        return profiles
 
     # ------------------------------------------------------------------ #
     # Deployment
@@ -909,8 +1010,11 @@ class EventEngine:
         coordinator = None
         if config.collaboration:
             nodes = [strategy.node for strategy in strategies]
+            profiles = self._neighbor_profiles()
             coordinator = CollaborationCoordinator(
-                nodes, neighbor_read_ms=config.neighbor_read_ms
+                nodes,
+                neighbor_read_ms={region: expected
+                                  for region, (expected, _sigma) in profiles.items()},
             )
         return EngineDeployment(
             store=store, clock=clock, strategies=strategies, coordinator=coordinator
@@ -1011,9 +1115,25 @@ class EventEngine:
                 first = start
             push(first, _PRIO_ARRIVAL, ("arrival", global_index))
 
+        # Fault schedule: initial state now, one one-shot priority-0 event
+        # per transition.  Pushed before the periodic timers so equal-time
+        # ties resolve fault-first, matching the lane scheduler's heap order.
+        fault_states: tuple[FaultState, ...] = ()
+        faults = config.faults
+        if faults is not None and not faults.is_empty:
+            initial = faults.initial_state
+            for strategy in strategies:
+                strategy.set_fault_state(initial)
+            transitions = faults.transitions
+            fault_states = tuple(state for _, state in transitions)
+            for index, (offset, _state) in enumerate(transitions):
+                push(start + offset, _PRIO_TIMER, ("fault", index))
+
         # Periodic timers: either one collaborative exchange for the whole
         # deployment, or one reconfiguration timer per region with periodic
         # work.  In timer mode the strategies' own period checks are disabled.
+        neighbor_profiles = (self._neighbor_profiles()
+                             if deployment.coordinator is not None else None)
         if timer_mode:
             for strategy in strategies:
                 strategy.set_external_reconfiguration(True)
@@ -1058,10 +1178,15 @@ class EventEngine:
             elif outstanding > 0:
                 # Timers only fire (and reschedule) while requests remain.
                 advance_to(time_s)
-                if kind == "collab":
+                if kind == "fault":
+                    # One-shot fault transition: install, never re-push.
+                    state = fault_states[payload[1]]
+                    for strategy in strategies:
+                        strategy.set_fault_state(state)
+                elif kind == "collab":
                     period = payload[1]
                     deployment.coordinator.reconfigure_all(time_s)
-                    _install_neighbor_catalogs(deployment, config.neighbor_read_ms)
+                    _install_neighbor_catalogs(deployment, neighbor_profiles)
                     push(time_s + period, _PRIO_TIMER, ("collab", period))
                 else:
                     region_index, period = payload[1], payload[2]

@@ -1,0 +1,139 @@
+"""Tests for the fault-injection sweep experiment (fig_failures).
+
+Pins the acceptance invariants of the fault-injection subsystem at the
+experiment level: a region outage produces degraded reads only while it
+lasts, no request fails while at least ``k`` chunks stay reachable, the
+windowed p99 spikes during the disturbance and recovers after the repair —
+deterministically across repeated seeded runs, for the in-process and the
+sharded engine alike.
+"""
+
+import io
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.common import EngineOptions, ExperimentSettings
+from repro.experiments.fig_failures import (
+    DEFAULT_FAULT_REGION,
+    FailureSweepResult,
+    render_fig_failures,
+    run_fig_failures,
+)
+
+
+def tiny_settings() -> ExperimentSettings:
+    return ExperimentSettings(runs=1, request_count=100, object_count=60)
+
+
+def tiny_options() -> EngineOptions:
+    return EngineOptions(regions=("frankfurt", "dublin"), clients_per_region=2)
+
+
+def run_tiny(**kwargs) -> FailureSweepResult:
+    kwargs.setdefault("outage_fractions", (0.3,))
+    kwargs.setdefault("legs", (("agar", False),))
+    return run_fig_failures(tiny_settings(), options=tiny_options(), **kwargs)
+
+
+class TestRunFigFailures:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig_failures(
+            tiny_settings(),
+            options=tiny_options(),
+            outage_fractions=(0.3,),
+            legs=(("agar", False), ("agar", True), ("lfu-5", False)),
+        )
+
+    def test_row_structure(self, result):
+        assert len(result.rows) == 3
+        assert {row.leg for row in result.rows} == \
+            {"agar", "agar+collab", "lfu-5"}
+        assert result.fault_region == DEFAULT_FAULT_REGION
+        assert set(result.series) == {"agar", "agar+collab", "lfu-5"}
+
+    def test_degraded_but_never_unavailable(self, result):
+        """One region of six down leaves >= k chunks: reads degrade, none fail."""
+        for row in result.rows:
+            assert row.degraded_reads > 0, row.leg
+            assert row.unavailable_reads == 0, row.leg
+
+    def test_degraded_reads_confined_to_outage(self, result):
+        for leg, windows in result.series.items():
+            row = next(r for r in result.rows if r.leg == leg)
+            for window in windows:
+                outside = (window.end_s <= row.outage_start_s
+                           or window.start_s >= row.outage_end_s)
+                if outside:
+                    assert window.degraded == 0, (leg, window)
+
+    def test_p99_spikes_and_recovers(self, result):
+        for row in result.rows:
+            assert row.p99_during_ms > row.p99_before_ms, row.leg
+            assert row.recovery_windows is not None, row.leg
+
+    def test_outage_slows_the_mean(self, result):
+        for row in result.rows:
+            assert row.mean_ms > row.clean_mean_ms, row.leg
+
+    def test_deterministic_across_repeated_runs(self):
+        first = run_tiny()
+        second = run_tiny()
+        assert first.rows == second.rows
+        assert first.series == second.series
+
+    def test_sharded_invariants_hold(self):
+        result = run_tiny(sharded=True)
+        assert result.sharded
+        (row,) = result.rows
+        assert row.degraded_reads > 0
+        assert row.unavailable_reads == 0
+        assert row.p99_during_ms > row.p99_before_ms
+        repeat = run_tiny(sharded=True)
+        assert repeat.rows == result.rows
+
+    def test_render_contains_all_sections(self, result):
+        text = render_fig_failures(result)
+        assert "Outage sweep" in text
+        assert DEFAULT_FAULT_REGION in text
+        assert "degraded" in text
+        assert "recovery (windows)" in text
+        assert "*" in text  # outage windows are marked in the series
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_tiny(outage_fractions=())
+        with pytest.raises(ValueError):
+            run_tiny(outage_fractions=(1.5,))
+        with pytest.raises(ValueError):
+            run_fig_failures(tiny_settings(), options=tiny_options(),
+                             fault_region="frankfurt")
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_smoke_run(self):
+        code, text = self.run_cli("fig_failures", "--smoke",
+                                  "--outage-fraction", "0.3")
+        assert code == 0
+        assert "Outage sweep" in text
+        assert "sao_paulo" in text
+
+    def test_flags_gated_to_fig_failures(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("fig6", "--smoke", "--outage-fraction", "0.3")
+        with pytest.raises(SystemExit):
+            self.run_cli("fig6", "--smoke", "--fault-region", "tokyo")
+
+    def test_collaboration_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("fig_failures", "--smoke", "--collaboration")
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("fig_failures", "--smoke", "--outage-fraction", "1.5")

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.geo.latency import NeighborLink
 from repro.geo.regions import PAPER_REGIONS, Region, region_by_name, region_names
 from repro.geo.topology import (
     DEFAULT_LATENCY_MATRIX,
@@ -82,3 +83,40 @@ class TestOtherBuilders:
     def test_empty_topology_rejected(self):
         with pytest.raises(ValueError):
             Topology(regions=[], latency=default_topology().latency)
+
+
+class TestNeighborLinks:
+    def test_derived_from_latency_model(self, jittered_topology):
+        link = jittered_topology.neighbor_link("frankfurt", "dublin")
+        wan = jittered_topology.latency.link("frankfurt", "dublin")
+        cache = jittered_topology.latency.cache_link("dublin")
+        assert link.expected_ms == pytest.approx(
+            wan.rtt_ms + cache.expected_read_ms(1024 * 1024 // 9 + 1))
+        assert link.sigma == wan.jitter
+        assert link.sigma > 0
+
+    def test_zero_jitter_topology_has_flat_links(self, topology):
+        assert topology.neighbor_link("frankfurt", "dublin").sigma == 0.0
+
+    def test_explicit_override_wins(self):
+        topology = default_topology(seed=0)
+        topology.neighbor_links = {
+            ("frankfurt", "dublin"): NeighborLink(expected_ms=42.0, sigma=0.5),
+        }
+        override = topology.neighbor_link("frankfurt", "dublin")
+        assert override.expected_ms == 42.0 and override.sigma == 0.5
+        # Pairs without an override still fall back to the derived profile.
+        derived = topology.neighbor_link("dublin", "frankfurt")
+        assert derived.expected_ms != 42.0
+
+    def test_unknown_regions_rejected(self, topology):
+        with pytest.raises(KeyError):
+            topology.neighbor_link("mars", "dublin")
+        with pytest.raises(KeyError):
+            topology.neighbor_link("frankfurt", "mars")
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            NeighborLink(expected_ms=-1.0)
+        with pytest.raises(ValueError):
+            NeighborLink(expected_ms=10.0, sigma=-0.1)

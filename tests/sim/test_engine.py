@@ -264,6 +264,52 @@ class TestTimersAndCollaboration:
         for strategy in deployment.strategies:
             assert strategy._neighbor_pinned is not None
 
+    def test_neighbor_profiles_flat_override_keeps_topology_sigma(self):
+        """A float neighbor_read_ms pins the expected latency but the jitter
+        sigma still comes from the per-pair topology link (satellite: the
+        neighbour path is no longer draw-free on jittered topologies)."""
+        config = multi_region_config(
+            clients=2, workload=small_workload(requests=50),
+            collaboration=True, neighbor_read_ms=25.0,
+        )
+        engine = EventEngine(config)
+        profiles = engine._neighbor_profiles()
+        for region, (expected_ms, sigma) in profiles.items():
+            assert expected_ms == 25.0
+            partners = [other for other in profiles if other != region]
+            expected_sigma = min(
+                (engine.topology.neighbor_link(region, other).expected_ms, other)
+                for other in partners
+            )[1]
+            assert sigma == engine.topology.neighbor_link(
+                region, expected_sigma).sigma
+            assert sigma > 0
+
+    def test_neighbor_profiles_derived_from_topology(self):
+        """neighbor_read_ms=None derives each region's expected neighbour
+        latency from its nearest collaboration partner's link."""
+        config = multi_region_config(
+            clients=2, workload=small_workload(requests=50),
+            collaboration=True, neighbor_read_ms=None,
+        )
+        engine = EventEngine(config)
+        profiles = engine._neighbor_profiles()
+        for region, (expected_ms, _sigma) in profiles.items():
+            partners = [other for other in profiles if other != region]
+            nearest = min(
+                engine.topology.neighbor_link(region, other).expected_ms
+                for other in partners
+            )
+            assert expected_ms == nearest
+        # The coordinator discounts with the per-region derived estimate.
+        deployment = engine.build_deployment()
+        for region, (expected_ms, _sigma) in profiles.items():
+            assert deployment.coordinator._discount_for(region) == expected_ms
+
+    def test_negative_neighbor_read_ms_rejected(self):
+        with pytest.raises(ValueError):
+            multi_region_config(neighbor_read_ms=-1.0)
+
     def test_warm_deployment_persists_across_executes(self):
         config = multi_region_config(strategy="lfu-5", clients=2)
         engine = EventEngine(config)

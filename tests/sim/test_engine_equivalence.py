@@ -24,6 +24,7 @@ from repro.sim.engine import (
     EventEngine,
     RegionSpec,
 )
+from repro.sim.faults import AZFailure, BackendBrownout, FaultSchedule, RegionOutage
 from repro.workload.workload import poisson_arrivals, zipfian_workload
 
 MEGABYTE = 1024 * 1024
@@ -89,6 +90,40 @@ def _shapes() -> dict[str, EngineConfig]:
             cache_capacity_bytes=5 * MEGABYTE,
             arrival=poisson_arrivals(6.0),
         ),
+        "faulted_outage": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("sydney", clients=2, strategy="lfu-5")),
+            cache_capacity_bytes=5 * MEGABYTE,
+            faults=FaultSchedule([RegionOutage("sao_paulo", 10.0, 40.0)]),
+        ),
+        "faulted_mixed_timer": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("dublin", clients=2)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            timer_reconfiguration=True,
+            faults=FaultSchedule([
+                RegionOutage("sao_paulo", 10.0, 40.0),
+                BackendBrownout("tokyo", 20.0, 60.0, multiplier=4.0),
+                AZFailure("frankfurt", 30.0, 50.0),
+            ]),
+        ),
+        "faulted_unavailable": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2, strategy="backend"),),
+            cache_capacity_bytes=5 * MEGABYTE,
+            faults=FaultSchedule([RegionOutage("sao_paulo", 5.0, 500.0),
+                                  RegionOutage("n_virginia", 5.0, 500.0)]),
+        ),
+        "faulted_collaboration": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("dublin", clients=2)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            collaboration=True,
+            faults=FaultSchedule([RegionOutage("sao_paulo", 10.0, 45.0)]),
+        ),
     }
 
 
@@ -103,7 +138,8 @@ def assert_results_identical(fast, reference):
                               reference_region.stats.latencies_array())
         for counter in ("full_hits", "partial_hits", "misses",
                         "cache_chunks_total", "backend_chunks_total",
-                        "neighbor_chunks_total"):
+                        "neighbor_chunks_total", "degraded_reads",
+                        "unavailable_reads"):
             assert getattr(fast_region.stats, counter) == \
                 getattr(reference_region.stats, counter), (region, counter)
         assert fast_region.results == reference_region.results
@@ -219,6 +255,34 @@ class TestShardedDeterminism:
             sharded_keys = sorted(r.key for r in sharded.regions[region].results)
             in_process_keys = sorted(r.key for r in in_process.regions[region].results)
             assert sharded_keys == in_process_keys
+
+    def test_faulted_fork_matches_in_process_fallback(self):
+        config = EngineConfig(
+            workload=workload(requests=80),
+            regions=(RegionSpec("frankfurt", clients=4),
+                     RegionSpec("dublin", clients=4, strategy="lfu-5")),
+            cache_capacity_bytes=5 * MEGABYTE,
+            faults=FaultSchedule([RegionOutage("sao_paulo", 10.0, 40.0),
+                                  BackendBrownout("tokyo", 15.0, 50.0)]),
+        )
+        forked = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=False)
+        assert_results_identical(forked, sequential)
+        assert forked.overall_stats().degraded_reads > 0
+
+    def test_faulted_sharded_is_reproducible(self):
+        config = EngineConfig(
+            workload=workload(requests=80),
+            regions=(RegionSpec("frankfurt", clients=4),
+                     RegionSpec("dublin", clients=4)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            faults=FaultSchedule([RegionOutage("sao_paulo", 10.0, 40.0)]),
+        )
+        first = EventEngine(config).run_sharded(seed=5)
+        second = EventEngine(config).run_sharded(seed=5)
+        assert_results_identical(first, second)
 
     def test_parent_deployment_left_cold(self):
         """Sharded workers mutate copies; the caller's deployment stays cold."""
