@@ -48,10 +48,12 @@ GUARDED_BENCHMARKS = (
     "test_bench_reed_solomon_encode",
     "test_bench_reed_solomon_decode_with_parity",
     "test_bench_codec_encode_many",
+    "test_bench_codec_packed_numba",
     "test_bench_request_monitor",
     "test_bench_engine_multi_client",
     "test_bench_engine_scale_closed_loop",
     "test_bench_engine_faulted",
+    "test_bench_engine_million_lane",
     "test_bench_collab_sharded_rounds",
 )
 
@@ -60,8 +62,10 @@ _BENCH_FILES = {
     "test_bench_engine_multi_client": "test_bench_engine.py",
     "test_bench_engine_scale_closed_loop": "test_bench_engine.py",
     "test_bench_engine_faulted": "test_bench_engine.py",
+    "test_bench_engine_million_lane": "test_bench_engine.py",
     "test_bench_collab_sharded_rounds": "test_bench_collab.py",
     "test_bench_codec_encode_many": "test_bench_codec.py",
+    "test_bench_codec_packed_numba": "test_bench_codec.py",
     "test_bench_request_monitor": "test_bench_monitor.py",
 }
 
@@ -74,14 +78,18 @@ DEFAULT_TOLERANCES = {
     "test_bench_knapsack_solver": 0.20,
     "test_bench_reed_solomon_encode": 0.25,
     "test_bench_reed_solomon_decode_with_parity": 0.25,
-    "test_bench_codec_encode_many": 0.35,
-    "test_bench_request_monitor": 0.35,
+    "test_bench_codec_encode_many": 0.30,
+    "test_bench_codec_packed_numba": 0.35,
+    "test_bench_request_monitor": 0.30,
     "test_bench_engine_multi_client": 0.40,
-    # Suite-context runs of the scale scenario swing up to ~1.65x its
-    # in-isolation mean on a loaded single-core host (BENCH history).
-    "test_bench_engine_scale_closed_loop": 0.75,
-    # Same shape and host sensitivity as the scale scenario.
-    "test_bench_engine_faulted": 0.75,
+    # The engine scenarios' bands were tightened from 0.75 when the means
+    # were re-seeded for the ISSUE 7 wave drainer: the batched loop replaced
+    # the per-event Python dispatch that drove the worst suite-context
+    # outliers (~1.65x in-isolation mean in the earlier BENCH history).
+    "test_bench_engine_scale_closed_loop": 0.60,
+    "test_bench_engine_faulted": 0.60,
+    # Long-body benchmark (multi-second rounds): proportionally steadier.
+    "test_bench_engine_million_lane": 0.50,
     "test_bench_collab_sharded_rounds": 0.50,
 }
 
@@ -116,6 +124,13 @@ def run_suite(json_path: pathlib.Path, smoke: bool = False,
             "-q", "--benchmark-json", str(json_path),
         ]
     environment = dict(os.environ)
+    if not smoke:
+        # Full guarded runs enable the million-lane scenario's gated shape
+        # (262k clients, the >= 1e7 req/min floor and the 10^6-lane
+        # demonstration body).  Smoke mode and plain pytest runs keep its
+        # light shape: they exist to prove the guarded paths run, not to
+        # spend minutes re-measuring them per tier-1 invocation.
+        environment["AGAR_BENCH_GATED"] = "1"
     src = str(REPO_ROOT / "src")
     existing = environment.get("PYTHONPATH")
     environment["PYTHONPATH"] = f"{src}:{existing}" if existing else src

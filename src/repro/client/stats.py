@@ -188,6 +188,34 @@ class LatencyStats:
         self.backend_chunks_total += chunks_from_backend
         self.neighbor_chunks_total += chunks_from_neighbors
 
+    def record_miss_block(self, latencies_ms, chunks_from_backend_each: int) -> None:
+        """Batched twin of :meth:`record_read` for a block of uniform misses.
+
+        Equivalent to one ``record_read(latency, HitType.MISS,
+        chunks_from_backend=chunks_from_backend_each)`` call per entry, in
+        order.  The engine's stateless wave dispatch lands whole blocks of
+        backend misses whose only varying field is the latency, so the
+        buffer append and every counter bump collapse into one call.
+        """
+        block = np.asarray(latencies_ms, dtype=np.float64)
+        size = block.shape[0]
+        if size == 0:
+            return
+        count = self._count
+        buffer = self._buffer
+        needed = count + size
+        if needed > buffer.shape[0]:
+            capacity = buffer.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            buffer = np.empty(capacity, dtype=np.float64)
+            buffer[:count] = self._buffer
+            self._buffer = buffer
+        buffer[count:needed] = block
+        self._count = needed
+        self.misses += size
+        self.backend_chunks_total += chunks_from_backend_each * size
+
     # ------------------------------------------------------------------ #
     # Aggregates
     # ------------------------------------------------------------------ #

@@ -21,7 +21,9 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from repro.backend.object_store import ErasureCodedStore
 from repro.cache.base import CacheSnapshot
@@ -226,6 +228,14 @@ class ReadStrategy(ABC):
 
     name: str = "base"
 
+    #: Engine wave dispatch: True on strategies whose ``read_indexed`` is
+    #: stateless (no cache probes, a fixed draw count per read), letting
+    #: the engine sample a whole ready-set's jitter in one call and compose
+    #: the reads through :meth:`compose_indexed_batch`.  The engine batches
+    #: only when every selected region's strategy opts in, the topology is
+    #: fully jittered, and no fault is active.
+    supports_indexed_batch: bool = False
+
     def __init__(self, store: ErasureCodedStore, client_region: str,
                  config: ClientConfig | None = None) -> None:
         self._store = store
@@ -307,6 +317,14 @@ class ReadStrategy(ABC):
         estimate the option discounting uses) instead of from its backend
         bucket — the read-path half of the collaboration §VI sketches: give
         up caching what a nearby cache already holds, and fetch it from there.
+
+        The substitution is per chunk and cost-aware: a catalog chunk is
+        read from the neighbour only when ``neighbor_read_ms`` (the
+        ``Topology.neighbor_link`` expectation) *beats* that chunk's own
+        backend link (``PlacedChunk.latency_ms``).  Chunks whose bucket is
+        closer than the collaborating cache — local-region chunks above
+        all — keep going to the backend; a catalog hit must never make a
+        read slower in expectation.
 
         ``neighbor_jitter`` is the log-normal σ of the neighbour link
         (``Topology.neighbor_link``); when positive, each neighbour chunk
@@ -576,6 +594,21 @@ class ReadStrategy(ABC):
             self._indexed_plans[key_index] = plan
         return plan
 
+    def resolve_indexed_plans(self, key_indices: Iterable[int]) -> None:
+        """Build the read plans of ``key_indices`` in one grouped pass.
+
+        The engine's batched drainer calls this once per run with the
+        distinct key indices of a block, so same-key hits share a single
+        plan resolution instead of racing through the lazy per-read path.
+        Plan construction draws no randomness — prefetching is invisible to
+        the determinism contract.  Already-built plans are skipped.
+        """
+        plans = self._indexed_plans
+        build = self._indexed_plan
+        for key_index in key_indices:
+            if plans[key_index] is None:
+                build(key_index)
+
     def _compose_indexed(self, plan: _IndexedReadPlan, now: float, cache_hits: int,
                          selection: _SelectionRecord,
                          extra_overhead_ms: float = 0.0,
@@ -715,6 +748,118 @@ class BackendReadStrategy(ReadStrategy):
             return self.read(self._indexed_keys[key_index], now)
         plan = self._indexed_plan(key_index)
         return self._compose_indexed(plan, now, 0, plan.selection_for_hits(()))
+
+    supports_indexed_batch = True
+
+    def compose_indexed_batch(self, ranks: Sequence[int], times: Sequence[float],
+                              draws: np.ndarray) -> list[ReadResult]:
+        """Vectorized twin of :meth:`read_indexed` over one engine wave.
+
+        ``draws`` is the wave's slice of the jitter stream — one row of
+        ``data_chunks`` z values per read, in event order.  The engine takes
+        the whole wave's draws through a single
+        ``take_standard_normals_array`` call, so every read sees exactly the
+        values its per-event dispatch would have drawn (a backend read on a
+        fully jittered topology consumes one draw per fetched chunk, no
+        more).  The composition itself is unchanged — per draw group,
+        ``expected * exp(σ · max z)`` with the same float operation order —
+        only the group maxima are reduced in numpy across the wave, so
+        results are bit-identical to sequential ``read_indexed`` calls.
+
+        Only valid while no fault is active (the engine checks per wave;
+        fault transitions land on block boundaries, so the flag is constant
+        across a wave).
+        """
+        exp = math.exp
+        overhead = self._overhead_ms
+        include_decode = self._include_decode
+        by_rank: dict[int, list[int]] = {}
+        for row, rank in enumerate(ranks):
+            bucket = by_rank.get(rank)
+            if bucket is None:
+                by_rank[rank] = [row]
+            else:
+                bucket.append(row)
+        results: list[ReadResult | None] = [None] * len(ranks)
+        for rank, rows in by_rank.items():
+            plan = self._indexed_plan(rank)
+            selection = plan.selection_for_hits(())
+            decode = plan.decode_ms
+            backend_count = selection.count
+            regions = selection.regions
+            key = plan.key
+            block = draws[rows]
+            columns = []
+            for expected, jitter, offsets in selection.groups:
+                if len(offsets) == 1:
+                    column = block[:, offsets[0]]
+                else:
+                    column = block[:, offsets].max(axis=1)
+                columns.append((expected, jitter, column.tolist()))
+            for j, row in enumerate(rows):
+                slowest = 0.0
+                for expected, jitter, largest in columns:
+                    sample = expected * exp(jitter * largest[j])
+                    if sample > slowest:
+                        slowest = sample
+                total = overhead + slowest
+                if include_decode:
+                    total += decode
+                results[row] = ReadResult(
+                    key=key,
+                    latency_ms=total,
+                    hit_type=HitType.MISS,
+                    chunks_from_cache=0,
+                    chunks_from_backend=backend_count,
+                    backend_regions=regions,
+                    started_at_s=times[row],
+                )
+        return results
+
+    def compose_indexed_batch_latencies(self, ranks: Sequence[int],
+                                        draws: np.ndarray) -> list[float]:
+        """:meth:`compose_indexed_batch` minus the :class:`ReadResult`s.
+
+        Every read in a stateless wave is a plain backend miss — the only
+        per-read outputs the engine still needs when results are not kept
+        are the latencies (the stats side collapses into one
+        ``record_miss_block`` call).  Same draw layout, same float
+        arithmetic, bit-identical latencies.
+        """
+        exp = math.exp
+        overhead = self._overhead_ms
+        include_decode = self._include_decode
+        by_rank: dict[int, list[int]] = {}
+        for row, rank in enumerate(ranks):
+            bucket = by_rank.get(rank)
+            if bucket is None:
+                by_rank[rank] = [row]
+            else:
+                bucket.append(row)
+        latencies = [0.0] * len(ranks)
+        for rank, rows in by_rank.items():
+            plan = self._indexed_plan(rank)
+            selection = plan.selection_for_hits(())
+            decode = plan.decode_ms
+            block = draws[rows]
+            columns = []
+            for expected, jitter, offsets in selection.groups:
+                if len(offsets) == 1:
+                    column = block[:, offsets[0]]
+                else:
+                    column = block[:, offsets].max(axis=1)
+                columns.append((expected, jitter, column.tolist()))
+            for j, row in enumerate(rows):
+                slowest = 0.0
+                for expected, jitter, largest in columns:
+                    sample = expected * exp(jitter * largest[j])
+                    if sample > slowest:
+                        slowest = sample
+                total = overhead + slowest
+                if include_decode:
+                    total += decode
+                latencies[row] = total
+        return latencies
 
 
 class FixedChunkCachingStrategy(ReadStrategy):
@@ -1087,15 +1232,19 @@ class AgarReadStrategy(ReadStrategy):
                     missing_hinted.append(placed)
 
         # §VI: needed chunks that missed the local cache but are pinned by a
-        # collaborating neighbour are read from that neighbour's cache.
+        # collaborating neighbour are read from that neighbour's cache —
+        # per chunk, only when the neighbour link beats the chunk's own
+        # backend link (see set_neighbor_catalog).
         exclude = {p.index for p in cache_hits}
         neighbor_chunks = 0
         catalog = self._neighbor_pinned
         if catalog is not None:
+            neighbor_ms = self._neighbor_read_ms
             for placed in self._needed(key):
                 if placed.index in exclude:
                     continue
-                if ChunkId(key=key, index=placed.index) in catalog:
+                if (neighbor_ms < placed.latency_ms
+                        and ChunkId(key=key, index=placed.index) in catalog):
                     neighbor_chunks += 1
                     exclude.add(placed.index)
 
@@ -1161,11 +1310,16 @@ class AgarReadStrategy(ReadStrategy):
             )
         else:
             # §VI twin of the string path: local hits first, then neighbour-
-            # pinned chunks, then the backend selection over the rest.
+            # pinned chunks (where the neighbour link beats the chunk's
+            # backend link), then the backend selection over the rest.
             hit_set = set(hit_positions)
+            needed = plan.needed
+            neighbor_ms = self._neighbor_read_ms
             neighbor_positions = tuple(
                 position for position in range(len(chunk_ids))
-                if position not in hit_set and chunk_ids[position] in catalog
+                if position not in hit_set
+                and neighbor_ms < needed[position].latency_ms
+                and chunk_ids[position] in catalog
             )
             selection = plan.selection_for_hits(tuple(hit_positions), neighbor_positions)
             result = self._compose_indexed(

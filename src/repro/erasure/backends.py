@@ -11,6 +11,10 @@ makes the kernel that executes it *pluggable*:
   ``parallel``).  **Gated**: numba is imported lazily and is never a hard
   dependency — when it is missing (or fails its capability probe) the
   registry falls back to ``numpy`` with a one-time warning.
+* ``numba-packed`` — JIT execution of the *same packed layout* the numpy
+  backend compiles (:meth:`PackedGFMatrix.packed_groups`): one ``uint64``
+  gather per (column, byte) accumulates up to eight output rows, unpacked in
+  registers instead of through a lane view.  Gated exactly like ``numba``.
 * ``naive`` — scalar ``gf_mul`` double loops.  The executable definition the
   fast backends are tested against; far too slow for real payloads.
 
@@ -299,6 +303,109 @@ class NumbaBackend(CodecBackend):
                     data.reshape(-1))
 
 
+def _compile_numba_packed_kernel():
+    """Compile the packed-gather matmul kernel (raises if numba is absent).
+
+    One group of up to eight dense output rows per call: each input byte
+    costs a single 64-bit table gather (instead of one 8-bit gather per
+    row), the XOR reduction over columns runs in a register, and the packed
+    lanes are unpacked with shifts — the same arithmetic
+    :meth:`PackedGFMatrix.apply` performs through numpy views, so the output
+    is bit-identical by construction.
+    """
+    import numba  # deferred: this module must import fine without numba
+
+    @numba.njit(nogil=True, parallel=True, cache=False)
+    def packed_group_into(shards, tables, cols_used, rows_out, out):  # pragma: no cover - JIT
+        length = shards.shape[1]
+        used = cols_used.shape[0]
+        row_count = rows_out.shape[0]
+        blocks = (length + _NUMBA_BLOCK - 1) // _NUMBA_BLOCK
+        for block_index in numba.prange(blocks):
+            start = block_index * _NUMBA_BLOCK
+            end = min(start + _NUMBA_BLOCK, length)
+            for position in range(start, end):
+                accumulator = np.uint64(0)
+                for j in range(used):
+                    col = cols_used[j]
+                    accumulator ^= tables[col, shards[col, position]]
+                packed = accumulator
+                for r in range(row_count):
+                    out[rows_out[r], position] = np.uint8(packed & np.uint64(0xFF))
+                    packed = packed >> np.uint64(8)
+
+    return packed_group_into
+
+
+class _NumbaPackedOperator:
+    """A matrix in the numpy backend's packed layout, run by the JIT kernel.
+
+    The packing itself (row classification, group tables) comes straight
+    from :class:`PackedGFMatrix` — both executors share one layout, they
+    differ only in how the gathered lanes are reduced and unpacked.
+    XOR-only rows stay on the numpy fast path (copies and ``bitwise_xor``
+    reductions saturate memory bandwidth already).
+    """
+
+    def __init__(self, matrix: np.ndarray, packed_group_into) -> None:
+        self._packed = PackedGFMatrix(matrix)
+        self.matrix = self._packed.matrix
+        self._kernel = packed_group_into
+        self._groups = [
+            (
+                rows.astype(np.int64),
+                # uint64 uniformly: zero-extending a uint32 lane table keeps
+                # the packed bits in place and gives the kernel one signature.
+                np.ascontiguousarray(tables.astype(np.uint64)),
+                np.flatnonzero(group.any(axis=0)).astype(np.int64),
+            )
+            for rows, group, tables, _lane in self._packed.packed_groups
+        ]
+
+    def apply(self, shards: np.ndarray) -> np.ndarray:
+        shards = np.ascontiguousarray(np.asarray(shards, dtype=np.uint8))
+        _check_matmul_shapes(self.matrix, shards)
+        out = np.empty((self._packed.rows, shards.shape[1]), dtype=np.uint8)
+        for row, sources in self._packed.simple_rows:
+            if sources.size == 1:
+                np.copyto(out[row], shards[sources[0]])
+            elif sources.size > 1:
+                np.bitwise_xor.reduce(shards[sources], axis=0, out=out[row])
+            else:
+                out[row] = 0
+        for rows, tables, cols_used in self._groups:
+            self._kernel(shards, tables, cols_used, rows, out)
+        return out
+
+
+class NumbaPackedBackend(NumbaBackend):
+    """JIT-compiled packed-gather kernels — numba running numpy's layout.
+
+    The flat :class:`NumbaBackend` pays ``rows`` table gathers per input
+    byte; this backend compiles matrices through :class:`PackedGFMatrix`
+    and pays ``ceil(rows / 8)``, exactly like the numpy backend, while
+    keeping the JIT loop's freedom from transient index/accumulator
+    buffers.  The flat ``mul_bytes``/``addmul_bytes`` kernels are inherited
+    (single-coefficient operations have nothing to pack).  Gated like
+    ``numba``: constructing it imports numba, and the registry's probe
+    falls back to ``numpy`` when that fails.
+    """
+
+    name = "numba-packed"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._packed_kernel = None
+
+    def _ensure_packed_kernel(self):
+        if self._packed_kernel is None:
+            self._packed_kernel = _compile_numba_packed_kernel()
+        return self._packed_kernel
+
+    def compile_matrix(self, matrix: np.ndarray) -> MatrixOperator:
+        return _NumbaPackedOperator(matrix, self._ensure_packed_kernel())
+
+
 # ---------------------------------------------------------------------- #
 # Registry, capability probing and selection
 # ---------------------------------------------------------------------- #
@@ -306,6 +413,7 @@ _FACTORIES: dict[str, Callable[[], CodecBackend]] = {
     "numpy": NumpyBackend,
     "naive": NaiveBackend,
     "numba": NumbaBackend,
+    "numba-packed": NumbaPackedBackend,
 }
 
 #: Singleton backend instances, created on first successful probe.

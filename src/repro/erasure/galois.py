@@ -234,6 +234,28 @@ class PackedGFMatrix:
             )  # (cols, 256)
             self._groups.append((rows, group, tables, lane))
 
+    @property
+    def simple_rows(self) -> list[tuple[int, np.ndarray]]:
+        """``(row, source shard indices)`` pairs of the XOR-only rows.
+
+        Public so alternative executors of the packed layout (the numba
+        packed backend) can share the exact row classification instead of
+        re-deriving it.
+        """
+        return self._simple_rows
+
+    @property
+    def packed_groups(self) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, type]]:
+        """The dense row groups as ``(rows, coefficients, tables, lane)``.
+
+        ``tables`` is the ``(cols, 256)`` packed gather table of the group —
+        the layout contract shared by every packed executor: byte ``b`` of
+        input shard ``col`` contributes ``tables[col][b]``, whose bits
+        ``8·j .. 8·j+7`` hold the GF(256) product for the group's ``j``-th
+        output row.
+        """
+        return self._groups
+
     def apply(self, shards: np.ndarray, block: int = GF_MATMUL_BLOCK) -> np.ndarray:
         """Compute ``matrix @ shards`` over GF(256).
 

@@ -262,6 +262,12 @@ class ReedSolomon:
         decode operator for the pattern runs once per call; results are
         bit-identical to per-object :meth:`decode_shards` with the same
         survivors.
+
+        The batched path makes no defensive copies: when the survivors are
+        exactly the ``k`` data shards in the stack's leading columns, the
+        result is a zero-copy **view** of ``shard_stacks`` (callers that
+        mutate it should copy first), and reconstructed batches come back as
+        a view of the operator's output, which may be non-contiguous.
         """
         stacked = np.asarray(shard_stacks, dtype=np.uint8)
         if stacked.ndim != 3:
@@ -287,19 +293,29 @@ class ReedSolomon:
         order = sorted(range(provided), key=lambda position: index_list[position])
         order = order[: self._data_shards]
         survivors = tuple(index_list[position] for position in order)
-        selected = stacked[:, order, :]
+        if order == list(range(self._data_shards)):
+            # The chosen survivors are the stack's leading columns already:
+            # a basic slice serves them as a view, no gather copy.
+            selected = stacked[:, : self._data_shards, :]
+        else:
+            selected = stacked[:, order, :]
 
         if survivors == tuple(range(self._data_shards)):
-            return np.ascontiguousarray(selected)
+            # Systematic fast path: the data shards themselves survived, so
+            # ``selected`` *is* the answer — a zero-copy view whenever the
+            # slice above applied.
+            return selected
 
         _, operator = self._decode_op(survivors)
         folded = np.ascontiguousarray(selected.transpose(1, 0, 2)).reshape(
             self._data_shards, objects * shard_len
         )
         decoded = operator.apply(folded)
-        return np.ascontiguousarray(
-            decoded.reshape(self._data_shards, objects, shard_len).transpose(1, 0, 2)
-        )
+        # The transpose is a view of the operator's fresh output; forcing it
+        # contiguous would be a whole-batch defensive copy for nothing.
+        return decoded.reshape(
+            self._data_shards, objects, shard_len
+        ).transpose(1, 0, 2)
 
     def _decode_op(self, indices: tuple[int, ...]) -> tuple[np.ndarray, MatrixOperator]:
         """The (inverse matrix, compiled operator) pair for a survivor pattern."""

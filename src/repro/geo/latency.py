@@ -264,6 +264,33 @@ class LatencyModel:
             draws.extend(block)
             remaining -= len(block)
 
+    def take_standard_normals_array(self, count: int) -> np.ndarray:
+        """Take ``count`` sequential draws as a float64 array.
+
+        Delivers the same value stream as :meth:`take_standard_normals`:
+        the remainder of the current block first, then the bulk drawn
+        straight off the generator.  ``standard_normal(a)`` followed by
+        ``standard_normal(b)`` yields the same values as one
+        ``standard_normal(a + b)`` call, so skipping the intermediate
+        1024-draw blocks for the bulk leaves every future draw — scalar or
+        batched — at the same stream position with the same value.  The
+        engine's wave dispatcher uses this to sample an entire ready-set's
+        jitter in one call.
+        """
+        position = self._block_pos
+        block = self._block
+        available = len(block) - position
+        if count <= available:
+            self._block_pos = position + count
+            return np.asarray(block[position:position + count])
+        out = np.empty(count)
+        out[:available] = block[position:]
+        out[available:] = self._rng.standard_normal(count - available)
+        # The buffered block is spent; the next scalar draw refills.
+        self._block = []
+        self._block_pos = 0
+        return out
+
     def _apply_jitter(self, expected_ms: float, jitter: float) -> float:
         if jitter <= 0:
             return expected_ms

@@ -131,6 +131,11 @@ _ARRIVAL_BLOCK = 256
 #: draws from its own deterministic latency-jitter stream.
 _SHARD_SEED_TAG = 15485863
 
+#: Mixed into a region's jitter seed per intra-region sub-shard.  Sub-shard 0
+#: keeps the region's historical seed, so ``shards=1`` regions stay
+#: bit-identical to pre-sharding runs.
+_SUBSHARD_SEED_TAG = 32452843
+
 #: Timer kinds of the lane scheduler's residual heap.  Fault transitions are
 #: one-shot (never re-pushed) and are pushed before the periodic timers, so at
 #: equal timestamps a fault state change precedes a collaboration round or a
@@ -156,6 +161,14 @@ class RegionSpec:
             deployment-wide :attr:`EngineConfig.agar`.  Regions with a
             capacity override usually pair it with tunables adapted to that
             capacity (see ``agar_config_for_capacity``).
+        shards: how many :meth:`EventEngine.execute_sharded` workers this
+            region's clients split across (intra-region sharding for hot
+            regions).  Each sub-shard runs a contiguous slice of the region's
+            lanes against its own copy-on-write strategy/cache copy and its
+            own derived jitter stream; the region's stats merge via
+            ``LatencyStats.merge_all``.  ``1`` (default) is bit-identical to
+            pre-sharding behaviour; in-process (``execute``/
+            ``execute_reference``) runs ignore the split entirely.
     """
 
     region: str
@@ -163,12 +176,17 @@ class RegionSpec:
     strategy: str = "agar"
     cache_capacity_bytes: int | None = None
     agar: AgarNodeConfig | None = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.clients <= 0:
             raise ValueError("clients must be positive")
         if self.cache_capacity_bytes is not None and self.cache_capacity_bytes <= 0:
             raise ValueError("cache_capacity_bytes must be positive when set")
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
+        if self.shards > self.clients:
+            raise ValueError("shards cannot exceed clients")
 
 
 @dataclass(frozen=True)
@@ -426,7 +444,8 @@ class _LaneRun:
 
     def __init__(self, engine: "EventEngine", deployment: EngineDeployment,
                  seed: int, region_indices, *,
-                 external_collaboration: bool = False) -> None:
+                 external_collaboration: bool = False,
+                 lane_shard: tuple[int, int] | None = None) -> None:
         config = engine._config
         self._deployment = deployment
         self._config = config
@@ -463,19 +482,29 @@ class _LaneRun:
 
         # Struct-of-arrays lanes.  Ranks are plain Python lists (fastest
         # scalar indexing); next-event times live in a float64 array for the
-        # argmin.  Open-loop lanes pre-draw exponential blocks per client.
+        # vectorized ready-set extraction.  Open-loop lanes draw exponential
+        # blocks per client lazily on first use (a million closed-loop lanes
+        # allocate no arrival state at all, and a million open-loop lanes no
+        # per-lane empties).
         lane_region: list[int] = []
         self.lane_ranks: list[list[int]] = []
         self.lane_rng: list[np.random.Generator] = []
-        self.lane_block: list[list[float]] = []
+        self.lane_block: list[list[float] | None] = []
         self.lane_block_pos: list[int] = []
         self.mean_interarrival = arrival.mean_interarrival_s if self._open_loop else 0.0
+        # Intra-region sharding: this run owns only the contiguous
+        # [low, high) slice of each selected region's clients.  Global client
+        # numbering is unchanged, so a lane replays the same request and
+        # arrival streams regardless of which sub-shard runs it.
+        shard_index, shard_count = lane_shard if lane_shard is not None else (0, 1)
         global_index = 0
         for region_index, spec in enumerate(config.regions):
-            for _ in range(spec.clients):
+            low = shard_index * spec.clients // shard_count
+            high = (shard_index + 1) * spec.clients // shard_count
+            for position in range(spec.clients):
                 client_index = global_index
                 global_index += 1
-                if region_index not in selected:
+                if region_index not in selected or not low <= position < high:
                     continue
                 ranks = generate_request_ranks(
                     workload, seed=seed + CLIENT_SEED_STRIDE * client_index
@@ -485,22 +514,24 @@ class _LaneRun:
                 lane_region.append(region_index)
                 self.lane_ranks.append(ranks.tolist())
                 if self._open_loop:
-                    self.lane_rng.append(np.random.default_rng(
-                        (seed, _ARRIVAL_SEED_TAG, client_index)
-                    ))
-                    self.lane_block.append([])
+                    # Bit-identical to default_rng((seed, tag, client)) minus
+                    # the argument dispatch — one generator per lane makes the
+                    # constructor itself a construction hot path.
+                    self.lane_rng.append(np.random.Generator(np.random.PCG64(
+                        np.random.SeedSequence((seed, _ARRIVAL_SEED_TAG, client_index))
+                    )))
+                    self.lane_block.append(None)
                     self.lane_block_pos.append(0)
 
         lanes = len(lane_region)
         self.lanes = lanes
 
         self.next_time = np.empty(max(lanes, 1), dtype=np.float64)
-        self.times: list[float] = [0.0] * lanes
-        for lane in range(lanes):
-            first = (self.start + self._next_interarrival(lane) if self._open_loop
-                     else self.start)
-            self.next_time[lane] = first
-            self.times[lane] = first
+        if self._open_loop:
+            for lane in range(lanes):
+                self.next_time[lane] = self.start + self._next_interarrival(lane)
+        else:
+            self.next_time[:lanes] = self.start
 
         # Residual priority structure: the deployment's few periodic timers
         # plus the one-shot fault transitions.
@@ -553,12 +584,22 @@ class _LaneRun:
                         )
                         self.timer_seq += 1
 
-        # Per-lane bound callables: no dict/attribute lookups in the loop.
-        self.lane_read = [strategies[region_index].read_indexed
-                          for region_index in lane_region]
-        self.lane_record = [self.region_stats[region_index].record_read
-                            for region_index in lane_region]
-        self.lane_kept = [self.region_kept[region_index] for region_index in lane_region]
+        # Per-region bound callables reached through the lane's region index:
+        # a few bound methods per deployment instead of three per lane (at a
+        # million lanes the per-lane bound-method lists alone cost hundreds of
+        # megabytes), at the price of one extra list index per event.
+        self.lane_region = lane_region
+        region_count = len(config.regions)
+        self.region_read: list = [None] * region_count
+        self.region_record: list = [None] * region_count
+        self.region_kept_lists: list = [None] * region_count
+        self.region_resolve: list = [None] * region_count
+        for region_index in region_indices:
+            strategy = strategies[region_index]
+            self.region_read[region_index] = strategy.read_indexed
+            self.region_resolve[region_index] = strategy.resolve_indexed_plans
+            self.region_record[region_index] = self.region_stats[region_index].record_read
+            self.region_kept_lists[region_index] = self.region_kept[region_index]
         self.lane_pos = [0] * lanes
         self.lane_end = [len(ranks) for ranks in self.lane_ranks]
 
@@ -566,14 +607,48 @@ class _LaneRun:
         # insertion order.  With jitter on every link a collision is a
         # measure-zero float coincidence, and the one systematic collision —
         # all closed-loop lanes starting at `start` — already resolves
-        # correctly because argmin's first-index tie-break equals the initial
-        # scheduling order.  Zero-jitter topologies (e.g. table1) make exact
-        # ties routine, so there each lane carries the sequence number its
-        # current event was scheduled with (mirroring the reference's push
-        # counter) and tied lanes resolve to the smallest one.
+        # correctly because the drain heap's (time, lane) entries pop in lane
+        # order at equal times, which equals the initial scheduling order.
+        # Zero-jitter topologies (e.g. table1) make exact ties routine, so
+        # there each lane carries the sequence number its current event was
+        # scheduled with (mirroring the reference's push counter) and tied
+        # lanes resolve to the smallest one.
         self.guard_ties = not engine._topology.latency.fully_jittered
-        self.lane_schedule_seq = list(range(lanes))
+        self.lane_schedule_seq = list(range(lanes)) if self.guard_ties else None
         self.schedule_counter = lanes
+        self._plans_resolved = False
+
+        # Wave dispatch (closed loop, jittered topologies): every read costs
+        # at least the client overhead, so arrivals inside
+        # [m, m + overhead) can never be rescheduled back into that window —
+        # the window is a sorted one-shot "wave" needing no drain heap at
+        # all.  When on top of that every selected strategy composes reads
+        # statelessly (backend reads never probe a cache and consume exactly
+        # one jitter draw per fetched chunk on a fully jittered topology),
+        # the whole wave's draws collapse into one batched sample and the
+        # reads into one grouped compose per region.
+        self._min_gap = (0.0 if self._open_loop
+                         else config.client.overhead_ms / 1000.0)
+        self._selected_strategies = [strategies[region_index]
+                                     for region_index in region_indices]
+        self._latency_model = deployment.store.topology.latency
+        self.region_batch: list = [None] * region_count
+        self.region_batch_latencies: list = [None] * region_count
+        self.region_record_block: list = [None] * region_count
+        self._draws_per_read = 0
+        if (not self.guard_ties and not self._open_loop and self._min_gap > 0.0
+                and all(strategy.supports_indexed_batch
+                        for strategy in self._selected_strategies)):
+            self._draws_per_read = deployment.store.params.data_chunks
+            for region_index in region_indices:
+                strategy = strategies[region_index]
+                self.region_batch[region_index] = strategy.compose_indexed_batch
+                self.region_batch_latencies[region_index] = (
+                    strategy.compose_indexed_batch_latencies
+                )
+                self.region_record_block[region_index] = (
+                    self.region_stats[region_index].record_miss_block
+                )
 
         self.remaining = lanes
         self.last_completion = self.start
@@ -581,7 +656,7 @@ class _LaneRun:
     def _next_interarrival(self, lane: int) -> float:
         block = self.lane_block[lane]
         position = self.lane_block_pos[lane]
-        if position >= len(block):
+        if block is None or position >= len(block):
             block = self.lane_rng[lane].exponential(
                 self.mean_interarrival, _ARRIVAL_BLOCK
             ).tolist()
@@ -595,12 +670,41 @@ class _LaneRun:
         """Requests not yet processed across this run's lanes."""
         return sum(end - pos for end, pos in zip(self.lane_end, self.lane_pos))
 
+    def _resolve_first_block(self, lanes: list[int], ranks: list[int]) -> None:
+        """Resolve the first block's distinct read plans per region.
+
+        Same-key hits share one resolution; later blocks resolve any
+        still-unseen keys lazily inside ``read_indexed``.
+        """
+        self._plans_resolved = True
+        lane_region = self.lane_region
+        by_region: dict[int, set[int]] = {}
+        for lane, rank in zip(lanes, ranks):
+            by_region.setdefault(lane_region[lane], set()).add(rank)
+        for region_index, region_ranks in by_region.items():
+            self.region_resolve[region_index](region_ranks)
+
     def run_until(self, limit: float | None) -> None:
         """Process events strictly before ``limit`` (None = run to completion).
 
         Events at exactly ``limit`` are left pending: the caller's boundary
         work (a collaboration round, mirroring a priority-0 timer) happens
         before them.
+
+        Batched ready-set draining: each step of the outer loop fires the
+        timers due at the earliest pending arrival, computes the *safe
+        horizon* — the earliest residual timer still pending (the only
+        cross-lane interaction point), capped by ``limit`` — and extracts
+        every lane whose next event falls strictly inside it in one
+        vectorized mask over ``next_time``.  The block drains through a small
+        local heap: arrivals rescheduled inside the horizon re-enter it,
+        later ones just update ``next_time`` for the next step.  Event times
+        are monotone non-decreasing (a closed-loop completion is never before
+        its arrival, an open-loop gap never negative), so no lane outside the
+        block can produce an event inside the horizon and the global event
+        order — and with it every jitter draw — is exactly the reference
+        scheduler's.  A timer-free run drains in a single block; per-event
+        work drops from an O(lanes) ``argmin`` to an O(log block) heap pop.
         """
         deployment = self._deployment
         clock = self._clock
@@ -610,7 +714,6 @@ class _LaneRun:
         keep = self._keep
         horizon = math.inf if limit is None else limit
 
-        times = self.times
         next_time = self.next_time
         timer_heap = self.timer_heap
         timer_seq = self.timer_seq
@@ -619,34 +722,39 @@ class _LaneRun:
         guard_ties = self.guard_ties
         lane_schedule_seq = self.lane_schedule_seq
         schedule_counter = self.schedule_counter
-        lane_read = self.lane_read
-        lane_record = self.lane_record
-        lane_kept = self.lane_kept
+        lane_region = self.lane_region
+        region_read = self.region_read
+        region_record = self.region_record
+        region_kept = self.region_kept_lists
         lane_pos = self.lane_pos
         lane_end = self.lane_end
         lane_ranks = self.lane_ranks
         next_interarrival = self._next_interarrival
         remaining = self.remaining
         last_completion = self.last_completion
-        argmin = next_time.argmin
+        minimum = next_time.min
         heappush = heapq.heappush
         heappop = heapq.heappop
+        heapify = heapq.heapify
         infinity = math.inf
+        min_gap = self._min_gap
+        use_waves = min_gap > 0.0 and not guard_ties
+        draws_per_read = self._draws_per_read
+        selected_strategies = self._selected_strategies
+        latency_model = self._latency_model
+        region_batch = self.region_batch
+        region_batch_latencies = self.region_batch_latencies
+        region_record_block = self.region_record_block
+        single_region = len(self.region_indices) == 1
+        only_region = self.region_indices[0] if single_region else -1
 
         while remaining:
-            lane = int(argmin())
-            event_time = times[lane]
-            if event_time >= horizon:
+            block_start = float(minimum())
+            if block_start >= horizon:
                 break
-            if guard_ties:
-                tied = np.flatnonzero(next_time == event_time)
-                if tied.shape[0] > 1:
-                    for candidate in tied.tolist():
-                        if lane_schedule_seq[candidate] < lane_schedule_seq[lane]:
-                            lane = candidate
             # Timers due before (or exactly at) the next arrival fire first —
             # the reference's (time, priority, seq) order with _PRIO_TIMER 0.
-            while timer_heap and timer_heap[0][0] <= event_time:
+            while timer_heap and timer_heap[0][0] <= block_start:
                 timer_time, _seq, kind, region_index, period = heappop(timer_heap)
                 clock._now_s = timer_time
                 if kind == _TIMER_FAULT:
@@ -663,37 +771,228 @@ class _LaneRun:
                     strategies[region_index].tick(timer_time)
                 heappush(timer_heap, (timer_time + period, timer_seq, kind, region_index, period))
                 timer_seq += 1
-            # Direct slot write instead of clock.advance_to: the scheduler's
-            # argmin guarantees monotonically non-decreasing event times, so
-            # the method call and its past-check are pure per-event overhead.
-            clock._now_s = event_time
 
-            position = lane_pos[lane]
-            result = lane_read[lane](lane_ranks[lane][position], event_time)
-            latency_ms = result.latency_ms
-            completion = event_time + latency_ms / 1000.0
-            if completion > last_completion:
-                last_completion = completion
-            if position >= warmup:
-                lane_record[lane](latency_ms, result.hit_type,
-                                  result.chunks_from_cache, result.chunks_from_backend,
-                                  result.chunks_from_neighbors, result.degraded,
-                                  result.failed)
-            if keep:
-                lane_kept[lane].append(result)
-            position += 1
-            lane_pos[lane] = position
-            if position < lane_end[lane]:
-                upcoming = (event_time + next_interarrival(lane) if open_loop
-                            else completion)
-                times[lane] = upcoming
-                next_time[lane] = upcoming
-                if guard_ties:
-                    lane_schedule_seq[lane] = schedule_counter
-                    schedule_counter += 1
+            # Safe horizon of this block: every arrival strictly before the
+            # earliest pending timer (all due ones just fired, so the heap
+            # top is > block_start) can be processed without a lane/timer
+            # interaction; the run limit caps it further.
+            block_end = timer_heap[0][0] if timer_heap else horizon
+            if block_end > horizon:
+                block_end = horizon
+
+            if use_waves:
+                # Closed-loop wave: a read's completion lands at least
+                # min_gap (= client overhead, the latency floor on every
+                # path, faults included) after its arrival, so nothing
+                # dispatched inside [block_start, block_start + min_gap) can
+                # be rescheduled back into that window.  Sort the window's
+                # arrivals once — ties keep ascending lane order, exactly the
+                # drain heap's (time, lane) rule — and process them with no
+                # heap at all.
+                wave_end = block_start + min_gap
+                if wave_end > block_end:
+                    wave_end = block_end
+                ready = np.flatnonzero(next_time < wave_end)
+                unordered_times = next_time[ready]
+                order = unordered_times.argsort(kind="stable")
+                times_arr = unordered_times[order]
+                wave_lanes = ready[order].tolist()
+                wave_ranks = [lane_ranks[lane][lane_pos[lane]]
+                              for lane in wave_lanes]
+                if not self._plans_resolved:
+                    self._resolve_first_block(wave_lanes, wave_ranks)
+
+                if draws_per_read and not any(
+                        strategy._faulted for strategy in selected_strategies):
+                    # Stateless wave: one batched jitter sample for the whole
+                    # wave (the stream is shared across regions, so it must
+                    # be taken once, in global event order), then one grouped
+                    # compose per region.  Records land in per-region stats,
+                    # whose order each region's ascending row subset
+                    # preserves.
+                    count = len(wave_lanes)
+                    draws = latency_model.take_standard_normals_array(
+                        draws_per_read * count).reshape(count, draws_per_read)
+                    if single_region:
+                        region_groups = [(only_region, None)]
+                    else:
+                        rows_by_region: dict[int, list[int]] = {}
+                        for row, lane in enumerate(wave_lanes):
+                            rows_by_region.setdefault(
+                                lane_region[lane], []).append(row)
+                        region_groups = list(rows_by_region.items())
+                    for region_index, rows in region_groups:
+                        if rows is None:
+                            row_lanes = wave_lanes
+                            row_ranks = wave_ranks
+                            row_times = times_arr
+                            row_draws = draws
+                        else:
+                            row_lanes = [wave_lanes[row] for row in rows]
+                            row_ranks = [wave_ranks[row] for row in rows]
+                            row_times = times_arr[rows]
+                            row_draws = draws[rows]
+                        if keep:
+                            # Kept runs need the full ReadResults anyway;
+                            # record and collect them per event.
+                            times_list = row_times.tolist()
+                            results = region_batch[region_index](
+                                row_ranks, times_list, row_draws)
+                            record = region_record[region_index]
+                            kept_list = region_kept[region_index]
+                            for result, lane, event_time in zip(
+                                    results, row_lanes, times_list):
+                                latency_ms = result.latency_ms
+                                completion = event_time + latency_ms / 1000.0
+                                if completion > last_completion:
+                                    last_completion = completion
+                                position = lane_pos[lane]
+                                if position >= warmup:
+                                    record(latency_ms, result.hit_type,
+                                           result.chunks_from_cache,
+                                           result.chunks_from_backend,
+                                           result.chunks_from_neighbors,
+                                           result.degraded, result.failed)
+                                kept_list.append(result)
+                                position += 1
+                                lane_pos[lane] = position
+                                if position < lane_end[lane]:
+                                    next_time[lane] = completion
+                                else:
+                                    next_time[lane] = infinity
+                                    remaining -= 1
+                            continue
+                        # No kept results: every read is a uniform backend
+                        # miss, so stats collapse into one block record and
+                        # the completions vectorize.
+                        latencies = region_batch_latencies[region_index](
+                            row_ranks, row_draws)
+                        completions = row_times + np.asarray(latencies) / 1000.0
+                        top = completions.max()
+                        if top > last_completion:
+                            last_completion = float(top)
+                        completions_list = completions.tolist()
+                        if warmup:
+                            recorded = []
+                            recorded_append = recorded.append
+                            for lane, completion, latency_ms in zip(
+                                    row_lanes, completions_list, latencies):
+                                position = lane_pos[lane]
+                                if position >= warmup:
+                                    recorded_append(latency_ms)
+                                position += 1
+                                lane_pos[lane] = position
+                                if position < lane_end[lane]:
+                                    next_time[lane] = completion
+                                else:
+                                    next_time[lane] = infinity
+                                    remaining -= 1
+                        else:
+                            recorded = latencies
+                            for lane, completion in zip(
+                                    row_lanes, completions_list):
+                                position = lane_pos[lane] + 1
+                                lane_pos[lane] = position
+                                if position < lane_end[lane]:
+                                    next_time[lane] = completion
+                                else:
+                                    next_time[lane] = infinity
+                                    remaining -= 1
+                        region_record_block[region_index](
+                            recorded, draws_per_read)
+                    clock._now_s = float(times_arr[-1])
+                else:
+                    for lane, event_time, rank in zip(
+                            wave_lanes, times_arr.tolist(), wave_ranks):
+                        clock._now_s = event_time
+                        region_index = lane_region[lane]
+                        result = region_read[region_index](rank, event_time)
+                        latency_ms = result.latency_ms
+                        completion = event_time + latency_ms / 1000.0
+                        if completion > last_completion:
+                            last_completion = completion
+                        position = lane_pos[lane]
+                        if position >= warmup:
+                            region_record[region_index](
+                                latency_ms, result.hit_type,
+                                result.chunks_from_cache,
+                                result.chunks_from_backend,
+                                result.chunks_from_neighbors,
+                                result.degraded, result.failed)
+                        if keep:
+                            region_kept[region_index].append(result)
+                        position += 1
+                        lane_pos[lane] = position
+                        if position < lane_end[lane]:
+                            next_time[lane] = completion
+                        else:
+                            next_time[lane] = infinity
+                            remaining -= 1
+                continue
+
+            ready = np.flatnonzero(next_time < block_end)
+            ready_list = ready.tolist()
+            ready_times = next_time[ready].tolist()
+            # Batched rank lookup for the block's due events; the first block
+            # additionally resolves the distinct keys' read plans per region
+            # in one grouped pass (same-key hits share one resolution).
+            block_ranks = [lane_ranks[lane][lane_pos[lane]] for lane in ready_list]
+            if not self._plans_resolved:
+                self._resolve_first_block(ready_list, block_ranks)
+
+            # Drain the block in exact event order through a local heap.
+            # Entry layouts make heap ties resolve exactly like the reference:
+            # (time, lane, rank) pops the smallest lane index at equal times
+            # (the argmin/insertion-order rule); tie-guarded topologies use
+            # (time, schedule_seq, lane, rank), the reference's push counter.
+            if guard_ties:
+                local = [(event_time, lane_schedule_seq[lane], lane, rank)
+                         for event_time, lane, rank
+                         in zip(ready_times, ready_list, block_ranks)]
             else:
-                next_time[lane] = infinity
-                remaining -= 1
+                local = list(zip(ready_times, ready_list, block_ranks))
+            heapify(local)
+            while local:
+                entry = heappop(local)
+                event_time = entry[0]
+                lane = entry[-2]
+                # Direct slot write instead of clock.advance_to: the drain
+                # order guarantees monotonically non-decreasing event times,
+                # so the method call and its past-check are pure overhead.
+                clock._now_s = event_time
+                region_index = lane_region[lane]
+                result = region_read[region_index](entry[-1], event_time)
+                latency_ms = result.latency_ms
+                completion = event_time + latency_ms / 1000.0
+                if completion > last_completion:
+                    last_completion = completion
+                position = lane_pos[lane]
+                if position >= warmup:
+                    region_record[region_index](
+                        latency_ms, result.hit_type,
+                        result.chunks_from_cache, result.chunks_from_backend,
+                        result.chunks_from_neighbors, result.degraded,
+                        result.failed)
+                if keep:
+                    region_kept[region_index].append(result)
+                position += 1
+                lane_pos[lane] = position
+                if position < lane_end[lane]:
+                    upcoming = (event_time + next_interarrival(lane) if open_loop
+                                else completion)
+                    next_time[lane] = upcoming
+                    if guard_ties:
+                        sequence = schedule_counter
+                        schedule_counter += 1
+                        lane_schedule_seq[lane] = sequence
+                        if upcoming < block_end:
+                            heappush(local, (upcoming, sequence, lane,
+                                             lane_ranks[lane][position]))
+                    elif upcoming < block_end:
+                        heappush(local, (upcoming, lane, lane_ranks[lane][position]))
+                else:
+                    next_time[lane] = infinity
+                    remaining -= 1
 
         self.timer_seq = timer_seq
         self.schedule_counter = schedule_counter
@@ -726,6 +1025,15 @@ def _shard_jitter_seed(seed: int, region_index: int) -> int:
     return seed + _SHARD_SEED_TAG * (region_index + 1)
 
 
+def _subshard_jitter_seed(seed: int, region_index: int, shard_index: int) -> int:
+    """Deterministic jitter seed of one intra-region sub-shard.
+
+    Sub-shard 0 keeps :func:`_shard_jitter_seed`'s value, so single-shard
+    regions reproduce pre-sharding runs bit-exactly.
+    """
+    return _shard_jitter_seed(seed, region_index) + _SUBSHARD_SEED_TAG * shard_index
+
+
 def _install_neighbor_catalogs(deployment: EngineDeployment,
                                profiles: dict[str, tuple[float, float]]) -> None:
     """Hand every region the union of the *other* regions' pinned chunks.
@@ -747,15 +1055,17 @@ def _install_neighbor_catalogs(deployment: EngineDeployment,
 
 
 def _shard_worker(engine: "EventEngine", deployment: EngineDeployment, seed: int,
-                  region_index: int, connection) -> None:
-    """Body of one forked region worker: run the shard, ship the result back.
+                  region_index: int, shard_index: int, shard_count: int,
+                  connection) -> None:
+    """Body of one forked (sub-)shard worker: run it, ship the result back.
 
     Module-level so the fork start method can run it; the engine and the
-    deployment are inherited through fork (copy-on-write), only the per-region
+    deployment are inherited through fork (copy-on-write), only the shard's
     result travels through the pipe.
     """
     try:
-        payload: object = engine._execute_region_shard(deployment, seed, region_index)
+        payload: object = engine._execute_region_shard(
+            deployment, seed, region_index, shard_index, shard_count)
     except BaseException as error:  # pragma: no cover - transport for the parent
         payload = error
     try:
@@ -765,7 +1075,8 @@ def _shard_worker(engine: "EventEngine", deployment: EngineDeployment, seed: int
 
 
 def _collab_shard_worker(engine: "EventEngine", deployment: EngineDeployment,
-                         seed: int, region_index: int, connection) -> None:
+                         seed: int, region_index: int, shard_index: int,
+                         shard_count: int, connection) -> None:
     """Body of one forked *collaborative* region worker.
 
     Unlike :func:`_shard_worker` this is a command loop: the parent drives the
@@ -787,6 +1098,8 @@ def _collab_shard_worker(engine: "EventEngine", deployment: EngineDeployment,
     """
     try:
         run = engine._begin_region_shard(deployment, seed, region_index,
+                                         shard_index=shard_index,
+                                         shard_count=shard_count,
                                          external_collaboration=True)
         node = deployment.strategies[region_index].node
         region_name = engine._config.regions[region_index].region
@@ -873,11 +1186,14 @@ class _LocalShard:
     """
 
     def __init__(self, engine: "EventEngine", deployment: EngineDeployment,
-                 seed: int, region_index: int) -> None:
+                 seed: int, region_index: int, shard_index: int = 0,
+                 shard_count: int = 1) -> None:
         self._engine = engine
         self._deployment = deployment
         self._region_index = region_index
         self._run = engine._begin_region_shard(deployment, seed, region_index,
+                                               shard_index=shard_index,
+                                               shard_count=shard_count,
                                                external_collaboration=True)
         self._node = deployment.strategies[region_index].node
         region_name = engine._config.regions[region_index].region
@@ -1276,16 +1592,23 @@ class EventEngine:
     # ------------------------------------------------------------------ #
     def _begin_region_shard(self, deployment: EngineDeployment, seed: int,
                             region_index: int, *,
+                            shard_index: int = 0, shard_count: int = 1,
                             external_collaboration: bool = False) -> _LaneRun:
         """Reseed a shard's latency model and build its (resumable) lane run.
 
         Runs either inside a forked worker (deployment inherited
         copy-on-write) or against a deep copy (the in-process fallback) —
-        both mutate only their private copy, bit-identically.
+        both mutate only their private copy, bit-identically.  With
+        ``shard_count > 1`` the run covers only the region's
+        ``shard_index``-th contiguous client slice, drawing jitter from its
+        own sub-shard stream.
         """
-        deployment.store.topology.latency.reseed(_shard_jitter_seed(seed, region_index))
+        deployment.store.topology.latency.reseed(
+            _subshard_jitter_seed(seed, region_index, shard_index)
+        )
         return _LaneRun(self, deployment, seed, [region_index],
-                        external_collaboration=external_collaboration)
+                        external_collaboration=external_collaboration,
+                        lane_shard=(shard_index, shard_count))
 
     def _shard_result(self, deployment: EngineDeployment, region_index: int,
                       outcome: _LaneOutcome) -> RegionRunResult:
@@ -1302,9 +1625,12 @@ class EventEngine:
         )
 
     def _execute_region_shard(self, deployment: EngineDeployment, seed: int,
-                              region_index: int) -> RegionRunResult:
-        """Run one non-collaborative region shard start to finish."""
-        run = self._begin_region_shard(deployment, seed, region_index)
+                              region_index: int, shard_index: int = 0,
+                              shard_count: int = 1) -> RegionRunResult:
+        """Run one non-collaborative (sub-)shard start to finish."""
+        run = self._begin_region_shard(deployment, seed, region_index,
+                                       shard_index=shard_index,
+                                       shard_count=shard_count)
         run.run_until(None)
         return self._shard_result(deployment, region_index, run.finish())
 
@@ -1351,15 +1677,22 @@ class EventEngine:
         if processes is None:
             processes = "fork" in multiprocessing.get_all_start_methods()
 
-        region_results: list[RegionRunResult] = []
-        if processes and len(config.regions) > 1:
+        # One job per (region, sub-shard): a region with shards > 1 splits
+        # its lanes across that many workers (intra-region sharding).
+        jobs = [(region_index, shard_index, spec.shards)
+                for region_index, spec in enumerate(config.regions)
+                for shard_index in range(spec.shards)]
+
+        shard_results: list[RegionRunResult] = []
+        if processes and len(jobs) > 1:
             context = multiprocessing.get_context("fork")
             workers = []
-            for region_index in range(len(config.regions)):
+            for region_index, shard_index, shard_count in jobs:
                 receiver, sender = context.Pipe(duplex=False)
                 worker = context.Process(
                     target=_shard_worker,
-                    args=(self, deployment, seed, region_index, sender),
+                    args=(self, deployment, seed, region_index, shard_index,
+                          shard_count, sender),
                 )
                 worker.start()
                 sender.close()
@@ -1369,20 +1702,51 @@ class EventEngine:
                 worker.join()
                 if isinstance(payload, BaseException):
                     raise payload
-                region_results.append(payload)
+                shard_results.append(payload)
         else:
-            for region_index in range(len(config.regions)):
+            for region_index, shard_index, shard_count in jobs:
                 shard = copy.deepcopy(deployment)
-                region_results.append(
-                    self._execute_region_shard(shard, seed, region_index)
+                shard_results.append(
+                    self._execute_region_shard(shard, seed, region_index,
+                                               shard_index, shard_count)
                 )
 
+        region_results = self._merge_shard_results(jobs, shard_results)
         duration = max((result.duration_s for result in region_results), default=0.0)
         return EngineResult(
             workload_name=config.workload.name,
             duration_s=duration,
             regions={result.region: result for result in region_results},
         )
+
+    def _merge_shard_results(self, jobs, shard_results) -> list[RegionRunResult]:
+        """Fold per-(region, sub-shard) results into per-region results.
+
+        Stats merge through ``LatencyStats.merge_all`` (one buffer pass),
+        kept results concatenate in sub-shard order, the duration is the
+        slowest sub-shard's, and the reported cache snapshot is sub-shard
+        0's (the sub-shards' caches are independent copies; snapshot-based
+        assertions should pin ``shards=1``).
+        """
+        by_region: dict[int, list[RegionRunResult]] = {}
+        for (region_index, _shard_index, _shard_count), result in zip(jobs, shard_results):
+            by_region.setdefault(region_index, []).append(result)
+        merged: list[RegionRunResult] = []
+        for region_index, parts in by_region.items():
+            if len(parts) == 1:
+                merged.append(parts[0])
+                continue
+            spec = self._config.regions[region_index]
+            merged.append(RegionRunResult(
+                region=spec.region,
+                strategy=spec.strategy,
+                clients=spec.clients,
+                stats=LatencyStats.merge_all(part.stats for part in parts),
+                duration_s=max(part.duration_s for part in parts),
+                cache_snapshot=parts[0].cache_snapshot,
+                results=[result for part in parts for result in part.results],
+            ))
+        return merged
 
     def _execute_sharded_collaborative(self, deployment: EngineDeployment, seed: int,
                                        processes: bool | None = None) -> EngineResult:
@@ -1421,41 +1785,57 @@ class EventEngine:
         if processes is None:
             processes = "fork" in multiprocessing.get_all_start_methods()
 
+        # One worker per (region, sub-shard).  Sub-shards of one region run
+        # independent lane slices (own node/cache copies) but move through
+        # the same segment/round boundaries; the region's outward
+        # announcement is its sub-shard 0's (the designated announcer).
+        jobs = [(region_index, shard_index, spec.shards)
+                for region_index, spec in enumerate(config.regions)
+                for shard_index in range(spec.shards)]
+
         shards: list[_PipeShard | _LocalShard] = []
-        if processes and region_count > 1:
+        if processes and len(jobs) > 1:
             context = multiprocessing.get_context("fork")
-            for region_index in range(region_count):
+            for region_index, shard_index, shard_count in jobs:
                 parent_end, worker_end = context.Pipe(duplex=True)
                 worker = context.Process(
                     target=_collab_shard_worker,
-                    args=(self, deployment, seed, region_index, worker_end),
+                    args=(self, deployment, seed, region_index, shard_index,
+                          shard_count, worker_end),
                 )
                 worker.start()
                 worker_end.close()
                 shards.append(_PipeShard(worker, parent_end))
         else:
-            for region_index in range(region_count):
+            for region_index, shard_index, shard_count in jobs:
                 shard_deployment = copy.deepcopy(deployment)
-                shards.append(_LocalShard(self, shard_deployment, seed, region_index))
+                shards.append(_LocalShard(self, shard_deployment, seed,
+                                          region_index, shard_index, shard_count))
 
         announcements: list[NeighborAnnouncement | None] = [None] * region_count
         catalogs: list[frozenset | None] = [None] * region_count
         try:
             boundary = start + period
             while True:
-                for region_index, shard in enumerate(shards):
+                for (region_index, _shard, _count), shard in zip(jobs, shards):
                     shard.start_segment(boundary, catalogs[region_index])
                 total_remaining = 0
-                for region_index, shard in enumerate(shards):
+                for (region_index, shard_index, _count), shard in zip(jobs, shards):
                     remaining, announcement = shard.finish_segment()
-                    announcements[region_index] = announcement
+                    if shard_index == 0:
+                        announcements[region_index] = announcement
                     total_remaining += remaining
                 if total_remaining == 0:
                     break
-                for region_index, shard in enumerate(shards):
+                for region_index in range(region_count):
                     neighbours = [announcements[other] for other in range(region_count)
                                   if other != region_index]
-                    announcements[region_index] = shard.round(boundary, neighbours)
+                    for (job_region, shard_index, _count), shard in zip(jobs, shards):
+                        if job_region != region_index:
+                            continue
+                        announcement = shard.round(boundary, neighbours)
+                        if shard_index == 0:
+                            announcements[region_index] = announcement
                 # The next segment starts with the round's *final* catalogs
                 # (every region's new configuration), matching the in-process
                 # engine, which installs catalogs after the whole round.
@@ -1467,12 +1847,13 @@ class EventEngine:
                     for region_index in range(region_count)
                 ]
                 boundary += period
-            region_results = [shard.finish() for shard in shards]
+            shard_results = [shard.finish() for shard in shards]
         except BaseException:
             for shard in shards:
                 shard.terminate()
             raise
 
+        region_results = self._merge_shard_results(jobs, shard_results)
         deployment.coordinator.install_announcements(
             [announcement for announcement in announcements if announcement is not None]
         )

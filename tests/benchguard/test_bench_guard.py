@@ -114,7 +114,10 @@ class TestLoadBaseline:
         ci_path = run_bench.BASELINE_PATH.with_name("ci_baseline.json")
         means, tolerances = run_bench.load_baseline(ci_path)
         for name in ("test_bench_codec_encode_many",
-                     "test_bench_engine_scale_closed_loop"):
+                     "test_bench_codec_packed_numba",
+                     "test_bench_engine_scale_closed_loop",
+                     "test_bench_engine_faulted",
+                     "test_bench_engine_million_lane"):
             assert name in means
             assert name in tolerances
 

@@ -143,6 +143,62 @@ class TestAgarStrategy:
         expected = store.topology.expected_read_latencies("frankfurt")
         assert result.latency_ms >= expected["tokyo"]
 
+    def test_neighbor_read_only_when_link_beats_backend(self, store):
+        """§VI catalog chunks go to the neighbour per chunk, and only when
+        the neighbour link's expected latency beats that chunk's own backend
+        link — a cheap neighbour takes every needed chunk, an expensive one
+        takes none, and an intermediate one splits the read."""
+        from repro.erasure.chunk import ChunkId
+
+        config = ClientConfig(overhead_ms=0.0, include_decode_cost=False)
+        strategy = AgarReadStrategy(store, "frankfurt", MEGABYTE, config=config)
+        needed = strategy._needed("object-0")
+        catalog = frozenset(
+            ChunkId(key="object-0", index=placed.index) for placed in needed)
+        costs = sorted(placed.latency_ms for placed in needed)
+        assert costs[0] < costs[-1]  # multi-region placement: costs differ
+
+        # Cheap neighbour: beats every backend link, takes all k chunks.
+        strategy.set_neighbor_catalog(catalog, costs[0] / 2)
+        result = strategy.read("object-0", now=0.0)
+        assert result.chunks_from_neighbors == len(needed)
+        assert result.chunks_from_backend == 0
+
+        # Expensive neighbour: beats nothing, the catalog is ignored.
+        strategy.set_neighbor_catalog(catalog, costs[-1] * 2)
+        result = strategy.read("object-0", now=0.0)
+        assert result.chunks_from_neighbors == 0
+        assert result.chunks_from_backend == len(needed)
+
+        # Intermediate neighbour: exactly the chunks with a slower backend
+        # link switch over; the nearer ones keep their bucket reads.
+        threshold = (costs[0] + costs[-1]) / 2
+        expected_neighbor = sum(1 for cost in costs if cost > threshold)
+        strategy.set_neighbor_catalog(catalog, threshold)
+        result = strategy.read("object-0", now=0.0)
+        assert 0 < expected_neighbor < len(needed)
+        assert result.chunks_from_neighbors == expected_neighbor
+        assert result.chunks_from_backend == len(needed) - expected_neighbor
+
+    def test_neighbor_cost_rule_matches_on_indexed_path(self, store):
+        """read_indexed applies the same per-chunk cost rule as read."""
+        from repro.erasure.chunk import ChunkId
+
+        config = ClientConfig(overhead_ms=0.0, include_decode_cost=False)
+        strategy = AgarReadStrategy(store, "frankfurt", MEGABYTE, config=config)
+        strategy.prepare_indexed_reads(["object-0"])
+        needed = strategy._needed("object-0")
+        catalog = frozenset(
+            ChunkId(key="object-0", index=placed.index) for placed in needed)
+        costs = sorted(placed.latency_ms for placed in needed)
+        threshold = (costs[0] + costs[-1]) / 2
+        expected_neighbor = sum(1 for cost in costs if cost > threshold)
+
+        strategy.set_neighbor_catalog(catalog, threshold)
+        result = strategy.read_indexed(0, now=0.0)
+        assert result.chunks_from_neighbors == expected_neighbor
+        assert result.chunks_from_backend == len(needed) - expected_neighbor
+
     def test_snapshot_reflects_configuration(self, store):
         strategy = AgarReadStrategy(store, "sydney", 5 * MEGABYTE)
         now = 0.0

@@ -33,9 +33,11 @@ from repro.erasure.backends import (
 )
 from repro.erasure.galois import gf_mul
 
-#: Backends exercised by the equivalence matrix; numba only when importable.
+#: Backends exercised by the equivalence matrix; the numba variants only
+#: when numba is importable.
 EQUIVALENCE_BACKENDS = [
-    name for name in ("naive", "numpy", "numba") if backend_available(name)
+    name for name in ("naive", "numpy", "numba", "numba-packed")
+    if backend_available(name)
 ]
 
 pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
@@ -54,7 +56,7 @@ def scalar_matmul(matrix: np.ndarray, shards: np.ndarray) -> np.ndarray:
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"naive", "numpy", "numba"} <= set(backend_names())
+        assert {"naive", "numpy", "numba", "numba-packed"} <= set(backend_names())
 
     def test_numpy_and_naive_always_available(self):
         assert backend_available("numpy")
@@ -146,12 +148,13 @@ class TestRegistry:
             backends_module._PROBE_RESULTS.pop("mixed", None)
             backends_module._INSTANCES.pop("mixed", None)
 
-    def test_numba_gated_never_a_hard_dependency(self):
+    @pytest.mark.parametrize("name", ["numba", "numba-packed"])
+    def test_numba_gated_never_a_hard_dependency(self, name):
         """Whether or not numba is installed, resolving it must not raise."""
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            backend = get_backend("numba")
-        assert backend.name in ("numba", "numpy")
+            backend = get_backend(name)
+        assert backend.name in (name, "numpy")
 
 
 @pytest.mark.parametrize("backend_name", EQUIVALENCE_BACKENDS)
@@ -264,6 +267,45 @@ class TestBatchedEquivalence:
                 assert np.array_equal(batched[position], looped)
                 assert np.array_equal(batched[position], stack[position])
 
+    def test_decode_many_systematic_path_is_zero_copy(self, backend_name):
+        """When the data shards themselves survive in the stack's leading
+        columns, decode_many returns a view of the input — no defensive
+        copies on the batched path."""
+        rs = ReedSolomon(4, 2, backend=backend_name)
+        rng = np.random.default_rng(15)
+        stack = rng.integers(0, 256, (3, 4, 17), dtype=np.uint8)
+        encoded = rs.encode_many(stack)
+
+        data_only = encoded[:, :4, :]
+        decoded = rs.decode_many(data_only, (0, 1, 2, 3))
+        assert np.shares_memory(decoded, encoded)
+        assert np.array_equal(decoded, stack)
+
+        # Extra survivors behind the leading data columns still take the
+        # basic-slice view, never a gather copy.
+        subset = encoded[:, [0, 1, 2, 3, 5], :]
+        wider = rs.decode_many(subset, (0, 1, 2, 3, 5))
+        assert np.shares_memory(wider, subset)
+        assert np.array_equal(wider, stack)
+
+    def test_decode_many_reconstruction_avoids_defensive_copies(self, backend_name):
+        """A reconstructed batch comes back as a view of the decode
+        operator's output (possibly non-contiguous) with the right values."""
+        rs = ReedSolomon(4, 2, backend=backend_name)
+        rng = np.random.default_rng(16)
+        stack = rng.integers(0, 256, (4, 4, 19), dtype=np.uint8)
+        encoded = rs.encode_many(stack)
+        recovered = rs.decode_many(encoded[:, [1, 2, 4, 5], :], (1, 2, 4, 5))
+        assert recovered.base is not None
+        assert np.array_equal(recovered, stack)
+
+    def test_encode_returns_data_shards_as_views(self, backend_name):
+        """Single-object encode hands out the split matrix's rows as views
+        (the batched ingest path relies on this to stay zero-copy)."""
+        rs = ReedSolomon(4, 2, backend=backend_name)
+        shards = rs.encode(b"zero copy please" * 4)
+        assert all(shard.base is not None for shard in shards[:4])
+
     def test_decode_many_validates_input(self, backend_name):
         from repro.erasure import DecodingError
 
@@ -309,6 +351,49 @@ class TestBatchedEquivalence:
         ]
         decoded = codec.decode_many(request)
         assert decoded == [data for _, data in items]
+
+
+class TestNumbaPackedLayout:
+    """The packed numba operator shares :class:`PackedGFMatrix`'s layout;
+    its kernel arithmetic — transcribed to plain Python here — must match
+    the numpy executor bit-for-bit.  This runs regardless of whether numba
+    is installed: the operator takes the kernel as an argument, so the
+    layout plumbing (row classification, uint64 table widening, group
+    dispatch) is testable without a JIT."""
+
+    def test_packed_operator_matches_numpy_with_reference_kernel(self):
+        from repro.erasure.backends import _NUMBA_BLOCK, _NumbaPackedOperator
+
+        def reference_kernel(shards, tables, cols_used, rows_out, out):
+            # Literal transcription of the njit loop in backends.py.
+            length = shards.shape[1]
+            blocks = (length + _NUMBA_BLOCK - 1) // _NUMBA_BLOCK
+            for block_index in range(blocks):
+                start = block_index * _NUMBA_BLOCK
+                end = min(start + _NUMBA_BLOCK, length)
+                for position in range(start, end):
+                    accumulator = np.uint64(0)
+                    for j in range(cols_used.shape[0]):
+                        col = cols_used[j]
+                        accumulator ^= tables[col, shards[col, position]]
+                    packed = accumulator
+                    for r in range(rows_out.shape[0]):
+                        out[rows_out[r], position] = np.uint8(
+                            packed & np.uint64(0xFF))
+                        packed = packed >> np.uint64(8)
+
+        rng = np.random.default_rng(7)
+        for _ in range(12):
+            rows = int(rng.integers(1, 14))
+            cols = int(rng.integers(1, 14))
+            length = int(rng.integers(1, 80))
+            matrix = rng.integers(0, 256, (rows, cols), dtype=np.uint8)
+            if rows > 2:
+                matrix[0] %= 2  # force an XOR-only row into the mix
+            shards = rng.integers(0, 256, (cols, length), dtype=np.uint8)
+            operator = _NumbaPackedOperator(matrix, reference_kernel)
+            expected = NumpyBackend().matmul(matrix, shards)
+            assert np.array_equal(operator.apply(shards), expected)
 
 
 @settings(max_examples=25, deadline=None)

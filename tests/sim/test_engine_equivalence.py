@@ -124,6 +124,33 @@ def _shapes() -> dict[str, EngineConfig]:
             collaboration=True,
             faults=FaultSchedule([RegionOutage("sao_paulo", 10.0, 45.0)]),
         ),
+        # Shapes forcing wave/block horizon truncation in the batched
+        # drainer: the closed-loop backend shape drives the fully batched
+        # wave dispatch (with warmup filtering), the brownout window forces
+        # the mid-run fallback to per-event waves and the recovery back to
+        # batched ones, and the mixed timer shape truncates waves at
+        # reconfiguration timers between arrivals.
+        "backend_closed_warmup": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=3, strategy="backend"),
+                     RegionSpec("sydney", clients=3, strategy="backend")),
+            cache_capacity_bytes=5 * MEGABYTE,
+            warmup_requests=30,
+        ),
+        "faulted_brownout_backend_closed": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=3, strategy="backend"),),
+            cache_capacity_bytes=5 * MEGABYTE,
+            faults=FaultSchedule([BackendBrownout("n_virginia", 5.0, 20.0,
+                                                  multiplier=3.0)]),
+        ),
+        "timer_mixed_closed": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=3),
+                     RegionSpec("sydney", clients=3, strategy="backend")),
+            cache_capacity_bytes=5 * MEGABYTE,
+            timer_reconfiguration=True,
+        ),
     }
 
 
@@ -207,6 +234,22 @@ class TestLaneSchedulerEquivalence:
                 deployment = engine.build_deployment()
                 outcomes.append(getattr(engine, method)(deployment, 3))
             assert_results_identical(*outcomes)
+
+    @pytest.mark.parametrize("shape", ["backend_closed_warmup",
+                                       "faulted_brownout_backend_closed",
+                                       "closed_2regions_multiclient"])
+    def test_bit_identical_unkept_stats(self, shape):
+        """Without kept results the wave dispatcher records uniform miss
+        blocks straight into the stats buffer (no ReadResult objects); the
+        recorded latencies and counters must still match the reference."""
+        config = _shapes()[shape]
+        outcomes = []
+        for method in ("execute", "execute_reference"):
+            engine = EventEngine(config, keep_results=False)
+            engine.topology.latency.reseed(config.topology_seed + 3)
+            deployment = engine.build_deployment()
+            outcomes.append(getattr(engine, method)(deployment, 3))
+        assert_results_identical(*outcomes)
 
     def test_run_uses_lane_scheduler(self):
         """EventEngine.run (the public cold-run entry) equals the reference."""
@@ -297,6 +340,95 @@ class TestShardedDeterminism:
                 assert not snapshot.chunks_per_key
 
 
+class TestIntraRegionSharding:
+    """``RegionSpec.shards`` splits one region's clients across several
+    workers.  Sub-shard 0 reuses the region's historical jitter seed, so
+    ``shards=1`` stays bit-identical to the pre-sharding contract; higher
+    sub-shards derive independent streams, so splitting changes jitter
+    interleavings but must never change the request streams themselves."""
+
+    def split_config(self, shards=2, clients=6, requests=80):
+        return EngineConfig(
+            workload=workload(requests=requests),
+            regions=(RegionSpec("frankfurt", clients=clients, shards=shards),
+                     RegionSpec("sydney", clients=4, strategy="lfu-5")),
+            cache_capacity_bytes=5 * MEGABYTE,
+        )
+
+    def test_fork_matches_in_process_fallback(self):
+        config = self.split_config()
+        forked = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=False)
+        assert_results_identical(forked, sequential)
+
+    def test_split_region_is_reproducible(self):
+        config = self.split_config(shards=3)
+        first = EventEngine(config).run_sharded(seed=5)
+        second = EventEngine(config).run_sharded(seed=5)
+        assert_results_identical(first, second)
+
+    def test_single_shard_matches_historical_seeding(self):
+        """shards=1 must be bit-identical to a spec without the field."""
+        explicit = self.split_config(shards=1)
+        implicit = EngineConfig(
+            workload=workload(requests=80),
+            regions=(RegionSpec("frankfurt", clients=6),
+                     RegionSpec("sydney", clients=4, strategy="lfu-5")),
+            cache_capacity_bytes=5 * MEGABYTE,
+        )
+        first = EventEngine(explicit, keep_results=True).run_sharded(seed=5)
+        second = EventEngine(implicit, keep_results=True).run_sharded(seed=5)
+        assert_results_identical(first, second)
+
+    def test_split_preserves_request_streams(self):
+        """Splitting a region redistributes its clients, not their reads:
+        the merged region replays the same multiset of requests (and total
+        count) as the unsplit run, and the merged stats account for every
+        sub-shard's clients."""
+        whole = EventEngine(self.split_config(shards=1),
+                            keep_results=True).run_sharded(seed=5)
+        split = EventEngine(self.split_config(shards=3),
+                            keep_results=True).run_sharded(seed=5)
+        for region in whole.regions:
+            whole_keys = sorted(r.key for r in whole.regions[region].results)
+            split_keys = sorted(r.key for r in split.regions[region].results)
+            assert split_keys == whole_keys
+        merged = split.regions["frankfurt"]
+        assert merged.clients == 6
+        assert merged.stats.count == whole.regions["frankfurt"].stats.count
+
+    def test_uneven_split_covers_every_client(self):
+        """clients not divisible by shards still covers each client once."""
+        config = self.split_config(shards=4, clients=6)
+        split = EventEngine(config, keep_results=True).run_sharded(seed=5)
+        whole = EventEngine(self.split_config(shards=1, clients=6),
+                            keep_results=True).run_sharded(seed=5)
+        assert split.regions["frankfurt"].stats.count == \
+            whole.regions["frankfurt"].stats.count
+
+    def test_faulted_split_fork_matches_in_process(self):
+        config = EngineConfig(
+            workload=workload(requests=80),
+            regions=(RegionSpec("frankfurt", clients=6, shards=2),
+                     RegionSpec("dublin", clients=4)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            faults=FaultSchedule([RegionOutage("sao_paulo", 10.0, 40.0)]),
+        )
+        forked = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=False)
+        assert_results_identical(forked, sequential)
+
+    def test_shards_validation(self):
+        with pytest.raises(ValueError, match="shards must be positive"):
+            RegionSpec("frankfurt", clients=4, shards=0)
+        with pytest.raises(ValueError, match="shards cannot exceed clients"):
+            RegionSpec("frankfurt", clients=2, shards=3)
+
+
 class TestCollaborativeSharding:
     """§VI deployments shard through the message-passing round protocol:
     workers pause at collaboration-period boundaries, exchange announcements
@@ -383,6 +515,40 @@ class TestCollaborativeSharding:
         config = self.collab_config(regions=("frankfurt",), clients=2, requests=60)
         sharded = EventEngine(config).run_sharded(seed=2)
         assert sharded.regions["frankfurt"].stats.count == 2 * 60
+
+    def test_intra_region_split_fork_matches_in_process(self):
+        """A region split across sub-shards still runs the round protocol:
+        every sub-shard receives the region's neighbour catalogs, sub-shard 0
+        is the region's designated announcer, and the forked path matches the
+        in-process one bit-for-bit."""
+        config = EngineConfig(
+            workload=workload(requests=90),
+            regions=(RegionSpec("frankfurt", clients=4, shards=2),
+                     RegionSpec("sydney", clients=2)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            collaboration=True,
+        )
+        forked = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=False)
+        assert_results_identical(forked, sequential)
+        assert forked.regions["frankfurt"].stats.count == 4 * 90
+
+    def test_intra_region_split_publishes_announcements(self):
+        config = EngineConfig(
+            workload=workload(requests=90),
+            regions=(RegionSpec("frankfurt", clients=4, shards=2),
+                     RegionSpec("sydney", clients=2)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            collaboration=True,
+        )
+        engine = EventEngine(config)
+        engine.topology.latency.reseed(config.topology_seed + 5)
+        deployment = engine.build_deployment()
+        engine.execute_sharded(deployment, 5)
+        announcements = deployment.coordinator.announcements()
+        assert {a.region for a in announcements} == {"frankfurt", "sydney"}
 
     def test_warm_deployment_runs_from_current_clock(self):
         """Boundaries are anchored at the deployment clock's current time, so

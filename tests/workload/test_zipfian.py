@@ -53,6 +53,18 @@ class TestZipfian:
         counts = np.bincount(samples, minlength=20) / 20_000
         assert counts[0] == pytest.approx(distribution.probabilities()[0], rel=0.1)
 
+    def test_sample_many_bit_identical_to_generator_choice(self):
+        """The cached-CDF searchsorted fast path must replay exactly what
+        ``Generator.choice(p=...)`` would draw from the same stream — the
+        workload streams are part of the engine's determinism contract."""
+        for item_count, skew, seed in ((50, 1.1, 9), (300, 0.0, 3), (7, 1.99, 0)):
+            distribution = ZipfianDistribution(item_count, skew, seed=seed)
+            fast = distribution.sample_many(500)
+            rng = np.random.default_rng(seed)
+            reference = rng.choice(
+                item_count, size=500, p=distribution.probabilities())
+            assert np.array_equal(fast, reference), (item_count, skew, seed)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ZipfianDistribution(0, 1.0)
