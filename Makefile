@@ -25,8 +25,8 @@ bench-baseline:
 	$(PYTHON) benchmarks/run_bench.py --update
 
 ## The gated comparison CI runs: codec (batched + packed tier) and engine
-## (scale, faulted, million-lane) benchmarks against
+## (scale, faulted, hedged+faulted, million-lane) benchmarks against
 ## benchmarks/ci_baseline.json with per-benchmark tolerance bands.
 bench-gated:
 	$(PYTHON) benchmarks/run_bench.py --compare benchmarks/ci_baseline.json \
-		--only test_bench_codec_encode_many,test_bench_codec_packed_numba,test_bench_engine_scale_closed_loop,test_bench_engine_faulted,test_bench_engine_million_lane
+		--only test_bench_codec_encode_many,test_bench_codec_packed_numba,test_bench_engine_scale_closed_loop,test_bench_engine_faulted,test_bench_engine_hedged_faulted,test_bench_engine_million_lane

@@ -53,6 +53,7 @@ GUARDED_BENCHMARKS = (
     "test_bench_engine_multi_client",
     "test_bench_engine_scale_closed_loop",
     "test_bench_engine_faulted",
+    "test_bench_engine_hedged_faulted",
     "test_bench_engine_million_lane",
     "test_bench_collab_sharded_rounds",
 )
@@ -62,6 +63,7 @@ _BENCH_FILES = {
     "test_bench_engine_multi_client": "test_bench_engine.py",
     "test_bench_engine_scale_closed_loop": "test_bench_engine.py",
     "test_bench_engine_faulted": "test_bench_engine.py",
+    "test_bench_engine_hedged_faulted": "test_bench_engine.py",
     "test_bench_engine_million_lane": "test_bench_engine.py",
     "test_bench_collab_sharded_rounds": "test_bench_collab.py",
     "test_bench_codec_encode_many": "test_bench_codec.py",
@@ -88,6 +90,9 @@ DEFAULT_TOLERANCES = {
     # outliers (~1.65x in-isolation mean in the earlier BENCH history).
     "test_bench_engine_scale_closed_loop": 0.60,
     "test_bench_engine_faulted": 0.60,
+    # Resilient composition path (ISSUE 8): longer body than the plain
+    # faulted scenario, similar suite-context noise profile.
+    "test_bench_engine_hedged_faulted": 0.60,
     # Long-body benchmark (multi-second rounds): proportionally steadier.
     "test_bench_engine_million_lane": 0.50,
     "test_bench_collab_sharded_rounds": 0.50,

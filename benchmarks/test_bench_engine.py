@@ -13,6 +13,9 @@ Two guarded benchmarks:
 * ``test_bench_engine_faulted`` — the ISSUE 6 scenario: the closed-loop
   deployment with a mid-run region outage, so the fault-state checks and
   the degraded re-plan path on the hot read loop stay guarded.
+* ``test_bench_engine_hedged_faulted`` — the ISSUE 8 scenario: the faulted
+  shape with the resilience tier on (retries, hedging, emergency
+  reconfiguration), guarding the resilient composition path's cost.
 * ``test_bench_engine_million_lane`` — the ISSUE 7 acceptance scenario:
   262,144 closed-loop clients through the batched wave drainer must sustain
   at least 10^7 requests per wall-clock minute, and a 1,048,576-lane
@@ -27,6 +30,8 @@ import time
 
 from conftest import emit
 
+from repro.client.resilience import ResilienceConfig
+from repro.client.strategies import ClientConfig
 from repro.sim.engine import EngineConfig, EventEngine, RegionSpec
 from repro.sim.faults import FaultSchedule, RegionOutage
 from repro.workload.workload import poisson_arrivals, zipfian_workload
@@ -262,3 +267,52 @@ def test_bench_engine_faulted(benchmark, settings):
     assert total == 256 * workload.request_count
     assert stats.degraded_reads > 0
     assert stats.unavailable_reads == 0
+
+
+def test_bench_engine_hedged_faulted(benchmark, settings):
+    """Resilient-read cost with a mid-run region outage (ISSUE 8).
+
+    The faulted closed-loop shape with the recovery-aware resilience tier
+    on: a per-read retry budget against a tight timeout factor, hedged
+    fetches against the per-link quantile deadline, and emergency knapsack
+    reconfiguration on the outage's onset and recovery.  Guards the
+    per-chunk cost of the resilient composition path (which replaces the
+    batched stateless wave dispatch whenever resilience is active).
+    """
+    workload = zipfian_workload(
+        1.1, request_count=20, object_count=settings.object_count, seed=settings.seed,
+    )
+    config = EngineConfig(
+        workload=workload,
+        regions=(
+            RegionSpec(region="frankfurt", clients=128),
+            RegionSpec(region="dublin", clients=128),
+        ),
+        cache_capacity_bytes=10 * MEGABYTE,
+        topology_seed=settings.seed,
+        client=ClientConfig(resilience=ResilienceConfig(
+            retry_budget=1, timeout_factor=1.1, backoff_base_ms=4.0,
+            hedge=True, hedge_quantile=0.7, hedge_min_samples=8,
+            emergency_reconfiguration=True)),
+        faults=FaultSchedule([RegionOutage("sao_paulo", start_s=5.0, end_s=15.0)]),
+    )
+    engine = EventEngine(config)
+    engine.topology.latency.reseed(config.topology_seed + 1)
+    deployment = engine.build_deployment()
+
+    result = benchmark(engine.execute, deployment, 1)
+
+    stats = result.overall_stats()
+    total = result.total_requests
+    emit(
+        "engine hedged+faulted replay (256 clients, 10 s region outage, "
+        "resilience on)",
+        f"{total} requests, simulated {result.duration_s:.1f} s; "
+        f"{stats.degraded_reads} degraded, {stats.retries_total} retries, "
+        f"{stats.hedged_reads} hedged ({stats.hedge_wins} won)",
+    )
+    assert total == 256 * workload.request_count
+    assert stats.degraded_reads > 0
+    assert stats.unavailable_reads == 0
+    assert stats.retries_total > 0
+    assert stats.hedged_reads > 0

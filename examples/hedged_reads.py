@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Hedged and retried reads: taming tail latency during a region outage.
+
+The recovery-aware resilience tier (``repro.client.resilience``) adds three
+reactions to a misbehaving deployment:
+
+* **retries** — a remote chunk fetch whose sampled latency overshoots
+  ``timeout_factor ×`` its link's expectation is abandoned and redrawn,
+  paying the timeout plus a deterministic exponential backoff, under a
+  per-read retry budget;
+* **hedging** — when the slowest in-flight backend chunk exceeds its link's
+  quantile-tracked deadline (an EWMA quantile estimator per link), one extra
+  parity chunk is fetched speculatively from the next-cheapest survivor and
+  the read takes whichever finishes first;
+* **emergency reconfiguration** — fault transitions trigger an immediate
+  Agar knapsack re-solve against the survivor topology instead of waiting
+  for the periodic timer.
+
+This example runs the Frankfurt + Dublin deployment through a Sao Paulo
+outage three times — resilience off, emergency reconfiguration only, and
+full hedging — and compares the p99 during the outage window, plus the
+retry/hedge counters that quantify what the speculative machinery cost.
+
+Run with:  python examples/hedged_reads.py
+
+See docs/failures.md ("Provenance and hedging") for the semantics.
+"""
+
+from __future__ import annotations
+
+from repro.client.resilience import ResilienceConfig
+from repro.client.stats import windowed_latency_series
+from repro.client.strategies import ClientConfig
+from repro.sim.engine import EngineConfig, EventEngine, RegionSpec, WorkloadSpec
+from repro.sim.faults import FaultSchedule, RegionOutage
+
+MEGABYTE = 1024 * 1024
+
+OUTAGE = RegionOutage("sao_paulo", start_s=20.0, end_s=60.0)
+
+#: Aggressive against the topology's jitter (σ = 0.06 on the log-normal
+#: links), so retries and hedges actually fire at example scale.
+HEDGED = ResilienceConfig(
+    retry_budget=1, timeout_factor=1.1, backoff_base_ms=4.0,
+    hedge=True, hedge_quantile=0.7, hedge_min_samples=8,
+    emergency_reconfiguration=True,
+)
+
+#: Fault-reactive reconfiguration alone: ``active`` stays False, so reads
+#: keep the fast fixed-draw composition — only the knapsack re-solve moves
+#: from the periodic timer to the fault transition itself.
+REACTIVE_ONLY = ResilienceConfig(emergency_reconfiguration=True)
+
+
+def run(resilience: ResilienceConfig | None):
+    config = EngineConfig(
+        workload=WorkloadSpec(request_count=400, object_count=120),
+        regions=(RegionSpec("frankfurt", clients=2),
+                 RegionSpec("dublin", clients=2)),
+        cache_capacity_bytes=10 * MEGABYTE,
+        timer_reconfiguration=True,
+        client=ClientConfig(resilience=resilience),
+        faults=FaultSchedule([OUTAGE]),
+    )
+    engine = EventEngine(config, keep_results=True)
+    return engine.run(seed=7)
+
+
+def p99_during_outage(result) -> float:
+    reads = [read
+             for region_result in result.regions.values()
+             for read in region_result.results]
+    duration = max(r.duration_s for r in result.regions.values())
+    windows = windowed_latency_series(reads, window_s=duration / 16,
+                                      end_s=duration)
+    return max((window.p99_ms for window in windows
+                if window.start_s < OUTAGE.end_s
+                and window.end_s > OUTAGE.start_s and window.reads > 0),
+               default=0.0)
+
+
+def describe(label: str, result) -> None:
+    stats = result.overall_stats()
+    print(f"{label:14s} mean {stats.mean_latency_ms:7.1f} ms   "
+          f"p99 {stats.p99_latency_ms:7.1f} ms   "
+          f"p99 during outage {p99_during_outage(result):7.1f} ms   "
+          f"retries {stats.retries_total:4d}   "
+          f"hedged {stats.hedged_reads:4d} ({stats.hedge_wins} won)")
+
+
+def main() -> None:
+    print("Sao Paulo outage [20 s, 60 s), resilience tiers compared "
+          "(Frankfurt + Dublin, RS(9, 3)):\n")
+    plain = run(None)
+    describe("resilience off", plain)
+    reactive = run(REACTIVE_ONLY)
+    describe("reactive only", reactive)
+    hedged = run(HEDGED)
+    describe("hedging on", hedged)
+
+    plain_stats = plain.overall_stats()
+    reactive_stats = reactive.overall_stats()
+    hedged_stats = hedged.overall_stats()
+    assert plain_stats.retries_total == 0 and plain_stats.hedged_reads == 0
+    assert reactive_stats.retries_total == 0
+    assert reactive_stats.hedged_reads == 0
+    assert hedged_stats.retries_total > 0
+    assert hedged_stats.hedged_reads > 0
+
+    print("\nReactive-only keeps the fast read path and merely moves the "
+          "knapsack\nre-solve from the periodic timer to the outage "
+          "transition itself, so it\nis the cheapest insurance.  Full "
+          "hedging additionally redraws timed-out\nchunk fetches (timeout "
+          "plus deterministic backoff) and races stragglers\nagainst a "
+          "spare parity chunk.  On this topology the links are tight\n"
+          "(σ = 0.06), so speculation is mostly premium: the counters show "
+          "how\noften it fired and how rarely the spare won.  The machinery "
+          "earns its\nkeep when links are heavy-tailed or browned out — "
+          "rerun with a\nBrownout in the schedule to watch the balance "
+          "shift.")
+
+
+if __name__ == "__main__":
+    main()

@@ -60,11 +60,18 @@ class ReadResult:
             failure, or backend fetches re-planned around a region outage).
         failed: fewer than ``k`` chunks were reachable anywhere — the object
             could not be reconstructed (an *unavailable read*).
+        retries: timed-out remote chunk fetches that were retried under the
+            read's retry budget (0 when resilience is off).
+        hedged: a speculative extra-chunk fetch was launched because the
+            slowest chunk exceeded its link's quantile-tracked deadline.
+        hedge_won: the hedged fetch finished before the straggler it raced
+            (implies ``hedged``).
     """
 
     __slots__ = ("key", "latency_ms", "hit_type", "chunks_from_cache",
                  "chunks_from_backend", "chunks_from_neighbors",
-                 "backend_regions", "started_at_s", "degraded", "failed")
+                 "backend_regions", "started_at_s", "degraded", "failed",
+                 "retries", "hedged", "hedge_won")
 
     def __init__(self, key: str, latency_ms: float, hit_type: HitType,
                  chunks_from_cache: int, chunks_from_backend: int,
@@ -72,7 +79,10 @@ class ReadResult:
                  started_at_s: float = 0.0,
                  chunks_from_neighbors: int = 0,
                  degraded: bool = False,
-                 failed: bool = False) -> None:
+                 failed: bool = False,
+                 retries: int = 0,
+                 hedged: bool = False,
+                 hedge_won: bool = False) -> None:
         self.key = key
         self.latency_ms = latency_ms
         self.hit_type = hit_type
@@ -83,11 +93,15 @@ class ReadResult:
         self.started_at_s = started_at_s
         self.degraded = degraded
         self.failed = failed
+        self.retries = retries
+        self.hedged = hedged
+        self.hedge_won = hedge_won
 
     def _astuple(self) -> tuple:
         return (self.key, self.latency_ms, self.hit_type, self.chunks_from_cache,
                 self.chunks_from_backend, self.chunks_from_neighbors,
-                self.backend_regions, self.started_at_s, self.degraded, self.failed)
+                self.backend_regions, self.started_at_s, self.degraded, self.failed,
+                self.retries, self.hedged, self.hedge_won)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ReadResult):
@@ -104,7 +118,9 @@ class ReadResult:
                 f"chunks_from_neighbors={self.chunks_from_neighbors!r}, "
                 f"backend_regions={self.backend_regions!r}, "
                 f"started_at_s={self.started_at_s!r}, "
-                f"degraded={self.degraded!r}, failed={self.failed!r})")
+                f"degraded={self.degraded!r}, failed={self.failed!r}, "
+                f"retries={self.retries!r}, hedged={self.hedged!r}, "
+                f"hedge_won={self.hedge_won!r})")
 
     def __getstate__(self) -> tuple:
         return self._astuple()
@@ -113,7 +129,7 @@ class ReadResult:
         (self.key, self.latency_ms, self.hit_type, self.chunks_from_cache,
          self.chunks_from_backend, self.chunks_from_neighbors,
          self.backend_regions, self.started_at_s, self.degraded,
-         self.failed) = state
+         self.failed, self.retries, self.hedged, self.hedge_won) = state
 
 
 #: Initial capacity of the latency buffer (doubles as it fills).
@@ -130,7 +146,8 @@ class LatencyStats:
 
     __slots__ = ("_buffer", "_count", "full_hits", "partial_hits", "misses",
                  "cache_chunks_total", "backend_chunks_total",
-                 "neighbor_chunks_total", "degraded_reads", "unavailable_reads")
+                 "neighbor_chunks_total", "degraded_reads", "unavailable_reads",
+                 "retries_total", "hedged_reads", "hedge_wins")
 
     def __init__(self, capacity: int = _INITIAL_BUFFER) -> None:
         self._buffer = np.empty(max(int(capacity), 1), dtype=np.float64)
@@ -143,6 +160,9 @@ class LatencyStats:
         self.neighbor_chunks_total = 0
         self.degraded_reads = 0
         self.unavailable_reads = 0
+        self.retries_total = 0
+        self.hedged_reads = 0
+        self.hedge_wins = 0
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -152,24 +172,33 @@ class LatencyStats:
         self.record_read(result.latency_ms, result.hit_type,
                          result.chunks_from_cache, result.chunks_from_backend,
                          result.chunks_from_neighbors, result.degraded,
-                         result.failed)
+                         result.failed, result.retries, result.hedged,
+                         result.hedge_won)
 
     def record_read(self, latency_ms: float, hit_type: HitType,
                     chunks_from_cache: int = 0, chunks_from_backend: int = 0,
                     chunks_from_neighbors: int = 0, degraded: bool = False,
-                    failed: bool = False) -> None:
+                    failed: bool = False, retries: int = 0,
+                    hedged: bool = False, hedge_won: bool = False) -> None:
         """Scalar fast path: add one read without a :class:`ReadResult`.
 
         A failed (unavailable) read carries no meaningful latency or hit
         classification — the object was never reconstructed — so it only
         bumps :attr:`unavailable_reads` and stays out of every latency and
-        hit-ratio aggregate.
+        hit-ratio aggregate (resilience never runs on a failed read, so its
+        counters stay untouched too).
         """
         if failed:
             self.unavailable_reads += 1
             return
         if degraded:
             self.degraded_reads += 1
+        if retries:
+            self.retries_total += retries
+        if hedged:
+            self.hedged_reads += 1
+            if hedge_won:
+                self.hedge_wins += 1
         count = self._count
         buffer = self._buffer
         if count == buffer.shape[0]:
@@ -307,6 +336,9 @@ class LatencyStats:
             "neighbor_chunks": float(self.neighbor_chunks_total),
             "degraded_reads": float(self.degraded_reads),
             "unavailable_reads": float(self.unavailable_reads),
+            "retries_total": float(self.retries_total),
+            "hedged_reads": float(self.hedged_reads),
+            "hedge_wins": float(self.hedge_wins),
         }
 
     @classmethod
@@ -333,6 +365,9 @@ class LatencyStats:
             merged.neighbor_chunks_total += part.neighbor_chunks_total
             merged.degraded_reads += part.degraded_reads
             merged.unavailable_reads += part.unavailable_reads
+            merged.retries_total += part.retries_total
+            merged.hedged_reads += part.hedged_reads
+            merged.hedge_wins += part.hedge_wins
         merged._count = total
         return merged
 
@@ -351,6 +386,9 @@ class LatencyStats:
         merged.neighbor_chunks_total = self.neighbor_chunks_total + other.neighbor_chunks_total
         merged.degraded_reads = self.degraded_reads + other.degraded_reads
         merged.unavailable_reads = self.unavailable_reads + other.unavailable_reads
+        merged.retries_total = self.retries_total + other.retries_total
+        merged.hedged_reads = self.hedged_reads + other.hedged_reads
+        merged.hedge_wins = self.hedge_wins + other.hedge_wins
         return merged
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.backend.object_store import ErasureCodedStore
 from repro.cache.base import CacheSnapshot
 from repro.cache.chunk_cache import ChunkCache
 from repro.cache.policies import LFUEvictionPolicy, LRUEvictionPolicy
+from repro.client.resilience import BackoffPolicy, EwmaQuantileTracker, ResilienceConfig
 from repro.client.stats import HitType, ReadResult
 from repro.core.agar_node import AgarNode, AgarNodeConfig
 from repro.core.options import PlacedChunk, needed_chunks
@@ -203,10 +204,14 @@ class ClientConfig:
         overhead_ms: fixed per-read client/request overhead (connection setup,
             scheduling of the parallel chunk requests).
         include_decode_cost: charge the Reed-Solomon decode estimate to reads.
+        resilience: retry/hedge/emergency-reconfiguration knobs
+            (:class:`~repro.client.resilience.ResilienceConfig`); ``None``
+            (the default) keeps the failure-free fast paths untouched.
     """
 
     overhead_ms: float = 40.0
     include_decode_cost: bool = True
+    resilience: ResilienceConfig | None = None
 
 
 class ReadStrategy(ABC):
@@ -253,7 +258,11 @@ class ReadStrategy(ABC):
         self._indexed_plans: list[_IndexedReadPlan | None] = []
         # §VI neighbour catalog (see set_neighbor_catalog); None = no
         # collaboration, the default for every non-collaborative deployment.
+        # _neighbor_pinned is the *effective* union the read path tests;
+        # _neighbor_catalogs keeps the per-neighbour provenance (None when the
+        # catalog was installed as a flat, provenance-free set).
         self._neighbor_pinned: frozenset[ChunkId] | None = None
+        self._neighbor_catalogs: dict[str, frozenset[ChunkId]] | None = None
         self._neighbor_read_ms = 0.0
         self._neighbor_jitter = 0.0
         # Live fault state (see repro.sim.faults and set_fault_state).  The
@@ -262,9 +271,23 @@ class ReadStrategy(ABC):
         self._fault_state = None
         self._faulted = False
         self._down_backends: frozenset[str] = frozenset()
+        self._down_caches: frozenset[str] = frozenset()
         self._brownouts: dict[str, float] | None = None
         self._cache_down = False
+        self._seen_fault = False
         self._all_nearest_cache: dict[str, list[PlacedChunk]] = {}
+        # Resilience (repro.client.resilience): _resilience is non-None only
+        # when the retry/hedge read path must run; emergency reconfiguration
+        # is gated separately so it can be enabled on its own.
+        resilience = self._config.resilience
+        self._resilience = (resilience if resilience is not None
+                            and resilience.active else None)
+        self._emergency_reconfig = (resilience.emergency_reconfiguration
+                                    if resilience is not None else False)
+        self._backoff = (BackoffPolicy.from_config(resilience)
+                         if self._resilience is not None else None)
+        self._read_serial = 0
+        self._hedge_trackers: dict[str, EwmaQuantileTracker] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -282,6 +305,17 @@ class ReadStrategy(ABC):
     def cache_snapshot(self) -> CacheSnapshot | None:
         """Snapshot of the strategy's cache contents (None for Backend)."""
         return None
+
+    @property
+    def resilience_active(self) -> bool:
+        """True when reads route through the retry/hedge composition path.
+
+        The engine's batched stateless wave dispatch checks this: resilient
+        reads no longer consume a fixed number of jitter draws, so waves must
+        fall back to per-event dispatch (which delegates to the string read
+        path, exactly like faulted reads).
+        """
+        return self._resilience is not None
 
     # ------------------------------------------------------------------ #
     # Periodic maintenance (timer events of the discrete-event engine)
@@ -305,13 +339,15 @@ class ReadStrategy(ABC):
     # ------------------------------------------------------------------ #
     # §VI collaboration: the neighbour catalog
     # ------------------------------------------------------------------ #
-    def set_neighbor_catalog(self, pinned: frozenset[ChunkId] | None,
+    def set_neighbor_catalog(self,
+                             pinned: (frozenset[ChunkId]
+                                      | Mapping[str, frozenset[ChunkId]] | None),
                              neighbor_read_ms: float,
                              neighbor_jitter: float = 0.0) -> None:
         """Install what the collaborating neighbour caches currently pin.
 
-        After each §VI exchange round the engine hands every region the union
-        of the *other* regions' pinned chunks.  A needed chunk that misses the
+        After each §VI exchange round the engine hands every region the
+        pinned chunks of the *other* regions.  A needed chunk that misses the
         local cache but appears in this catalog is then read from the
         neighbour's cache at ``neighbor_read_ms`` expected latency (the same
         estimate the option discounting uses) instead of from its backend
@@ -333,14 +369,47 @@ class ReadStrategy(ABC):
         bit-identical.  The default 0 preserves the flat, draw-free estimate
         for direct callers.  ``None`` pinned disables neighbour reads (the
         default).
+
+        ``pinned`` may be a flat ``frozenset`` (legacy, provenance-free) or a
+        mapping ``{neighbour region: pinned chunks}``.  With provenance the
+        read path still tests one effective union, but the union is
+        recomputed against the live fault state — a neighbour whose region is
+        currently down (backend or cache) contributes nothing, so a remote
+        ``RegionOutage``/``AZFailure`` darks exactly that neighbour's
+        entries.
         """
         if neighbor_read_ms < 0:
             raise ValueError("neighbor_read_ms must be non-negative")
         if neighbor_jitter < 0:
             raise ValueError("neighbor_jitter must be non-negative")
-        self._neighbor_pinned = pinned if pinned else None
+        if isinstance(pinned, Mapping):
+            self._neighbor_catalogs = {
+                region: frozenset(chunks) for region, chunks in pinned.items()
+            }
+        else:
+            self._neighbor_catalogs = None
+            self._neighbor_pinned = pinned if pinned else None
         self._neighbor_read_ms = neighbor_read_ms
         self._neighbor_jitter = neighbor_jitter
+        self._refresh_neighbor_pinned()
+
+    def _refresh_neighbor_pinned(self) -> None:
+        """Recompute the effective neighbour union against the fault state.
+
+        Only runs on the cold paths (catalog install, fault transition); the
+        hot read paths keep testing the single precomputed union.  A
+        neighbour is dark while its region's backend *or* cache is down: an
+        ``AZFailure`` names the cache explicitly, and a ``RegionOutage`` of a
+        region is conservatively taken to cut the WAN path to its colocated
+        cache server as well.
+        """
+        catalogs = self._neighbor_catalogs
+        if catalogs is None:
+            return
+        down = self._down_backends | self._down_caches
+        live = [chunks for region, chunks in catalogs.items()
+                if chunks and region not in down]
+        self._neighbor_pinned = frozenset().union(*live) if live else None
 
     # ------------------------------------------------------------------ #
     # Fault injection (repro.sim.faults)
@@ -359,14 +428,32 @@ class ReadStrategy(ABC):
             self._fault_state = state
             self._faulted = False
             self._down_backends = frozenset()
+            self._down_caches = frozenset()
             self._brownouts = None
             self._cache_down = False
+            self._refresh_neighbor_pinned()
             return
         self._fault_state = state
         self._faulted = True
+        self._seen_fault = True
         self._down_backends = state.down_backends
+        self._down_caches = state.down_caches
         self._brownouts = dict(state.brownouts) if state.brownouts else None
         self._cache_down = self._region in state.down_caches
+        self._refresh_neighbor_pinned()
+
+    def react_to_fault(self, now: float) -> None:
+        """Hook the engine calls right after every fault-state install.
+
+        The base implementation does nothing; :class:`AgarReadStrategy`
+        overrides it to trigger an emergency knapsack re-solve against the
+        survivor topology when
+        :attr:`ResilienceConfig.emergency_reconfiguration` is on.  The hook
+        must not consume latency-model draws — it runs inside the fault
+        transition of every scheduler (and inside a single region's shard on
+        sharded runs), so any stream consumption would break the bit-identity
+        contract between execution paths.
+        """
 
     @property
     def fault_state(self):
@@ -476,7 +563,8 @@ class ReadStrategy(ABC):
                         backend_chunks: list[PlacedChunk],
                         extra_overhead_ms: float = 0.0,
                         neighbor_chunks: int = 0,
-                        degraded: bool = False) -> ReadResult:
+                        degraded: bool = False,
+                        hedge_exclude: frozenset[int] | None = None) -> ReadResult:
         """Sample per-chunk latencies and build the read result.
 
         ``neighbor_chunks`` chunks are fetched from a collaborating
@@ -484,8 +572,16 @@ class ReadStrategy(ABC):
         to the slowest-chunk maximum; each draws one jitter sample when the
         neighbour link carries a σ (see :meth:`set_neighbor_catalog`).
         Backend chunks read from a browned-out region have their sampled
-        latency multiplied by the brownout factor.
+        latency multiplied by the brownout factor.  When resilience is active
+        the read routes through :meth:`_compose_result_resilient` instead
+        (``hedge_exclude`` optionally names chunk indices already served
+        elsewhere, so a hedge never re-fetches one).
         """
+        if self._resilience is not None:
+            return self._compose_result_resilient(
+                key, now, cache_chunks, backend_chunks, extra_overhead_ms,
+                neighbor_chunks, degraded, hedge_exclude,
+            )
         chunk_size = self._chunk_size(key)
         latency = self._latency
         region = self._region
@@ -537,6 +633,178 @@ class ReadStrategy(ABC):
             backend_regions=tuple(sorted({placed.region for placed in backend_chunks})),
             started_at_s=now,
             degraded=degraded,
+        )
+
+    def _compose_result_resilient(self, key: str, now: float,
+                                  cache_chunks: list[PlacedChunk],
+                                  backend_chunks: list[PlacedChunk],
+                                  extra_overhead_ms: float,
+                                  neighbor_chunks: int,
+                                  degraded: bool,
+                                  hedge_exclude: frozenset[int] | None) -> ReadResult:
+        """Resilient twin of :meth:`_compose_result`: timeouts, retries, hedging.
+
+        The base per-chunk samples are drawn in exactly the same shared-stream
+        order as the fast path (cache chunks, then backend chunks in selection
+        order, then neighbour chunks); resilience only *adds* draws, each at a
+        deterministic point:
+
+        * **Retries** (remote chunks only — backend and neighbour fetches;
+          the in-AZ cache is never retried): while a chunk's sample exceeds
+          ``timeout_factor ×`` its link's expected latency (brownout
+          multiplier included) and the read's budget remains, the client
+          abandons the fetch at the timeout, waits the seeded backoff, and
+          redraws one sample from the shared stream.  The chunk's latency is
+          the accumulated timeout+backoff charges plus the final sample.
+        * **Hedge**: if the slowest chunk of the read is a backend fetch and
+          exceeds its link's quantile-tracked deadline, one extra chunk is
+          speculatively fetched (launched at the deadline) from the nearest
+          unused surviving placement, and the read completes at whichever of
+          the two finishes first.  Deadline trackers observe each backend
+          chunk's final sample *after* the decision, so a read never races
+          its own observation.
+
+        Serial numbers, tracker state and retry budgets are all per-strategy,
+        and per-strategy event order is identical across the three execution
+        paths — which is what keeps resilient runs bit-identical.
+        """
+        resilience = self._resilience
+        backoff = self._backoff
+        chunk_size = self._chunk_size(key)
+        latency = self._latency
+        region = self._region
+        brownouts = self._brownouts
+        serial = self._read_serial
+        self._read_serial = serial + 1
+        budget = resilience.retry_budget
+        timeout_factor = resilience.timeout_factor
+        retries = 0
+
+        totals: list[float] = []
+        for _ in cache_chunks:
+            totals.append(latency.sample_cache_read(region, chunk_size))
+
+        straggler_pos = -1
+        slowest_backend = 0.0
+        straggler_region: str | None = None
+        backend_samples: list[tuple[str, float]] = []
+        for placed in backend_chunks:
+            expected = latency.expected_backend_read(region, placed.region, chunk_size)
+            multiplier = 1.0
+            if brownouts is not None:
+                factor = brownouts.get(placed.region)
+                if factor is not None:
+                    multiplier = factor
+                    expected *= factor
+            sample = latency.sample_backend_read(region, placed.region, chunk_size)
+            if multiplier != 1.0:
+                sample *= multiplier
+            timeout = timeout_factor * expected
+            charged = 0.0
+            while budget > 0 and sample > timeout:
+                budget -= 1
+                retries += 1
+                charged += timeout + backoff.delay_ms(serial, retries)
+                sample = latency.sample_backend_read(region, placed.region, chunk_size)
+                if multiplier != 1.0:
+                    sample *= multiplier
+            backend_samples.append((placed.region, sample))
+            total_chunk = charged + sample
+            if total_chunk > slowest_backend:
+                slowest_backend = total_chunk
+                straggler_pos = len(totals)
+                straggler_region = placed.region
+            totals.append(total_chunk)
+
+        if neighbor_chunks:
+            neighbor_ms = self._neighbor_read_ms
+            sigma = self._neighbor_jitter
+            if sigma > 0.0:
+                exp = math.exp
+                draw = latency.next_standard_normal
+                timeout = timeout_factor * neighbor_ms
+                for _ in range(neighbor_chunks):
+                    sample = neighbor_ms * exp(sigma * draw())
+                    charged = 0.0
+                    while budget > 0 and sample > timeout:
+                        budget -= 1
+                        retries += 1
+                        charged += timeout + backoff.delay_ms(serial, retries)
+                        sample = neighbor_ms * exp(sigma * draw())
+                    totals.append(charged + sample)
+            else:
+                # A flat neighbour link samples exactly its expectation, which
+                # can never exceed timeout_factor × itself — no retry possible.
+                totals.extend([neighbor_ms] * neighbor_chunks)
+
+        slowest = max(totals) if totals else 0.0
+
+        hedged = False
+        hedge_won = False
+        if (resilience.hedge and straggler_pos >= 0
+                and slowest_backend >= slowest and slowest_backend > 0.0):
+            tracker = self._hedge_trackers.get(straggler_region)
+            if tracker is not None and tracker.ready and slowest_backend > tracker.estimate:
+                used = {placed.index for placed in backend_chunks}
+                if hedge_exclude is not None:
+                    used.update(hedge_exclude)
+                else:
+                    used.update(placed.index for placed in cache_chunks)
+                down = self._down_backends
+                candidate = None
+                for placed in self._all_nearest(key):
+                    if placed.index in used or placed.region in down:
+                        continue
+                    candidate = placed
+                    break
+                if candidate is not None:
+                    hedged = True
+                    deadline = tracker.estimate
+                    hedge_sample = latency.sample_backend_read(
+                        region, candidate.region, chunk_size
+                    )
+                    if brownouts is not None:
+                        factor = brownouts.get(candidate.region)
+                        if factor is not None:
+                            hedge_sample *= factor
+                    hedge_total = deadline + hedge_sample
+                    if hedge_total < slowest_backend:
+                        hedge_won = True
+                        totals[straggler_pos] = hedge_total
+                        slowest = max(totals)
+
+        if resilience.hedge and backend_samples:
+            trackers = self._hedge_trackers
+            for sample_region, sample in backend_samples:
+                tracker = trackers.get(sample_region)
+                if tracker is None:
+                    trackers[sample_region] = tracker = EwmaQuantileTracker.from_config(resilience)
+                tracker.observe(sample)
+
+        total = self._config.overhead_ms + extra_overhead_ms + slowest
+        if self._config.include_decode_cost:
+            total += self._store.codec.decoding_cost_estimate(self._store.metadata(key).size)
+
+        if (backend_chunks or neighbor_chunks) and cache_chunks:
+            hit_type = HitType.PARTIAL
+        elif cache_chunks:
+            hit_type = HitType.FULL
+        else:
+            hit_type = HitType.MISS
+
+        return ReadResult(
+            key=key,
+            latency_ms=total,
+            hit_type=hit_type,
+            chunks_from_cache=len(cache_chunks),
+            chunks_from_backend=len(backend_chunks),
+            chunks_from_neighbors=neighbor_chunks,
+            backend_regions=tuple(sorted({placed.region for placed in backend_chunks})),
+            started_at_s=now,
+            degraded=degraded,
+            retries=retries,
+            hedged=hedged,
+            hedge_won=hedge_won,
         )
 
     # ------------------------------------------------------------------ #
@@ -741,10 +1009,11 @@ class BackendReadStrategy(ReadStrategy):
                                     backend_chunks=backend_chunks, degraded=degraded)
 
     def read_indexed(self, key_index: int, now: float) -> ReadResult:
-        if self._faulted:
-            # Faulted reads take the string path: re-planning against the
-            # live fault state is identical there across all schedulers, and
-            # the indexed fast path resumes the moment the state clears.
+        if self._faulted or self._resilience is not None:
+            # Faulted and resilient reads take the string path: re-planning
+            # against the live fault state (and the retry/hedge composition)
+            # is identical there across all schedulers, and the indexed fast
+            # path resumes the moment neither applies.
             return self.read(self._indexed_keys[key_index], now)
         plan = self._indexed_plan(key_index)
         return self._compose_indexed(plan, now, 0, plan.selection_for_hits(()))
@@ -965,7 +1234,7 @@ class FixedChunkCachingStrategy(ReadStrategy):
         return result
 
     def read_indexed(self, key_index: int, now: float) -> ReadResult:
-        if self._faulted:
+        if self._faulted or self._resilience is not None:
             return self.read(self._indexed_keys[key_index], now)
         plan = self._indexed_plan(key_index)
         cache = self._cache
@@ -1130,7 +1399,7 @@ class PeriodicLFUStrategy(ReadStrategy):
         return result
 
     def read_indexed(self, key_index: int, now: float) -> ReadResult:
-        if self._faulted:
+        if self._faulted or self._resilience is not None:
             return self.read(self._indexed_keys[key_index], now)
         plan = self._indexed_plan(key_index)
         key = plan.key
@@ -1212,6 +1481,21 @@ class AgarReadStrategy(ReadStrategy):
     def tick(self, now: float) -> None:
         self._node.reconfigure(now)
 
+    def react_to_fault(self, now: float) -> None:
+        """Fault-reactive control plane (ResilienceConfig.emergency_reconfiguration).
+
+        Every real transition (onset, change, recovery) is stamped on the
+        node so reconfiguration lag is measured whether or not the emergency
+        path is enabled; with it enabled, the knapsack re-solves immediately
+        against the survivor topology (down regions pushed to the Region
+        Manager's estimate view — no re-probing, so no stream draws).
+        """
+        if not self._faulted and not self._seen_fault:
+            return  # initial install of an already-clear schedule
+        self._node.note_fault_transition(now)
+        if self._emergency_reconfig:
+            self._node.emergency_reconfigure(now, self._down_backends)
+
     def read(self, key: str, now: float) -> ReadResult:
         # The Agar node (popularity monitor, knapsack) is control-plane state
         # that survives an AZ failure; only the cache data path goes dark.
@@ -1266,6 +1550,8 @@ class AgarReadStrategy(ReadStrategy):
             extra_overhead_ms=hints.processing_overhead_ms,
             neighbor_chunks=neighbor_chunks,
             degraded=degraded,
+            hedge_exclude=(frozenset(exclude) if self._resilience is not None
+                           else None),
         )
 
         # Write the hinted chunks the client had to fetch from the backend into
@@ -1281,7 +1567,7 @@ class AgarReadStrategy(ReadStrategy):
         return result
 
     def read_indexed(self, key_index: int, now: float) -> ReadResult:
-        if self._faulted:
+        if self._faulted or self._resilience is not None:
             return self.read(self._indexed_keys[key_index], now)
         plan = self._indexed_plan(key_index)
         hinted = self._node.on_request_indices(plan.key, now)

@@ -113,6 +113,11 @@ class AgarNode:
         )
         self._last_reconfiguration_time: float | None = None
         self._auto_reconfigure = True
+        # Fault-reaction bookkeeping: transitions awaiting a reconfiguration,
+        # and the lag (seconds) each one waited before the knapsack re-solved.
+        self._pending_fault_times: list[float] = []
+        self._fault_reaction_lags_s: list[float] = []
+        self._emergency_reconfigurations = 0
 
         if self._config.warm_start:
             uniform = {key: 1.0 for key in store.keys()}
@@ -220,8 +225,50 @@ class AgarNode:
         popularity = self._request_monitor.end_period()
         record = self._cache_manager.reconfigure(popularity)
         self._last_reconfiguration_time = now
+        if self._pending_fault_times:
+            self._fault_reaction_lags_s.extend(
+                now - pending for pending in self._pending_fault_times
+            )
+            self._pending_fault_times.clear()
         return record
 
     def reconfiguration_history(self) -> list[ReconfigurationRecord]:
         """All reconfiguration records so far."""
         return self._cache_manager.history
+
+    # ------------------------------------------------------------------ #
+    # Fault reaction (repro.client.resilience emergency reconfiguration)
+    # ------------------------------------------------------------------ #
+    def note_fault_transition(self, now: float) -> None:
+        """Stamp a fault-state transition awaiting a reconfiguration.
+
+        The next :meth:`reconfigure` — periodic or emergency — resolves every
+        pending stamp into a reaction lag, so
+        :attr:`fault_reaction_lags_s` measures how long the knapsack kept
+        optimizing against a stale topology after each onset/recovery.
+        """
+        self._pending_fault_times.append(now)
+
+    def emergency_reconfigure(self, now: float,
+                              down_regions: frozenset[str]) -> ReconfigurationRecord:
+        """Out-of-band re-solve against the survivor topology.
+
+        Installs ``down_regions`` as the Region Manager's survivor view (no
+        re-probing — existing estimates are penalized, so no latency-model
+        draws are consumed on the fault path) and runs one bounded
+        reconfiguration immediately, outside the periodic timer.  Pass an
+        empty set on recovery to re-solve against the healthy topology.
+        """
+        self._region_manager.set_down_regions(down_regions)
+        self._emergency_reconfigurations += 1
+        return self.reconfigure(now)
+
+    @property
+    def fault_reaction_lags_s(self) -> list[float]:
+        """Reaction lag of every resolved fault transition (seconds)."""
+        return list(self._fault_reaction_lags_s)
+
+    @property
+    def emergency_reconfigurations(self) -> int:
+        """How many out-of-band (fault-reactive) reconfigurations ran."""
+        return self._emergency_reconfigurations

@@ -18,6 +18,11 @@ from repro.backend.object_store import ErasureCodedStore
 from repro.erasure.chunk import ErasureCodingParams
 from repro.geo.latency import DEFAULT_CHUNK_SIZE
 
+#: Penalty (ms) added to a down region's latency estimate.  Large enough to
+#: push the region past every healthy link, so option generation discards its
+#: chunks among the ``m`` furthest and the knapsack values caching survivors.
+DOWN_REGION_PENALTY_MS = 1.0e6
+
 
 @dataclass(frozen=True)
 class RegionEstimate:
@@ -50,6 +55,7 @@ class RegionManager:
         self._chunk_size = chunk_size
         self._estimates: dict[str, float] = {}
         self._cache_read_estimate: float | None = None
+        self._down_regions: frozenset[str] = frozenset()
         self.refresh_estimates()
 
     # ------------------------------------------------------------------ #
@@ -96,20 +102,51 @@ class RegionManager:
         self._cache_read_estimate = cache_probe_total / self._probe_samples
         return dict(self._estimates)
 
+    def set_down_regions(self, down_regions: frozenset[str]) -> None:
+        """Install the survivor view: penalize estimates of down regions.
+
+        Called on fault transitions (emergency reconfiguration).  The stored
+        probe measurements are kept and merely *viewed* through an additive
+        :data:`DOWN_REGION_PENALTY_MS` — deliberately no re-probe, which
+        would consume latency-model draws on the fault path and perturb the
+        deterministic jitter stream.  Pass an empty set on recovery to
+        restore the healthy view.
+        """
+        self._down_regions = frozenset(down_regions)
+
+    @property
+    def down_regions(self) -> frozenset[str]:
+        """Regions currently penalized as unreachable."""
+        return self._down_regions
+
     def latency_estimates(self) -> dict[str, float]:
-        """Latest per-region chunk-read latency estimates (ms)."""
-        return dict(self._estimates)
+        """Latest per-region chunk-read latency estimates (ms).
+
+        Estimates of regions marked down via :meth:`set_down_regions` carry
+        the unreachability penalty, so every consumer (option generation
+        above all) plans against the survivor topology.
+        """
+        down = self._down_regions
+        if not down:
+            return dict(self._estimates)
+        return {
+            region: latency + DOWN_REGION_PENALTY_MS if region in down else latency
+            for region, latency in self._estimates.items()
+        }
 
     def latency_to(self, region: str) -> float:
-        """Latest estimate for one region.
+        """Latest estimate for one region (survivor penalty included).
 
         Raises:
             KeyError: if the region is unknown.
         """
         try:
-            return self._estimates[region]
+            latency = self._estimates[region]
         except KeyError:
             raise KeyError(f"no latency estimate for region {region!r}") from None
+        if region in self._down_regions:
+            latency += DOWN_REGION_PENALTY_MS
+        return latency
 
     def cache_read_estimate(self) -> float:
         """Estimated latency of a local cache chunk read (ms)."""
@@ -121,7 +158,7 @@ class RegionManager:
         return sorted(
             (
                 RegionEstimate(region=region, latency_ms=latency, samples=self._probe_samples)
-                for region, latency in self._estimates.items()
+                for region, latency in self.latency_estimates().items()
             ),
             key=lambda estimate: estimate.latency_ms,
         )

@@ -27,7 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import Table, percent_difference
+from repro.client.resilience import ResilienceConfig
 from repro.client.stats import LatencyWindow, windowed_latency_series
+from repro.client.strategies import ClientConfig
 from repro.experiments.common import (
     EngineOptions,
     ExperimentSettings,
@@ -38,6 +40,17 @@ from repro.sim.faults import FaultSchedule, RegionOutage
 
 #: Outage durations swept by default, as fractions of the clean-run duration.
 DEFAULT_OUTAGE_FRACTIONS: tuple[float, ...] = (0.15, 0.3)
+
+#: Resilience tier of the hedged legs.  The timeout factor and hedge quantile
+#: are deliberately aggressive relative to the topology's jitter (σ = 0.06 on
+#: the log-normal links) so retries and hedges actually fire at experiment
+#: scale; emergency reconfiguration makes the Agar knapsack re-solve against
+#: the survivor topology the moment the outage lands (and again on recovery).
+DEFAULT_HEDGED_RESILIENCE = ResilienceConfig(
+    retry_budget=1, timeout_factor=1.1, backoff_base_ms=4.0,
+    hedge=True, hedge_quantile=0.7, hedge_min_samples=8,
+    emergency_reconfiguration=True,
+)
 
 #: Region taken down by default.  It must sit *inside* the clients' nearest-k
 #: backend plan for the outage to force degraded re-planning: from Frankfurt
@@ -50,12 +63,36 @@ DEFAULT_FAULT_REGION = "sao_paulo"
 #: collaborative legs mirror the fig_collab setup).
 DEFAULT_REGIONS: tuple[str, ...] = ("frankfurt", "dublin")
 
-#: (strategy, collaboration) legs swept by default.
-DEFAULT_LEGS: tuple[tuple[str, bool], ...] = (
+#: (strategy, collaboration[, hedged]) legs swept by default.  The hedged
+#: Agar leg pairs with the plain one so the report shows hedging on/off
+#: side by side (p99 during the fault, recovery lag, reaction lag).
+DEFAULT_LEGS: tuple[tuple, ...] = (
     ("agar", False),
+    ("agar", False, True),
     ("agar", True),
     ("lfu-5", False),
 )
+
+
+def _normalize_legs(legs) -> tuple[tuple[str, bool, bool], ...]:
+    """Accept (strategy, collab) or (strategy, collab, hedged) leg tuples."""
+    normalized = []
+    for leg in legs:
+        if len(leg) == 2:
+            strategy, collaboration = leg
+            hedged = False
+        elif len(leg) == 3:
+            strategy, collaboration, hedged = leg
+        else:
+            raise ValueError(f"malformed leg {leg!r} (expected "
+                             "(strategy, collaboration[, hedged]))")
+        normalized.append((strategy, bool(collaboration), bool(hedged)))
+    return tuple(normalized)
+
+
+def _leg_label(strategy: str, collaboration: bool, hedged: bool) -> str:
+    label = f"{strategy}+collab" if collaboration else strategy
+    return f"{label}+hedged" if hedged else label
 
 #: The outage starts this far into the run (fraction of the clean duration),
 #: leaving a pre-outage span for the recovery baseline.
@@ -89,11 +126,28 @@ class FailurePointRow:
     #: Windows after the repair until p99 returned to the pre-outage level;
     #: None when it never did within the observed series.
     recovery_windows: int | None
+    #: Whether the leg ran with the hedged/retried resilience tier on.
+    hedged: bool = False
+    #: Resilience counters of the faulted run (0 when hedging is off).
+    retries_total: int = 0
+    hedged_reads: int = 0
+    hedge_wins: int = 0
+    #: p99 of the leg's clean baseline run (the recovery-lag reference).
+    clean_p99_ms: float = 0.0
+    #: Windows after the repair until p99 fell back within
+    #: :data:`RECOVERY_TOLERANCE` of the *clean-baseline* p99 — the
+    #: recovery-lag metric; None when it never did within the series.
+    recovery_lag_windows: int | None = None
+    #: Mean fault-reaction lag of the Agar nodes (seconds between a fault
+    #: transition and the next knapsack re-solve); ~0 with emergency
+    #: reconfiguration on, up to a reconfiguration period with it off, and
+    #: None for legs without resolvable Agar reconfiguration lags.
+    reaction_lag_s: float | None = None
 
     @property
     def leg(self) -> str:
-        """Display label of the (strategy, collaboration) leg."""
-        return f"{self.strategy}+collab" if self.collaboration else self.strategy
+        """Display label of the (strategy, collaboration, hedged) leg."""
+        return _leg_label(self.strategy, self.collaboration, self.hedged)
 
     @property
     def slowdown_pct(self) -> float:
@@ -112,12 +166,19 @@ class FailureSweepResult:
     fault_region: str
     window_s: float
     sharded: bool
+    #: ``FaultSchedule.describe()`` of each leg's longest outage, keyed by
+    #: the leg label (the injected windows differ per leg because they are
+    #: placed relative to the leg's own clean duration).
+    schedules: dict[str, str] | None = None
 
 
 def _build_config(settings: ExperimentSettings, regions: tuple[str, ...],
                   strategy: str, clients: int, arrival, collaboration: bool,
-                  faults: FaultSchedule | None) -> EngineConfig:
+                  faults: FaultSchedule | None,
+                  resilience: ResilienceConfig | None = None) -> EngineConfig:
     capacity = settings.cache_capacity_bytes
+    client = (ClientConfig(resilience=resilience) if resilience is not None
+              else ClientConfig())
     return EngineConfig(
         workload=settings.workload(skew=1.1),
         regions=tuple(
@@ -128,6 +189,7 @@ def _build_config(settings: ExperimentSettings, regions: tuple[str, ...],
         agar=agar_config_for_capacity(capacity),
         topology_seed=settings.seed,
         arrival=arrival,
+        client=client,
         collaboration=collaboration,
         collaboration_period_s=30.0 if collaboration else None,
         timer_reconfiguration=True,
@@ -136,8 +198,12 @@ def _build_config(settings: ExperimentSettings, regions: tuple[str, ...],
 
 
 def _execute(settings: ExperimentSettings, config: EngineConfig,
-             sharded: bool) -> list[EngineResult]:
-    """Run one deployment ``settings.runs`` times, keeping every ReadResult."""
+             sharded: bool):
+    """Run one deployment ``settings.runs`` times, keeping every ReadResult.
+
+    Returns ``(results, deployment)`` — the deployment's Agar nodes carry the
+    fault-reaction lag measurements accumulated across the runs.
+    """
     engine = EventEngine(config, keep_results=True)
     base_seed = config.workload.seed
     engine.topology.latency.reseed(config.topology_seed + base_seed)
@@ -149,7 +215,21 @@ def _execute(settings: ExperimentSettings, config: EngineConfig,
             results.append(engine.execute_sharded(deployment, seed))
         else:
             results.append(engine.execute(deployment, seed))
-    return results
+    return results, deployment
+
+
+def _reaction_lag_s(deployment) -> float | None:
+    """Mean Agar fault-reaction lag across the deployment's nodes, if any.
+
+    Sharded runs mutate deepcopies/forked copies of the deployment, so their
+    lags are not observable here; the column shows "-" in sharded mode.
+    """
+    lags: list[float] = []
+    for strategy in deployment.strategies:
+        node = getattr(strategy, "node", None)
+        if node is not None:
+            lags.extend(node.fault_reaction_lags_s)
+    return sum(lags) / len(lags) if lags else None
 
 
 def _duration_s(results: list[EngineResult]) -> float:
@@ -233,15 +313,18 @@ def run_fig_failures(settings: ExperimentSettings | None = None,
         raise ValueError("outage_fractions must not be empty")
     if any(not 0.0 < fraction < 1.0 for fraction in fractions):
         raise ValueError("outage fractions must lie strictly between 0 and 1")
-    legs = DEFAULT_LEGS if legs is None else tuple(legs)
+    legs = _normalize_legs(DEFAULT_LEGS if legs is None else legs)
 
     rows: list[FailurePointRow] = []
     series: dict[str, list[LatencyWindow]] = {}
+    schedules: dict[str, str] = {}
     window_s = 0.0
-    for strategy, collaboration in legs:
+    for strategy, collaboration, hedged in legs:
+        resilience = DEFAULT_HEDGED_RESILIENCE if hedged else None
         clean_config = _build_config(settings, regions, strategy, clients,
-                                     arrival, collaboration, faults=None)
-        clean_runs = _execute(settings, clean_config, sharded)
+                                     arrival, collaboration, faults=None,
+                                     resilience=resilience)
+        clean_runs, _ = _execute(settings, clean_config, sharded)
         duration = _duration_s(clean_runs)
         window_s = max(window_s, duration / WINDOWS_PER_RUN)
         leg_window = duration / WINDOWS_PER_RUN
@@ -250,7 +333,7 @@ def run_fig_failures(settings: ExperimentSettings | None = None,
             _collect_reads(clean_runs), leg_window, end_s=duration)
         outage_start = duration * OUTAGE_START_FRACTION
 
-        leg_label = f"{strategy}+collab" if collaboration else strategy
+        leg_label = _leg_label(strategy, collaboration, hedged)
         for fraction in fractions:
             outage_end = outage_start + duration * fraction
             faults = FaultSchedule([
@@ -258,8 +341,9 @@ def run_fig_failures(settings: ExperimentSettings | None = None,
                              end_s=outage_end),
             ])
             config = _build_config(settings, regions, strategy, clients,
-                                   arrival, collaboration, faults=faults)
-            runs = _execute(settings, config, sharded)
+                                   arrival, collaboration, faults=faults,
+                                   resilience=resilience)
+            runs, deployment = _execute(settings, config, sharded)
             stats = _merged_stats(runs)
             reads = _collect_reads(runs)
             faulted_duration = max(duration, _duration_s(runs))
@@ -268,6 +352,7 @@ def run_fig_failures(settings: ExperimentSettings | None = None,
             before_p99 = _phase_p99(windows, 0.0, outage_start)
             if before_p99 == 0.0:
                 before_p99 = _phase_p99(clean_windows, 0.0, outage_start)
+            clean_p99 = clean_stats.p99_latency_ms
             rows.append(FailurePointRow(
                 strategy=strategy,
                 collaboration=collaboration,
@@ -284,12 +369,22 @@ def run_fig_failures(settings: ExperimentSettings | None = None,
                 p99_after_ms=_phase_p99(windows, outage_end, None),
                 recovery_windows=_recovery_windows(windows, outage_end,
                                                    before_p99),
+                hedged=hedged,
+                retries_total=stats.retries_total,
+                hedged_reads=stats.hedged_reads,
+                hedge_wins=stats.hedge_wins,
+                clean_p99_ms=clean_p99,
+                recovery_lag_windows=_recovery_windows(windows, outage_end,
+                                                       clean_p99),
+                reaction_lag_s=(None if sharded
+                                else _reaction_lag_s(deployment)),
             ))
             if fraction == fractions[-1]:
                 series[leg_label] = windows
+                schedules[leg_label] = faults.describe()
     return FailureSweepResult(rows=rows, series=series,
                               fault_region=fault_region, window_s=window_s,
-                              sharded=sharded)
+                              sharded=sharded, schedules=schedules)
 
 
 def render_fig_failures(result: FailureSweepResult) -> str:
@@ -298,19 +393,24 @@ def render_fig_failures(result: FailureSweepResult) -> str:
     table = Table(
         title=(f"Outage sweep — {result.fault_region} down, degraded reads "
                f"and recovery ({mode})"),
-        columns=("leg", "outage (frac)", "outage (s)", "reads", "degraded",
-                 "unavailable", "mean (ms)", "clean mean (ms)",
-                 "slowdown (%)", "p99 before", "p99 during", "p99 after",
-                 "recovery (windows)"),
+        columns=("leg", "hedging", "outage (frac)", "outage (s)", "reads",
+                 "degraded", "unavailable", "retries", "hedges (won)",
+                 "mean (ms)", "clean mean (ms)", "slowdown (%)",
+                 "p99 before", "p99 during", "p99 after",
+                 "recovery (windows)", "recovery lag (windows)",
+                 "reaction lag (s)"),
     )
     for row in result.rows:
         table.add_row(
             row.leg,
+            "on" if row.hedged else "off",
             row.outage_fraction,
             row.outage_end_s - row.outage_start_s,
             row.reads,
             row.degraded_reads,
             row.unavailable_reads,
+            row.retries_total,
+            f"{row.hedged_reads} ({row.hedge_wins})",
             row.mean_ms,
             row.clean_mean_ms,
             row.slowdown_pct,
@@ -318,8 +418,17 @@ def render_fig_failures(result: FailureSweepResult) -> str:
             row.p99_during_ms,
             row.p99_after_ms,
             "-" if row.recovery_windows is None else row.recovery_windows,
+            "-" if row.recovery_lag_windows is None
+            else row.recovery_lag_windows,
+            "-" if row.reaction_lag_s is None else f"{row.reaction_lag_s:.2f}",
         )
     lines = [table.render(), ""]
+    if result.schedules:
+        lines.append("Injected fault windows (longest sweep point per leg):")
+        for leg, description in result.schedules.items():
+            lines.append(f"  {leg}:")
+            lines.extend(f"    {line}" for line in description.splitlines())
+        lines.append("")
     lines.append("Windowed p99 of each leg's longest outage "
                  "(* marks the outage window):")
     for leg, windows in result.series.items():

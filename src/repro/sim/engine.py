@@ -546,11 +546,19 @@ class _LaneRun:
         self._fault_states: tuple[FaultState, ...] = ()
         self._fault_targets = [strategies[region_index].set_fault_state
                                for region_index in region_indices]
+        # Fault *reaction* hooks fire after every install (initial state and
+        # each transition) so fault-reactive reconfiguration sees onset and
+        # recovery alike.  The hook consumes no latency-model draws, so
+        # per-shard invocation (only this run's regions) stays bit-identical.
+        self._react_targets = [strategies[region_index].react_to_fault
+                               for region_index in region_indices]
         faults = config.faults
         if faults is not None and not faults.is_empty:
             initial = faults.initial_state
             for install in self._fault_targets:
                 install(initial)
+            for react in self._react_targets:
+                react(self.start)
             transitions = faults.transitions
             self._fault_states = tuple(state for _, state in transitions)
             for index, (offset, _state) in enumerate(transitions):
@@ -635,10 +643,16 @@ class _LaneRun:
         self.region_batch: list = [None] * region_count
         self.region_batch_latencies: list = [None] * region_count
         self.region_record_block: list = [None] * region_count
+        # Resilient reads (retry budgets, hedging) draw a variable number of
+        # jitter samples per read, so the fixed draws-per-read batching below
+        # must stand down; the per-event wave path stays valid because a
+        # resilient read still costs at least the client overhead.
         self._draws_per_read = 0
         if (not self.guard_ties and not self._open_loop and self._min_gap > 0.0
                 and all(strategy.supports_indexed_batch
-                        for strategy in self._selected_strategies)):
+                        for strategy in self._selected_strategies)
+                and not any(strategy.resilience_active
+                            for strategy in self._selected_strategies)):
             self._draws_per_read = deployment.store.params.data_chunks
             for region_index in region_indices:
                 strategy = strategies[region_index]
@@ -719,6 +733,7 @@ class _LaneRun:
         timer_seq = self.timer_seq
         fault_states = self._fault_states
         fault_targets = self._fault_targets
+        react_targets = self._react_targets
         guard_ties = self.guard_ties
         lane_schedule_seq = self.lane_schedule_seq
         schedule_counter = self.schedule_counter
@@ -763,6 +778,8 @@ class _LaneRun:
                     state = fault_states[region_index]
                     for install in fault_targets:
                         install(state)
+                    for react in react_targets:
+                        react(timer_time)
                     continue
                 if kind == _TIMER_COLLAB:
                     deployment.coordinator.reconfigure_all(timer_time)
@@ -852,7 +869,9 @@ class _LaneRun:
                                            result.chunks_from_cache,
                                            result.chunks_from_backend,
                                            result.chunks_from_neighbors,
-                                           result.degraded, result.failed)
+                                           result.degraded, result.failed,
+                                           result.retries, result.hedged,
+                                           result.hedge_won)
                                 kept_list.append(result)
                                 position += 1
                                 lane_pos[lane] = position
@@ -918,7 +937,9 @@ class _LaneRun:
                                 result.chunks_from_cache,
                                 result.chunks_from_backend,
                                 result.chunks_from_neighbors,
-                                result.degraded, result.failed)
+                                result.degraded, result.failed,
+                                result.retries, result.hedged,
+                                result.hedge_won)
                         if keep:
                             region_kept[region_index].append(result)
                         position += 1
@@ -972,7 +993,8 @@ class _LaneRun:
                         latency_ms, result.hit_type,
                         result.chunks_from_cache, result.chunks_from_backend,
                         result.chunks_from_neighbors, result.degraded,
-                        result.failed)
+                        result.failed, result.retries, result.hedged,
+                        result.hedge_won)
                 if keep:
                     region_kept[region_index].append(result)
                 position += 1
@@ -1036,22 +1058,24 @@ def _subshard_jitter_seed(seed: int, region_index: int, shard_index: int) -> int
 
 def _install_neighbor_catalogs(deployment: EngineDeployment,
                                profiles: dict[str, tuple[float, float]]) -> None:
-    """Hand every region the union of the *other* regions' pinned chunks.
+    """Hand every region the *other* regions' pinned chunks, per neighbour.
 
     Called after each §VI round: the coordinator's fresh announcements become
     each strategy's neighbour catalog, enabling neighbour-cache reads over
     the region's resolved ``(expected_ms, sigma)`` neighbour-link profile
     (see :meth:`EventEngine._neighbor_profiles` and
-    :meth:`ReadStrategy.set_neighbor_catalog`).
+    :meth:`ReadStrategy.set_neighbor_catalog`).  The catalog keeps the
+    announcements keyed by provenance — which neighbour pinned what — so a
+    fault taking a neighbour region down darks exactly that neighbour's
+    entries instead of the whole merged view.
     """
     announcements = deployment.coordinator.announcements()
     by_region = {a.region: a.pinned_chunks for a in announcements}
     for strategy in deployment.strategies:
-        others = [pinned for region, pinned in by_region.items()
-                  if region != strategy.client_region]
-        union = frozenset().union(*others) if others else frozenset()
+        catalog = {region: pinned for region, pinned in by_region.items()
+                   if region != strategy.client_region}
         expected_ms, sigma = profiles[strategy.client_region]
-        strategy.set_neighbor_catalog(union, expected_ms, sigma)
+        strategy.set_neighbor_catalog(catalog, expected_ms, sigma)
 
 
 def _shard_worker(engine: "EventEngine", deployment: EngineDeployment, seed: int,
@@ -1084,9 +1108,10 @@ def _collab_shard_worker(engine: "EventEngine", deployment: EngineDeployment,
     pipe:
 
     * ``("segment", boundary, catalog)`` — install the neighbour catalog
-      (``None`` = unchanged; the union of the other regions' pinned chunks
-      after a round), then run this region's lanes up to (strictly before)
-      ``boundary``; reply ``("paused", remaining_events, announcement)``.
+      (``None`` = unchanged; otherwise the other regions' pinned chunks
+      after a round, keyed by owning region), then run this region's lanes
+      up to (strictly before) ``boundary``; reply
+      ``("paused", remaining_events, announcement)``.
     * ``("round", now, neighbours)`` — apply this node's share of the §VI
       round (:func:`reconfigure_node` against the neighbours' announcements);
       reply ``("config", announcement)`` with the freshly installed
@@ -1440,6 +1465,8 @@ class EventEngine:
             initial = faults.initial_state
             for strategy in strategies:
                 strategy.set_fault_state(initial)
+            for strategy in strategies:
+                strategy.react_to_fault(start)
             transitions = faults.transitions
             fault_states = tuple(state for _, state in transitions)
             for index, (offset, _state) in enumerate(transitions):
@@ -1499,6 +1526,8 @@ class EventEngine:
                     state = fault_states[payload[1]]
                     for strategy in strategies:
                         strategy.set_fault_state(state)
+                    for strategy in strategies:
+                        strategy.react_to_fault(time_s)
                 elif kind == "collab":
                     period = payload[1]
                     deployment.coordinator.reconfigure_all(time_s)
@@ -1813,7 +1842,7 @@ class EventEngine:
                                           region_index, shard_index, shard_count))
 
         announcements: list[NeighborAnnouncement | None] = [None] * region_count
-        catalogs: list[frozenset | None] = [None] * region_count
+        catalogs: list[dict[str, frozenset] | None] = [None] * region_count
         try:
             boundary = start + period
             while True:
@@ -1838,12 +1867,11 @@ class EventEngine:
                             announcements[region_index] = announcement
                 # The next segment starts with the round's *final* catalogs
                 # (every region's new configuration), matching the in-process
-                # engine, which installs catalogs after the whole round.
+                # engine, which installs catalogs after the whole round —
+                # keyed by provenance, like _install_neighbor_catalogs.
                 catalogs = [
-                    frozenset().union(*(
-                        announcements[other].pinned_chunks
-                        for other in range(region_count) if other != region_index
-                    )) if region_count > 1 else frozenset()
+                    {config.regions[other].region: announcements[other].pinned_chunks
+                     for other in range(region_count) if other != region_index}
                     for region_index in range(region_count)
                 ]
                 boundary += period

@@ -134,8 +134,13 @@ class FaultSchedule:
     The schedule is immutable and purely data: the constructor compiles the
     fault windows into ``(time, FaultState)`` snapshots at every distinct
     transition time, deduplicating transitions that do not change the state.
-    Overlapping windows compose — two outages of the same region merge, and
-    overlapping brownouts of the same region multiply their factors.
+    Windows of *different* kinds or regions compose freely, but the
+    constructor rejects overlapping same-region :class:`RegionOutage` windows
+    and overlapping same-region :class:`BackendBrownout` windows: the former
+    silently merge (one of the windows is then misleading about when the
+    region recovers) and the latter used to compile into a surprising
+    multiplicative state.  Write one window with the intended bounds (and,
+    for brownouts, the intended combined multiplier) instead.
 
     Attributes:
         faults: the disturbance windows, in any order.
@@ -151,7 +156,25 @@ class FaultSchedule:
         for fault in self.faults:
             if not isinstance(fault, (RegionOutage, BackendBrownout, AZFailure)):
                 raise TypeError(f"not a fault: {fault!r}")
+        self._validate_overlaps()
         object.__setattr__(self, "_timeline", self._compile())
+
+    def _validate_overlaps(self) -> None:
+        for kind in (RegionOutage, BackendBrownout):
+            windows: dict[str, list[Fault]] = {}
+            for fault in self.faults:
+                if isinstance(fault, kind):
+                    windows.setdefault(fault.region, []).append(fault)
+            for region, group in windows.items():
+                group.sort(key=lambda fault: (fault.start_s, fault.end_s))
+                for earlier, later in zip(group, group[1:]):
+                    if later.start_s < earlier.end_s:
+                        raise ValueError(
+                            f"overlapping {kind.__name__} windows for region "
+                            f"{region!r}: [{earlier.start_s}, {earlier.end_s}) and "
+                            f"[{later.start_s}, {later.end_s}) — merge them into "
+                            "one window with the intended bounds"
+                        )
 
     def _state_at_compile(self, time_s: float) -> FaultState:
         down_backends: set[str] = set()
@@ -227,3 +250,33 @@ class FaultSchedule:
     def regions(self) -> frozenset[str]:
         """Every region touched by any fault (for topology validation)."""
         return frozenset(fault.region for fault in self.faults)
+
+    def describe(self) -> str:
+        """Human-readable table of the schedule, one line per fault window.
+
+        Used by the ``fig_failures`` report so a run's output states exactly
+        which disturbances it was measured under.
+        """
+        if not self.faults:
+            return "fault schedule: (empty)"
+        ordered = sorted(
+            self.faults,
+            key=lambda fault: (fault.start_s, fault.end_s, fault.region),
+        )
+        rows = [("kind", "region", "window (s)", "detail")]
+        for fault in ordered:
+            window = f"[{fault.start_s:g}, {fault.end_s:g})"
+            if isinstance(fault, BackendBrownout):
+                detail = f"latency x{fault.multiplier:g}"
+            elif isinstance(fault, AZFailure):
+                detail = "cache + backend down"
+            else:
+                detail = "backend down"
+            rows.append((type(fault).__name__, fault.region, window, detail))
+        widths = [max(len(row[col]) for row in rows) for col in range(4)]
+        lines = ["fault schedule:"]
+        for index, row in enumerate(rows):
+            lines.append("  " + "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+            if index == 0:
+                lines.append("  " + "  ".join("-" * width for width in widths))
+        return "\n".join(lines)

@@ -111,6 +111,69 @@ class TestRunFigFailures:
                              fault_region="frankfurt")
 
 
+class TestHedgedLegs:
+    """The resilience tier in the sweep: hedging on/off legs side by side."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig_failures(
+            tiny_settings(),
+            options=tiny_options(),
+            outage_fractions=(0.3,),
+            legs=(("agar", False), ("agar", False, True)),
+        )
+
+    def test_leg_labels_and_flags(self, result):
+        assert [row.leg for row in result.rows] == ["agar", "agar+hedged"]
+        plain, hedged = result.rows
+        assert not plain.hedged
+        assert hedged.hedged
+
+    def test_hedging_fires_only_on_the_hedged_leg(self, result):
+        plain, hedged = result.rows
+        assert plain.hedged_reads == 0
+        assert plain.retries_total == 0
+        assert hedged.hedged_reads > 0
+        assert hedged.hedge_wins <= hedged.hedged_reads
+
+    def test_recovery_lag_measured_against_clean_baseline(self, result):
+        for row in result.rows:
+            assert row.clean_p99_ms > 0.0, row.leg
+            assert row.recovery_lag_windows is not None, row.leg
+
+    def test_emergency_reconfiguration_reacts_immediately(self, result):
+        _, hedged = result.rows
+        assert hedged.reaction_lag_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_render_shows_resilience_columns_and_schedule(self, result):
+        text = render_fig_failures(result)
+        assert "hedging" in text
+        assert "hedges (won)" in text
+        assert "recovery lag (windows)" in text
+        assert "reaction lag (s)" in text
+        assert "fault schedule:" in text
+        assert "agar+hedged" in text
+
+    def test_default_legs_include_a_hedged_agar(self):
+        from repro.experiments.fig_failures import DEFAULT_LEGS
+
+        assert ("agar", False, True) in DEFAULT_LEGS
+
+    def test_malformed_leg_rejected(self):
+        with pytest.raises(ValueError, match="malformed leg"):
+            run_tiny(legs=(("agar",),))
+
+    def test_hedged_sharded_run_is_deterministic(self):
+        kwargs = dict(outage_fractions=(0.3,),
+                      legs=(("agar", False, True),), sharded=True)
+        first = run_tiny(**kwargs)
+        second = run_tiny(**kwargs)
+        assert first.rows == second.rows
+        (row,) = first.rows
+        assert row.hedged_reads > 0
+        assert row.reaction_lag_s is None  # not observable across processes
+
+
 class TestCli:
     def run_cli(self, *argv):
         out = io.StringIO()

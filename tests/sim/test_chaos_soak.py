@@ -1,0 +1,172 @@
+"""Chaos soak: random fault schedules × strategies × resilience settings.
+
+Hypothesis generates valid (non-overlapping) fault schedules — outages,
+brownouts and AZ failures over random windows — and drives small engine runs
+with retries/hedging randomly enabled.  Whatever the weather, the engine-wide
+invariants must hold:
+
+* accounting closes: every issued request is either a latency sample or an
+  unavailable read, and the per-read resilience counters never double-count;
+* simulated time is monotone within each client's request stream;
+* the lane scheduler stays bit-identical to the reference heap loop (and, on
+  a sampled subset, the sharded path to its in-process fallback).
+
+The example counts are deliberately small — each example is a full engine
+run — so the soak stays inside the tier-1 time budget.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.client.resilience import ResilienceConfig
+from repro.client.strategies import ClientConfig
+from repro.sim.engine import EngineConfig, EventEngine, RegionSpec
+from repro.sim.faults import (
+    AZFailure,
+    BackendBrownout,
+    FaultSchedule,
+    RegionOutage,
+)
+from repro.workload.workload import zipfian_workload
+
+MEGABYTE = 1024 * 1024
+
+_COUNTERS = ("full_hits", "partial_hits", "misses", "cache_chunks_total",
+             "backend_chunks_total", "neighbor_chunks_total",
+             "degraded_reads", "unavailable_reads", "retries_total",
+             "hedged_reads", "hedge_wins")
+
+
+def assert_results_identical(fast, reference):
+    """Bit-identity of two EngineResults (counters, latencies, reads)."""
+    assert fast.duration_s == reference.duration_s
+    assert set(fast.regions) == set(reference.regions)
+    for region in fast.regions:
+        fast_region, reference_region = fast.regions[region], reference.regions[region]
+        assert np.array_equal(fast_region.stats.latencies_array(),
+                              reference_region.stats.latencies_array())
+        for counter in _COUNTERS:
+            assert getattr(fast_region.stats, counter) == \
+                getattr(reference_region.stats, counter), (region, counter)
+        assert fast_region.results == reference_region.results
+
+#: Regions faults may hit.  sao_paulo/tokyo/n_virginia perturb the backend
+#: plans of the frankfurt/dublin clients; dublin additionally darks a client
+#: region's own cache and its neighbour-catalog entries.
+FAULT_REGIONS = ("sao_paulo", "tokyo", "n_virginia", "dublin")
+
+_window = st.tuples(
+    st.floats(min_value=0.0, max_value=60.0),
+    st.floats(min_value=4.0, max_value=40.0),
+)
+
+
+def _build_schedule(draw_map):
+    """One window at most per (kind, region): overlap-free by construction."""
+    faults = []
+    for (kind, region), window in draw_map.items():
+        if window is None:
+            continue
+        start, length = window
+        if kind == "outage":
+            faults.append(RegionOutage(region, start, start + length))
+        elif kind == "brownout":
+            faults.append(BackendBrownout(region, start, start + length,
+                                          multiplier=3.0))
+        else:
+            faults.append(AZFailure(region, start, start + length))
+    return FaultSchedule(faults)
+
+
+fault_schedules = st.fixed_dictionaries({
+    (kind, region): st.one_of(st.none(), _window)
+    for kind in ("outage", "brownout", "az")
+    for region in FAULT_REGIONS
+}).map(_build_schedule)
+
+resilience_settings = st.sampled_from([
+    None,
+    ResilienceConfig(retry_budget=2, timeout_factor=1.05, backoff_base_ms=4.0),
+    ResilienceConfig(retry_budget=1, timeout_factor=1.1, hedge=True,
+                     hedge_quantile=0.7, hedge_min_samples=8),
+    ResilienceConfig(retry_budget=2, timeout_factor=1.05, hedge=True,
+                     hedge_quantile=0.6, hedge_min_samples=6,
+                     emergency_reconfiguration=True),
+])
+
+strategy_pairs = st.sampled_from([
+    ("agar", "agar"),
+    ("agar", "lfu-5"),
+    ("backend", "lru-5"),
+])
+
+
+def chaos_config(schedule, resilience, strategies, requests=60):
+    client = ClientConfig(resilience=resilience) if resilience else None
+    kwargs = {"client": client} if client is not None else {}
+    return EngineConfig(
+        workload=zipfian_workload(1.1, request_count=requests,
+                                  object_count=20, seed=11),
+        regions=(RegionSpec("frankfurt", clients=2, strategy=strategies[0]),
+                 RegionSpec("dublin", clients=2, strategy=strategies[1])),
+        cache_capacity_bytes=4 * MEGABYTE,
+        faults=schedule,
+        **kwargs,
+    )
+
+
+def assert_invariants(result, config):
+    total_requests = config.workload.request_count * 4  # 2 regions × 2 clients
+    merged = result.overall_stats()
+    assert merged.count + merged.unavailable_reads == total_requests
+    assert merged.hedge_wins <= merged.hedged_reads
+    assert merged.hedged_reads <= merged.count + merged.unavailable_reads
+    assert merged.retries_total >= 0
+    for region_result in result.regions.values():
+        stats = region_result.stats
+        # Unavailable reads carry no hit classification or latency sample.
+        assert stats.full_hits + stats.partial_hits + stats.misses == stats.count
+        # Per-read counters must sum to the merged ones (no double count).
+        reads = region_result.results
+        assert sum(r.retries for r in reads) == stats.retries_total
+        assert sum(1 for r in reads if r.hedged) == stats.hedged_reads
+        assert sum(1 for r in reads if r.hedge_won) == stats.hedge_wins
+        assert all(not r.hedge_won or r.hedged for r in reads)
+        assert all(not r.failed or (r.retries == 0 and not r.hedged)
+                   for r in reads)
+        # Monotone simulated time: reads complete in start-time order.
+        started = [r.started_at_s for r in reads]
+        assert started == sorted(started)
+        assert all(0.0 <= s <= result.duration_s for s in started)
+
+
+class TestChaosSoak:
+    @settings(max_examples=12, deadline=None)
+    @given(schedule=fault_schedules, resilience=resilience_settings,
+           strategies=strategy_pairs)
+    def test_invariants_and_lane_equivalence(self, schedule, resilience,
+                                             strategies):
+        config = chaos_config(schedule, resilience, strategies)
+        outcomes = []
+        for method in ("execute", "execute_reference"):
+            engine = EventEngine(config, keep_results=True)
+            engine.topology.latency.reseed(config.topology_seed + 3)
+            deployment = engine.build_deployment()
+            outcomes.append(getattr(engine, method)(deployment, 3))
+        fast, reference = outcomes
+        assert_results_identical(fast, reference)
+        assert_invariants(fast, config)
+
+    @settings(max_examples=4, deadline=None)
+    @given(schedule=fault_schedules, resilience=resilience_settings)
+    def test_sharded_fallback_equivalence(self, schedule, resilience):
+        """The (slower) third path on a sampled subset: in-process sharded
+        runs are reproducible and satisfy the same invariants."""
+        config = chaos_config(schedule, resilience, ("agar", "lfu-5"),
+                              requests=40)
+        first = EventEngine(config, keep_results=True).run_sharded(
+            seed=3, processes=False)
+        second = EventEngine(config, keep_results=True).run_sharded(
+            seed=3, processes=False)
+        assert_results_identical(first, second)
+        assert_invariants(first, config)

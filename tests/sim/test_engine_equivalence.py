@@ -19,6 +19,8 @@ not comparable to the shared-stream in-process interleaving).
 import numpy as np
 import pytest
 
+from repro.client.resilience import ResilienceConfig
+from repro.client.strategies import ClientConfig
 from repro.sim.engine import (
     EngineConfig,
     EventEngine,
@@ -28,6 +30,15 @@ from repro.sim.faults import AZFailure, BackendBrownout, FaultSchedule, RegionOu
 from repro.workload.workload import poisson_arrivals, zipfian_workload
 
 MEGABYTE = 1024 * 1024
+
+#: A deliberately aggressive resilience setting: the tight timeout factor
+#: (the topology's σ is 0.06, so ~20% of chunk fetches overshoot 1.05× the
+#: expectation) and the low hedge quantile make retries and hedges routine
+#: within a 120-request run instead of tail events.
+AGGRESSIVE_RESILIENCE = ResilienceConfig(
+    retry_budget=2, timeout_factor=1.05, backoff_base_ms=4.0,
+    hedge=True, hedge_quantile=0.7, hedge_min_samples=8,
+)
 
 
 def workload(requests: int = 120, objects: int = 30, seed: int = 11):
@@ -151,6 +162,51 @@ def _shapes() -> dict[str, EngineConfig]:
             cache_capacity_bytes=5 * MEGABYTE,
             timer_reconfiguration=True,
         ),
+        # Resilience-tier shapes: retried/hedged reads layered over faults,
+        # emergency (fault-reactive) reconfiguration, and hedging against a
+        # heterogeneous deployment.  These must be bit-identical too — the
+        # resilient composition draws extra jitter samples (redraws, hedges)
+        # in a fixed order that both schedulers must reproduce.
+        "resilient_retry_faulted": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("dublin", clients=2, strategy="lfu-5")),
+            cache_capacity_bytes=5 * MEGABYTE,
+            client=ClientConfig(resilience=ResilienceConfig(
+                retry_budget=2, timeout_factor=1.05, backoff_base_ms=4.0)),
+            faults=FaultSchedule([RegionOutage("sao_paulo", 10.0, 40.0),
+                                  BackendBrownout("tokyo", 20.0, 60.0,
+                                                  multiplier=4.0)]),
+        ),
+        "resilient_hedged": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("sydney", clients=2, strategy="lru-5")),
+            cache_capacity_bytes=5 * MEGABYTE,
+            client=ClientConfig(resilience=AGGRESSIVE_RESILIENCE),
+        ),
+        "resilient_emergency_reconfig": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("dublin", clients=2)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            timer_reconfiguration=True,
+            client=ClientConfig(resilience=ResilienceConfig(
+                retry_budget=1, timeout_factor=1.1,
+                emergency_reconfiguration=True)),
+            faults=FaultSchedule([RegionOutage("sao_paulo", 8.0, 25.0)]),
+        ),
+        "faulted_collaboration_darked": EngineConfig(
+            workload=base,
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("dublin", clients=2)),
+            cache_capacity_bytes=5 * MEGABYTE,
+            collaboration=True,
+            # The AZ failure hits a *client* region, so the provenance-aware
+            # catalogs must dark exactly dublin's entries in frankfurt's
+            # neighbour view (and vice versa nothing).
+            faults=FaultSchedule([AZFailure("dublin", 15.0, 45.0)]),
+        ),
     }
 
 
@@ -166,7 +222,8 @@ def assert_results_identical(fast, reference):
         for counter in ("full_hits", "partial_hits", "misses",
                         "cache_chunks_total", "backend_chunks_total",
                         "neighbor_chunks_total", "degraded_reads",
-                        "unavailable_reads"):
+                        "unavailable_reads", "retries_total",
+                        "hedged_reads", "hedge_wins"):
             assert getattr(fast_region.stats, counter) == \
                 getattr(reference_region.stats, counter), (region, counter)
         assert fast_region.results == reference_region.results
@@ -261,6 +318,91 @@ class TestLaneSchedulerEquivalence:
         deployment = engine.build_deployment()
         reference = engine.execute_reference(deployment, 5)
         assert_results_identical(via_run, reference)
+
+
+class TestResilienceEquivalence:
+    """The resilient read path (retries, hedges, emergency reconfiguration)
+    must stay bit-identical across all three execution paths, and the
+    equivalence shapes must actually exercise it (non-vacuous counters)."""
+
+    def resilient_config(self, **overrides):
+        defaults = dict(
+            workload=workload(),
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("dublin", clients=2, strategy="lfu-5")),
+            cache_capacity_bytes=5 * MEGABYTE,
+            client=ClientConfig(resilience=AGGRESSIVE_RESILIENCE),
+            faults=FaultSchedule([RegionOutage("sao_paulo", 10.0, 40.0)]),
+        )
+        defaults.update(overrides)
+        return EngineConfig(**defaults)
+
+    def test_shapes_exercise_retries_and_hedges(self):
+        """Guard against vacuous equivalence: the aggressive resilience
+        shapes must produce nonzero retry and hedge counters."""
+        fast_runs, _ = run_both(_shapes()["resilient_retry_faulted"])
+        assert fast_runs[0].overall_stats().retries_total > 0
+
+        fast_runs, _ = run_both(_shapes()["resilient_hedged"])
+        stats = fast_runs[0].overall_stats()
+        assert stats.hedged_reads > 0
+        assert stats.hedge_wins <= stats.hedged_reads
+
+    def test_emergency_reconfiguration_fires(self):
+        """With emergency reconfiguration on, the agar nodes must re-solve on
+        both the outage onset and the recovery."""
+        config = _shapes()["resilient_emergency_reconfig"]
+        engine = EventEngine(config, keep_results=True)
+        engine.topology.latency.reseed(config.topology_seed + 3)
+        deployment = engine.build_deployment()
+        engine.execute(deployment, 3)
+        for strategy in deployment.strategies:
+            node = strategy.node
+            assert node.emergency_reconfigurations >= 2
+            lags = node.fault_reaction_lags_s
+            assert lags and max(lags) == pytest.approx(0.0, abs=1e-9)
+
+    def test_resilient_fork_matches_in_process_fallback(self):
+        config = self.resilient_config()
+        forked = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=False)
+        assert_results_identical(forked, sequential)
+        assert forked.overall_stats().hedged_reads > 0
+
+    def test_resilient_sharded_is_reproducible(self):
+        config = self.resilient_config()
+        first = EventEngine(config).run_sharded(seed=5)
+        second = EventEngine(config).run_sharded(seed=5)
+        assert_results_identical(first, second)
+
+    def test_resilient_split_region_fork_matches_in_process(self):
+        config = self.resilient_config(
+            regions=(RegionSpec("frankfurt", clients=4, shards=2),
+                     RegionSpec("dublin", clients=2)),
+        )
+        forked = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=False)
+        assert_results_identical(forked, sequential)
+
+    def test_resilient_collaborative_fork_matches_in_process(self):
+        """Hedged reads over per-neighbour (provenance-aware) catalogs with a
+        client-region AZ failure: the round protocol's catalogs and the
+        resilient composition must agree across fork and in-process."""
+        config = self.resilient_config(
+            collaboration=True,
+            faults=FaultSchedule([AZFailure("dublin", 15.0, 45.0)]),
+            regions=(RegionSpec("frankfurt", clients=2),
+                     RegionSpec("dublin", clients=2)),
+        )
+        forked = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=True)
+        sequential = EventEngine(config, keep_results=True).run_sharded(
+            seed=5, processes=False)
+        assert_results_identical(forked, sequential)
 
 
 class TestShardedDeterminism:

@@ -21,9 +21,11 @@ from repro.client.stats import (
     ReadResult,
     windowed_latency_series,
 )
+from repro.client.resilience import ResilienceConfig
 from repro.client.strategies import (
     AgarReadStrategy,
     BackendReadStrategy,
+    ClientConfig,
     FixedChunkCachingStrategy,
 )
 from repro.erasure import DecodingError, ErasureCodingParams
@@ -80,13 +82,51 @@ class TestFaultSchedule:
         assert schedule.state_at(10.0).down_backends == frozenset({"sydney"})
         assert schedule.state_at(30.0).down_backends == frozenset()
 
-    def test_overlapping_brownouts_multiply(self):
+    def test_overlapping_brownouts_rejected(self):
+        with pytest.raises(ValueError, match="overlapping BackendBrownout"):
+            FaultSchedule([
+                BackendBrownout("tokyo", 0.0, 10.0, multiplier=2.0),
+                BackendBrownout("tokyo", 5.0, 15.0, multiplier=3.0),
+            ])
+
+    def test_overlapping_outages_rejected(self):
+        with pytest.raises(ValueError, match="overlapping RegionOutage"):
+            FaultSchedule([
+                RegionOutage("tokyo", 0.0, 10.0),
+                RegionOutage("tokyo", 9.0, 20.0),
+            ])
+
+    def test_adjacent_and_cross_region_windows_allowed(self):
+        # Back-to-back windows ([a, b) then [b, c)) and same-window faults of
+        # different kinds or regions still compose.
         schedule = FaultSchedule([
-            BackendBrownout("tokyo", 0.0, 10.0, multiplier=2.0),
-            BackendBrownout("tokyo", 5.0, 15.0, multiplier=3.0),
+            RegionOutage("tokyo", 0.0, 10.0),
+            RegionOutage("tokyo", 10.0, 20.0),
+            RegionOutage("sydney", 5.0, 15.0),
+            BackendBrownout("tokyo", 5.0, 15.0, multiplier=2.0),
         ])
-        assert dict(schedule.state_at(7.0).brownouts)["tokyo"] == pytest.approx(6.0)
-        assert dict(schedule.state_at(12.0).brownouts)["tokyo"] == pytest.approx(3.0)
+        mid = schedule.state_at(12.0)
+        assert mid.down_backends == frozenset({"tokyo", "sydney"})
+        assert dict(mid.brownouts)["tokyo"] == pytest.approx(2.0)
+
+    def test_describe_lists_every_window(self):
+        schedule = FaultSchedule([
+            BackendBrownout("tokyo", 20.0, 40.0, multiplier=3.0),
+            RegionOutage("sydney", 10.0, 30.0),
+            AZFailure("frankfurt", 5.0, 8.0),
+        ])
+        text = schedule.describe()
+        lines = text.splitlines()
+        assert lines[0] == "fault schedule:"
+        assert len(lines) == 6  # title, header, rule, three windows
+        # Sorted by start time; details name the disturbance semantics.
+        assert "AZFailure" in lines[3] and "cache + backend down" in lines[3]
+        assert "RegionOutage" in lines[4] and "backend down" in lines[4]
+        assert "BackendBrownout" in lines[5] and "latency x3" in lines[5]
+        assert "[20, 40)" in lines[5]
+
+    def test_describe_empty(self):
+        assert FaultSchedule([]).describe() == "fault schedule: (empty)"
 
     def test_az_failure_downs_cache_and_backend(self):
         schedule = FaultSchedule([AZFailure("frankfurt", 0.0, 10.0)])
@@ -312,6 +352,143 @@ class TestEngineFaulted:
         summary = EventEngine(config).run(seed=5).overall_stats().summary()
         assert summary["degraded_reads"] > 0
         assert summary["unavailable_reads"] == 0
+
+
+class TestProvenanceCatalogs:
+    """Provenance-aware neighbour catalogs: a remote ``AZFailure`` or
+    ``RegionOutage`` darks exactly the faulted neighbour's entries, the
+    others keep serving, and the legacy flat (provenance-free) catalog keeps
+    its pre-PR conservative behaviour."""
+
+    def split_catalog(self, store):
+        """An Agar client plus a two-neighbour catalog split over the needed
+        chunks.  Sydney hosts none of the failure-free plan's chunks, so a
+        sydney fault leaves the backend plan untouched and any change in the
+        neighbour counters is pure provenance."""
+        from repro.erasure.chunk import ChunkId
+
+        config = ClientConfig(overhead_ms=0.0, include_decode_cost=False)
+        strategy = AgarReadStrategy(store, "frankfurt", MEGABYTE, config=config)
+        needed = strategy._needed("object-0")
+        assert all(placed.region != "sydney" for placed in needed)
+        chunk_ids = [ChunkId(key="object-0", index=placed.index)
+                     for placed in needed]
+        half = len(chunk_ids) // 2
+        catalog = {"sydney": frozenset(chunk_ids[:half]),
+                   "tokyo": frozenset(chunk_ids[half:])}
+        cheap = min(placed.latency_ms for placed in needed) / 2
+        strategy.set_neighbor_catalog(catalog, cheap)
+        return strategy, catalog, len(chunk_ids), half
+
+    def test_remote_az_failure_darks_only_that_neighbor(self, store):
+        strategy, catalog, total, half = self.split_catalog(store)
+        clean = strategy.read("object-0", now=0.0)
+        assert clean.chunks_from_neighbors == total
+
+        strategy.set_fault_state(FaultState(
+            down_backends=frozenset({"sydney"}),
+            down_caches=frozenset({"sydney"})))
+        dark = strategy.read("object-0", now=1.0)
+        # Sydney's share reverts to the backend; tokyo's keeps serving.
+        assert dark.chunks_from_neighbors == total - half
+        assert dark.chunks_from_backend == half
+        assert not dark.degraded  # the backend plan itself was untouched
+        assert strategy._neighbor_pinned == catalog["tokyo"]
+
+        strategy.set_fault_state(CLEAR_STATE)
+        recovered = strategy.read("object-0", now=2.0)
+        assert recovered.chunks_from_neighbors == total
+        assert strategy._neighbor_pinned == \
+            catalog["sydney"] | catalog["tokyo"]
+
+    def test_region_outage_darks_neighbor_too(self, store):
+        """A RegionOutage conservatively cuts the colocated cache as well."""
+        strategy, catalog, total, half = self.split_catalog(store)
+        strategy.set_fault_state(outage_state("sydney"))
+        dark = strategy.read("object-0", now=0.0)
+        assert dark.chunks_from_neighbors == total - half
+        assert strategy._neighbor_pinned == catalog["tokyo"]
+
+    def test_flat_catalog_keeps_legacy_behaviour(self, store):
+        """A provenance-free catalog has no owner to dark: remote faults
+        leave it whole (the documented pre-provenance contract)."""
+        from repro.erasure.chunk import ChunkId
+
+        config = ClientConfig(overhead_ms=0.0, include_decode_cost=False)
+        strategy = AgarReadStrategy(store, "frankfurt", MEGABYTE, config=config)
+        needed = strategy._needed("object-0")
+        flat = frozenset(ChunkId(key="object-0", index=placed.index)
+                         for placed in needed)
+        cheap = min(placed.latency_ms for placed in needed) / 2
+        strategy.set_neighbor_catalog(flat, cheap)
+        strategy.set_fault_state(FaultState(
+            down_backends=frozenset({"sydney"}),
+            down_caches=frozenset({"sydney"})))
+        result = strategy.read("object-0", now=0.0)
+        assert result.chunks_from_neighbors == len(needed)
+
+    def test_indexed_path_matches_string_path(self, store):
+        strategy, catalog, total, half = self.split_catalog(store)
+        indexed = AgarReadStrategy(
+            store, "frankfurt", MEGABYTE,
+            config=ClientConfig(overhead_ms=0.0, include_decode_cost=False))
+        indexed.set_neighbor_catalog(catalog, strategy._neighbor_read_ms)
+        indexed.prepare_indexed_reads(["object-0"])
+        state = FaultState(down_backends=frozenset({"sydney"}),
+                           down_caches=frozenset({"sydney"}))
+        strategy.set_fault_state(state)
+        indexed.set_fault_state(state)
+        assert indexed.read_indexed(0, 0.0) == strategy.read("object-0", 0.0)
+
+
+class TestFaultReaction:
+    """Fault-reactive (emergency) reconfiguration at the strategy level."""
+
+    def agar(self, store, emergency: bool):
+        return AgarReadStrategy(
+            store, "frankfurt", 10 * MEGABYTE,
+            config=ClientConfig(resilience=ResilienceConfig(
+                emergency_reconfiguration=emergency)))
+
+    def test_emergency_resolve_has_zero_lag(self, store):
+        strategy = self.agar(store, emergency=True)
+        strategy.read("object-0", now=0.0)
+        node = strategy.node
+
+        strategy.set_fault_state(outage_state("sao_paulo"))
+        strategy.react_to_fault(now=10.0)
+        assert node.emergency_reconfigurations == 1
+        assert node.fault_reaction_lags_s == [0.0]
+        assert node.region_manager.down_regions == frozenset({"sao_paulo"})
+        # The knapsack now plans against the survivor view: the penalized
+        # region sorts behind every healthy link.
+        assert node.region_manager.regions_by_distance()[-1] == "sao_paulo"
+
+        strategy.set_fault_state(CLEAR_STATE)
+        strategy.react_to_fault(now=25.0)
+        assert node.emergency_reconfigurations == 2
+        assert node.fault_reaction_lags_s == [0.0, 0.0]
+        assert node.region_manager.down_regions == frozenset()
+
+    def test_without_emergency_lag_spans_to_next_periodic_solve(self, store):
+        strategy = self.agar(store, emergency=False)
+        strategy.read("object-0", now=0.0)
+        node = strategy.node
+
+        strategy.set_fault_state(outage_state("sao_paulo"))
+        strategy.react_to_fault(now=10.0)
+        assert node.emergency_reconfigurations == 0
+        assert node.fault_reaction_lags_s == []  # still pending
+        node.reconfigure(now=37.0)  # the next periodic solve
+        assert node.fault_reaction_lags_s == pytest.approx([27.0])
+
+    def test_initial_clear_install_is_not_a_transition(self, store):
+        strategy = self.agar(store, emergency=True)
+        strategy.react_to_fault(now=0.0)
+        node = strategy.node
+        assert node.emergency_reconfigurations == 0
+        node.reconfigure(now=30.0)
+        assert node.fault_reaction_lags_s == []
 
 
 class TestWindowedSeries:
