@@ -1,10 +1,23 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-baseline bench-gated docs-check
+.PHONY: test coverage bench bench-baseline bench-gated docs-check
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## Tier-1 tests with a line-coverage floor on src/repro (what the CI
+## coverage leg runs).  pytest-cov is not part of the baked-in toolchain, so
+## the target skips cleanly where it is absent instead of failing.
+coverage:
+	@if PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		mkdir -p bench-out; \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q --cov=repro \
+			--cov-report=term --cov-report=xml:bench-out/coverage.xml \
+			--cov-fail-under=85; \
+	else \
+		echo "pytest-cov not installed; skipping coverage run (pip install pytest-cov)"; \
+	fi
 
 ## Check intra-repo markdown links and run the README quickstart commands at
 ## the minimal smoke scale (what the CI docs job runs).
@@ -13,6 +26,7 @@ docs-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig6 --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig_collab --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig_failures --smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli serve --smoke
 
 ## Run the guarded hot-path benchmarks, write BENCH_<date>.json and fail on
 ## a >20% regression vs benchmarks/baseline.json.
@@ -24,9 +38,10 @@ bench:
 bench-baseline:
 	$(PYTHON) benchmarks/run_bench.py --update
 
-## The gated comparison CI runs: codec (batched + packed tier) and engine
-## (scale, faulted, hedged+faulted, million-lane) benchmarks against
-## benchmarks/ci_baseline.json with per-benchmark tolerance bands.
+## The gated comparison CI runs: codec (batched + packed tier), engine
+## (scale, faulted, hedged+faulted, million-lane), the serving tier's wire
+## path and the Fig. 6 end-to-end run against benchmarks/ci_baseline.json
+## with per-benchmark tolerance bands.
 bench-gated:
 	$(PYTHON) benchmarks/run_bench.py --compare benchmarks/ci_baseline.json \
-		--only test_bench_codec_encode_many,test_bench_codec_packed_numba,test_bench_engine_scale_closed_loop,test_bench_engine_faulted,test_bench_engine_hedged_faulted,test_bench_engine_million_lane
+		--only test_bench_codec_encode_many,test_bench_codec_packed_numba,test_bench_engine_scale_closed_loop,test_bench_engine_faulted,test_bench_engine_hedged_faulted,test_bench_engine_million_lane,test_bench_serve_wire,test_bench_fig6_frankfurt

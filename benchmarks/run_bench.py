@@ -56,6 +56,8 @@ GUARDED_BENCHMARKS = (
     "test_bench_engine_hedged_faulted",
     "test_bench_engine_million_lane",
     "test_bench_collab_sharded_rounds",
+    "test_bench_serve_wire",
+    "test_bench_fig6_frankfurt",
 )
 
 #: Which file hosts each guarded benchmark.
@@ -66,6 +68,8 @@ _BENCH_FILES = {
     "test_bench_engine_hedged_faulted": "test_bench_engine.py",
     "test_bench_engine_million_lane": "test_bench_engine.py",
     "test_bench_collab_sharded_rounds": "test_bench_collab.py",
+    "test_bench_serve_wire": "test_bench_serve_wire.py",
+    "test_bench_fig6_frankfurt": "test_bench_fig6.py",
     "test_bench_codec_encode_many": "test_bench_codec.py",
     "test_bench_codec_packed_numba": "test_bench_codec.py",
     "test_bench_request_monitor": "test_bench_monitor.py",
@@ -96,6 +100,12 @@ DEFAULT_TOLERANCES = {
     # Long-body benchmark (multi-second rounds): proportionally steadier.
     "test_bench_engine_million_lane": 0.50,
     "test_bench_collab_sharded_rounds": 0.50,
+    # Wire path (PR 9): real sockets on a shared runner — widest band; the
+    # hard >= 10k req/s floor inside the benchmark is the primary gate.
+    "test_bench_serve_wire": 0.75,
+    # Fig. 6 end-to-end (graduated from smoke-only per the ROADMAP
+    # carry-over): full experiment pipeline, scheduler-noise profile.
+    "test_bench_fig6_frankfurt": 0.60,
 }
 
 

@@ -15,7 +15,7 @@ experiments use; see :meth:`ErasureCodedStore.populate`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.backend.bucket import ChunkNotFoundError, RegionBucket
 from repro.backend.placement import PlacementPolicy, RoundRobinPlacement
@@ -203,6 +203,26 @@ class ErasureCodedStore:
         except KeyError:
             raise ChunkNotFoundError(f"object {key!r} has no chunk {index}") from None
         return self._buckets[region].get(ChunkId(key=key, index=index))
+
+    def get_chunks(self, key: str, indices: Iterable[int]) -> dict[int, Chunk]:
+        """Fetch several chunks of one object with a single catalog lookup.
+
+        The serving tier's per-request fetch: one metadata resolution instead
+        of one per chunk.  Raises :class:`ChunkNotFoundError` on any unknown
+        index.
+        """
+        metadata = self.metadata(key)
+        locations = metadata.chunk_locations
+        buckets = self._buckets
+        chunks: dict[int, Chunk] = {}
+        for index in indices:
+            try:
+                region = locations[index]
+            except KeyError:
+                raise ChunkNotFoundError(
+                    f"object {key!r} has no chunk {index}") from None
+            chunks[index] = buckets[region].get(ChunkId(key=key, index=index))
+        return chunks
 
     def chunk_region(self, key: str, index: int) -> str:
         """Return the region storing chunk ``index`` of ``key``."""

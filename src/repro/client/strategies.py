@@ -288,6 +288,11 @@ class ReadStrategy(ABC):
                          if self._resilience is not None else None)
         self._read_serial = 0
         self._hedge_trackers: dict[str, EwmaQuantileTracker] = {}
+        # Optional decision sink (repro.serve): called once per string-path
+        # read with (result, cache_chunks, backend_chunks) so a serving tier
+        # can fetch exactly the chunks the strategy decided on.  None keeps
+        # the hot path free of any serving overhead.
+        self._decision_sink = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -335,6 +340,23 @@ class ReadStrategy(ABC):
 
     def tick(self, now: float) -> None:
         """Run one round of periodic maintenance at simulated time ``now``."""
+
+    # ------------------------------------------------------------------ #
+    # Serving-tier decision sink
+    # ------------------------------------------------------------------ #
+    def set_decision_sink(self, sink) -> None:
+        """Install a callback observing every string-path read decision.
+
+        ``sink(result, cache_chunks, backend_chunks)`` fires once per
+        :meth:`read` call with the composed :class:`ReadResult` and the exact
+        :class:`PlacedChunk` lists the strategy planned to fetch from the
+        local cache and the backend buckets.  The serving tier
+        (:mod:`repro.serve`) uses this to serve real bytes for precisely the
+        chunks the decision named and to build its per-request ledger.  The
+        indexed fast path (:meth:`read_indexed`) does not fire the sink — it
+        deliberately drops per-chunk identity.  Pass ``None`` to uninstall.
+        """
+        self._decision_sink = sink
 
     # ------------------------------------------------------------------ #
     # §VI collaboration: the neighbour catalog
@@ -514,7 +536,7 @@ class ReadStrategy(ABC):
         transfer or decode is charged); the result carries no backend regions
         and is counted only as :attr:`LatencyStats.unavailable_reads`.
         """
-        return ReadResult(
+        result = ReadResult(
             key=key,
             latency_ms=self._overhead_ms + extra_overhead_ms,
             hit_type=HitType.MISS,
@@ -525,6 +547,10 @@ class ReadStrategy(ABC):
             started_at_s=now,
             failed=True,
         )
+        sink = self._decision_sink
+        if sink is not None:
+            sink(result, [], [])
+        return result
 
     # ------------------------------------------------------------------ #
     # Read path
@@ -578,10 +604,14 @@ class ReadStrategy(ABC):
         elsewhere, so a hedge never re-fetches one).
         """
         if self._resilience is not None:
-            return self._compose_result_resilient(
+            result = self._compose_result_resilient(
                 key, now, cache_chunks, backend_chunks, extra_overhead_ms,
                 neighbor_chunks, degraded, hedge_exclude,
             )
+            sink = self._decision_sink
+            if sink is not None:
+                sink(result, cache_chunks, backend_chunks)
+            return result
         chunk_size = self._chunk_size(key)
         latency = self._latency
         region = self._region
@@ -623,7 +653,7 @@ class ReadStrategy(ABC):
         else:
             hit_type = HitType.MISS
 
-        return ReadResult(
+        result = ReadResult(
             key=key,
             latency_ms=total,
             hit_type=hit_type,
@@ -634,6 +664,10 @@ class ReadStrategy(ABC):
             started_at_s=now,
             degraded=degraded,
         )
+        sink = self._decision_sink
+        if sink is not None:
+            sink(result, cache_chunks, backend_chunks)
+        return result
 
     def _compose_result_resilient(self, key: str, now: float,
                                   cache_chunks: list[PlacedChunk],

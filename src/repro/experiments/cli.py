@@ -48,10 +48,15 @@ from repro.experiments.multiregion import (
     render_multiregion,
     run_multiregion_scaling,
 )
+from repro.experiments.serve_wire import (
+    ServeWireOptions,
+    render_serve_wire,
+    run_serve_wire,
+)
 from repro.experiments.table1_latency import render_table1, run_table1
 
 EXPERIMENTS = ("table1", "fig2", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10",
-               "fig_collab", "fig_failures", "microbench", "multiregion")
+               "fig_collab", "fig_failures", "microbench", "multiregion", "serve")
 
 #: Experiments that understand the engine flags.
 ENGINE_EXPERIMENTS = ("fig6", "fig7", "fig8a", "fig8b", "fig_collab", "fig_failures",
@@ -174,6 +179,17 @@ def _run_one(name: str, settings: ExperimentSettings, out,
     elif name == "multiregion":
         rows = run_multiregion_scaling(settings, options=engine)
         print(render_multiregion(rows, options=engine).render(), file=out)
+    elif name == "serve":
+        serve_options = ServeWireOptions(
+            regions=tuple(extra.get("serve_regions") or ("frankfurt",)),
+            rate_rps=extra.get("serve_rate_rps"),
+        )
+        results = run_serve_wire(settings, serve_options)
+        print(render_serve_wire(results).render(), file=out)
+        for region, result in results.items():
+            print(f"{region}: {result.throughput_rps:.0f} req/s measured over "
+                  f"{result.requests} wire requests ({result.errors} errors)",
+                  file=out)
     elif name == "microbench":
         result = run_microbench(settings)
         print(
@@ -338,6 +354,14 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
             extra = collab_extra
         elif name == "fig_failures":
             extra = failures_extra
+        elif name == "serve":
+            extra = {}
+            if args.regions:
+                extra["serve_regions"] = tuple(
+                    part.strip() for part in args.regions.split(",")
+                    if part.strip())
+            if args.arrival_rate:
+                extra["serve_rate_rps"] = args.arrival_rate
         _run_one(name, settings, out, engine=engine, extra=extra)
         print(file=out)
     return 0

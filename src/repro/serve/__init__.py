@@ -1,0 +1,47 @@
+"""Serving tier: per-region asyncio HTTP gateways over the strategy stack.
+
+The package turns the simulated deployment into a real networked service
+while keeping the *decisions* — cache hit/miss, chunk placement, degraded
+flags, reconfiguration points — bit-identical to a seeded
+:class:`repro.sim.engine.EventEngine` run on the same trace.  That makes the
+simulation test suite an oracle for the served path:
+
+- :mod:`repro.serve.protocol` — minimal dependency-free HTTP/1.1 framing
+  with pipelining, size caps and clean 4xx error mapping.
+- :mod:`repro.serve.ledger` — the canonical per-request decision ledger the
+  equivalence harness compares.
+- :mod:`repro.serve.gateway` — one asyncio gateway per region, mounted
+  directly on ``ReadStrategy``/``ChunkCache``/``ErasureCodec``.
+- :mod:`repro.serve.trace` — build a replayable trace (reads + tick/fault
+  timers) and the expected ledgers from a kept-results engine run.
+- :mod:`repro.serve.replay` — drive a trace through live gateways over real
+  sockets and collect their ledgers.
+- :mod:`repro.serve.loadgen` — open/closed-loop wire load generation with
+  ``LatencyStats``-based reporting.
+"""
+
+from repro.serve.gateway import GatewaySettings, RegionGateway, ServeCluster
+from repro.serve.ledger import LedgerEntry, ledger_from_lines, ledger_to_lines
+from repro.serve.loadgen import (RegionWireResult, WireLoadSpec, run_wire_load,
+                                 run_wire_load_sync, wire_report_table)
+from repro.serve.replay import replay_trace, replay_trace_sync
+from repro.serve.trace import SimTrace, TraceOp, trace_and_ledgers
+
+__all__ = [
+    "GatewaySettings",
+    "LedgerEntry",
+    "RegionGateway",
+    "RegionWireResult",
+    "ServeCluster",
+    "SimTrace",
+    "TraceOp",
+    "WireLoadSpec",
+    "ledger_from_lines",
+    "ledger_to_lines",
+    "replay_trace",
+    "replay_trace_sync",
+    "run_wire_load",
+    "run_wire_load_sync",
+    "trace_and_ledgers",
+    "wire_report_table",
+]

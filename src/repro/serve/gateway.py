@@ -1,0 +1,516 @@
+"""Per-region asyncio HTTP gateways mounted on the strategy stack.
+
+Each :class:`RegionGateway` owns one region's :class:`ReadStrategy` (and
+through it the region's :class:`ChunkCache`) plus the shared
+:class:`ErasureCodedStore` and :class:`SimulationClock`.  A request handler
+runs *synchronously* inside one event-loop step — strategy read, payload
+decode and response assembly happen with no ``await`` in between — so
+concurrent connections can never interleave halfway through a decision.
+That single-threaded serialization is what makes the per-region decision
+ledger well-defined and bit-comparable to a seeded engine run.
+
+Two time modes coexist per request:
+
+- **wall** (default): ``now`` is seconds since cluster start; the shared
+  clock only moves forward.  This is the live-serving mode the wire
+  benchmark measures.
+- **replay**: an ``X-Replay-At`` header (or ``at=`` query on admin
+  endpoints) carries the simulated timestamp; the clock is set to it before
+  the strategy runs, so cache recency — and with it every decision — matches
+  the simulation exactly.
+
+:class:`ServeCluster` builds one gateway per region from an
+:class:`~repro.sim.engine.EngineConfig`, mirroring the engine's deployment
+sequence (reseed, build, initial fault install, external-reconfiguration
+handover) so the served system starts in the simulator's exact initial
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import time
+from dataclasses import dataclass, field
+
+from repro.backend.object_store import (ErasureCodedStore,
+                                        ObjectNotFoundError)
+from repro.client.stats import LatencyStats, ReadResult
+from repro.serve.ledger import (LedgerEntry, fault_entry, ledger_to_lines,
+                                read_entry, tick_entry)
+from repro.serve.protocol import (DEFAULT_MAX_BODY_BYTES, HttpRequest,
+                                  ProtocolError, build_response,
+                                  error_response, parse_request)
+from repro.sim.clock import SimulationClock
+from repro.sim.engine import EngineConfig, EngineDeployment, EventEngine
+
+_KEY_PATTERN = re.compile(r"[A-Za-z0-9._-]{1,200}")
+_OBJECTS_PREFIX = "/objects/"
+_READ_CHUNK = 1 << 16
+
+
+@dataclass(slots=True)
+class GatewaySettings:
+    """Knobs shared by every gateway of a cluster."""
+
+    host: str = "127.0.0.1"
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    serve_payloads: bool = True
+    #: Decoded objects kept in the gateway's own body cache, keyed by
+    #: ``(key, version)`` — standard serving-tier design: the erasure decode
+    #: runs once per object version, not once per request.  The cache never
+    #: touches strategy decisions (the strategy is consulted on every read
+    #: and its chunk decision is recorded either way).  0 disables.
+    body_cache_objects: int = 4096
+
+
+class RegionGateway:
+    """One region's HTTP endpoint over its strategy, cache and the store."""
+
+    def __init__(self, region: str, strategy, store: ErasureCodedStore,
+                 clock: SimulationClock,
+                 fault_states: tuple = (),
+                 settings: GatewaySettings | None = None,
+                 epoch: float | None = None) -> None:
+        self.region = region
+        self.strategy = strategy
+        self.store = store
+        self.clock = clock
+        self.settings = settings or GatewaySettings()
+        self.ledger: list[LedgerEntry] = []
+        self.wire_stats = LatencyStats()
+        self.requests_total = 0
+        self.puts_total = 0
+        self.errors_total = 0
+        self.started_at = time.perf_counter() if epoch is None else epoch
+        self._fault_states = fault_states
+        self._body_cache: dict[tuple[str, int], bytes] = {}
+        self._decided: tuple[list, list] | None = None
+        self._last_result: ReadResult | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+        strategy.set_decision_sink(self._decision_sink)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> tuple[str, int]:
+        """Bind the listening socket (ephemeral port) and start serving."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.settings.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.settings.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # Connection loop (pipelining-aware)
+    # ------------------------------------------------------------------ #
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        buffer = bytearray()
+        max_body = self.settings.max_body_bytes
+        perf = time.perf_counter
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    if buffer:
+                        # Truncated request (EOF mid-headers or mid-body):
+                        # best-effort clean 400 before closing.
+                        writer.write(error_response(
+                            ProtocolError(400, "truncated request")))
+                        with _suppress_connection_errors():
+                            await writer.drain()
+                    break
+                buffer += data
+                offset = 0
+                out = bytearray()
+                close = False
+                while True:
+                    try:
+                        parsed = parse_request(buffer, offset, max_body)
+                    except ProtocolError as error:
+                        self.errors_total += 1
+                        out += error_response(error)
+                        close = True
+                        break
+                    if parsed is None:
+                        break
+                    request, offset = parsed
+                    started = perf()
+                    response = self._dispatch(request)
+                    result = self._last_result
+                    if result is not None:
+                        self._last_result = None
+                        self.wire_stats.record_read(
+                            (perf() - started) * 1000.0, result.hit_type,
+                            result.chunks_from_cache,
+                            result.chunks_from_backend,
+                            result.chunks_from_neighbors,
+                            result.degraded, result.failed)
+                    out += response
+                    if not request.keep_alive:
+                        close = True
+                        break
+                if offset:
+                    del buffer[:offset]
+                if out:
+                    writer.write(bytes(out))
+                    await writer.drain()
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with _suppress_connection_errors():
+                writer.close()
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, request: HttpRequest) -> bytes:
+        """Route one request; never raises — errors become clean responses."""
+        self.requests_total += 1
+        try:
+            return self._route(request)
+        except ProtocolError as error:
+            self.errors_total += 1
+            return error_response(error, keep_alive=request.keep_alive)
+        except Exception as error:  # noqa: BLE001 — the 5xx contract
+            self.errors_total += 1
+            detail = f"{type(error).__name__}: {error}"
+            return build_response(500, detail.encode(),
+                                  keep_alive=request.keep_alive,
+                                  content_type="text/plain")
+
+    def _route(self, request: HttpRequest) -> bytes:
+        method = request.method
+        path = request.path
+        if method == "GET":
+            if path.startswith(_OBJECTS_PREFIX):
+                return self._get_object(request)
+            if path == "/healthz":
+                return build_response(200, b"ok\n", content_type="text/plain")
+            if path == "/stats":
+                return self._get_stats(request)
+            if path == "/ledger":
+                return self._get_ledger(request)
+            raise ProtocolError(404, f"no route for GET {path}")
+        if method == "PUT":
+            if path.startswith(_OBJECTS_PREFIX):
+                return self._put_object(request)
+            raise ProtocolError(404, f"no route for PUT {path}")
+        if method == "POST":
+            if path == "/admin/tick":
+                return self._admin_tick(request)
+            if path == "/admin/fault":
+                return self._admin_fault(request)
+            raise ProtocolError(404, f"no route for POST {path}")
+        raise ProtocolError(405, f"method {method} not supported")
+
+    # ------------------------------------------------------------------ #
+    # Time
+    # ------------------------------------------------------------------ #
+    def _request_time(self, request: HttpRequest) -> float:
+        """The simulated ``now`` for this request (replay header or wall)."""
+        header = request.headers.get("x-replay-at")
+        if header is None:
+            header = request.query.get("at")
+        clock = self.clock
+        if header is not None:
+            try:
+                at = float(header)
+            except ValueError:
+                raise ProtocolError(400, "invalid replay timestamp") from None
+            clock._now_s = at
+            return at
+        at = time.perf_counter() - self.started_at
+        if at > clock._now_s:
+            clock._now_s = at
+        else:
+            at = clock._now_s
+        return at
+
+    # ------------------------------------------------------------------ #
+    # Object routes
+    # ------------------------------------------------------------------ #
+    def _object_key(self, path: str) -> str:
+        key = path[len(_OBJECTS_PREFIX):]
+        if not _KEY_PATTERN.fullmatch(key):
+            raise ProtocolError(400, "invalid object key")
+        return key
+
+    def _decision_sink(self, result: ReadResult, cache_chunks: list,
+                       backend_chunks: list) -> None:
+        self._decided = (cache_chunks, backend_chunks)
+
+    def _get_object(self, request: HttpRequest) -> bytes:
+        key = self._object_key(request.path)
+        store = self.store
+        try:
+            metadata = store.metadata(key)
+        except ObjectNotFoundError:
+            # Reject before touching the strategy: unknown keys must never
+            # perturb popularity tracking or cache state.
+            raise ProtocolError(404, f"unknown object {key!r}") from None
+        at = self._request_time(request)
+        self._decided = None
+        result = self.strategy.read(key, at)
+        self.ledger.append(read_entry(result))
+        self._last_result = result
+        decided = self._decided
+        self._decided = None
+
+        body = b""
+        body_kind = "none"
+        indices: list[int] = []
+        if result.failed:
+            headers = self._decision_headers(result, ())
+            return build_response(503, b"read unavailable under faults\n",
+                                  headers, keep_alive=request.keep_alive,
+                                  content_type="text/plain")
+        if self.settings.serve_payloads and decided is not None:
+            cache_chunks, backend_chunks = decided
+            indices = [placed.index for placed in cache_chunks]
+            indices += [placed.index for placed in backend_chunks]
+            body, body_kind = self._object_body(key, metadata, indices)
+        headers = self._decision_headers(result, indices)
+        headers += (("X-Agar-Body", body_kind),)
+        return build_response(200, body, headers,
+                              keep_alive=request.keep_alive)
+
+    def _object_body(self, key: str, metadata, indices: list[int],
+                     ) -> tuple[bytes, str]:
+        """The object's bytes, from exactly the chunks the decision named.
+
+        The decode runs once per ``(key, version)`` and lands in the bounded
+        body cache; repeat reads serve the cached bytes (the chunk decision
+        is still taken — and recorded — per request).  When the first ``k``
+        decided chunks are exactly the data chunks, reconstruction is pure
+        concatenation; otherwise the Reed-Solomon decode runs.
+        """
+        cache_slot = (key, metadata.version)
+        body_cache = self._body_cache
+        body = body_cache.get(cache_slot)
+        if body is not None:
+            return body, "cached"
+        store = self.store
+        needed = store.params.data_chunks
+        take = indices[:needed]
+        if len(take) < needed:
+            return b"", "short"
+        chunks = store.get_chunks(key, take)
+        if any(chunk.payload is None for chunk in chunks.values()):
+            return b"", "virtual"
+        if sorted(take) == list(range(needed)):
+            # Systematic fast path: the decided chunks are the data chunks.
+            body = b"".join(
+                chunks[index].payload for index in range(needed)
+            )[:metadata.size]
+        else:
+            body = store.codec.decode(metadata, chunks)
+        capacity = self.settings.body_cache_objects
+        if capacity > 0:
+            if len(body_cache) >= capacity:
+                del body_cache[next(iter(body_cache))]
+            body_cache[cache_slot] = body
+        return body, "decoded"
+
+    def _decision_headers(self, result: ReadResult,
+                          indices: tuple | list) -> tuple[tuple[str, str], ...]:
+        return (
+            ("X-Agar-Hit", result.hit_type.value),
+            ("X-Agar-Cache-Chunks", str(result.chunks_from_cache)),
+            ("X-Agar-Backend-Chunks", str(result.chunks_from_backend)),
+            ("X-Agar-Neighbor-Chunks", str(result.chunks_from_neighbors)),
+            ("X-Agar-Regions", ",".join(result.backend_regions)),
+            ("X-Agar-Degraded", "1" if result.degraded else "0"),
+            ("X-Agar-Chunks", ",".join(map(str, indices))),
+            ("X-Agar-Model-Ms", repr(result.latency_ms)),
+        )
+
+    def _put_object(self, request: HttpRequest) -> bytes:
+        key = self._object_key(request.path)
+        body = request.body
+        if not body:
+            raise ProtocolError(400, "empty object body")
+        store = self.store
+        try:
+            existing = store.metadata(key)
+        except ObjectNotFoundError:
+            existing = None
+        if existing is not None and existing.size != len(body):
+            # Size is immutable: per-key read plans cache chunk counts and
+            # expected latencies derived from it.
+            raise ProtocolError(
+                409, f"object {key!r} exists with size {existing.size}")
+        version = existing.version + 1 if existing is not None else 1
+        store.put(key, body, version=version)
+        self.puts_total += 1
+        status = 204 if existing is not None else 201
+        return build_response(status, b"", keep_alive=request.keep_alive,
+                              content_type="text/plain")
+
+    # ------------------------------------------------------------------ #
+    # Introspection routes
+    # ------------------------------------------------------------------ #
+    def _get_stats(self, request: HttpRequest) -> bytes:
+        stats = self.wire_stats
+        payload = {
+            "region": self.region,
+            "requests_total": self.requests_total,
+            "puts_total": self.puts_total,
+            "errors_total": self.errors_total,
+            "ledger_entries": len(self.ledger),
+            "wire": dict(stats.summary(),
+                         count=stats.count,
+                         p50_ms=stats.percentile(50.0) if stats.count else 0.0,
+                         p95_ms=stats.percentile(95.0) if stats.count else 0.0,
+                         p99_ms=stats.percentile(99.0) if stats.count else 0.0),
+        }
+        return build_response(200, json.dumps(payload).encode(),
+                              keep_alive=request.keep_alive,
+                              content_type="application/json")
+
+    def _get_ledger(self, request: HttpRequest) -> bytes:
+        start_text = request.query.get("start", "0")
+        if not start_text.isdigit():
+            raise ProtocolError(400, "invalid ledger start")
+        text = ledger_to_lines(self.ledger[int(start_text):])
+        return build_response(200, text.encode(),
+                              keep_alive=request.keep_alive,
+                              content_type="text/plain")
+
+    # ------------------------------------------------------------------ #
+    # Admin routes (trace replay)
+    # ------------------------------------------------------------------ #
+    def _admin_tick(self, request: HttpRequest) -> bytes:
+        at = self._request_time(request)
+        self.strategy.tick(at)
+        self.ledger.append(tick_entry(at))
+        return build_response(200, b"", content_type="text/plain",
+                              keep_alive=request.keep_alive)
+
+    def _admin_fault(self, request: HttpRequest) -> bytes:
+        index_text = request.query.get("index", "")
+        try:
+            index = int(index_text)
+        except ValueError:
+            raise ProtocolError(400, "invalid fault index") from None
+        if not 0 <= index < len(self._fault_states):
+            raise ProtocolError(400, f"fault index {index} out of range")
+        at = self._request_time(request)
+        self.strategy.set_fault_state(self._fault_states[index])
+        self.strategy.react_to_fault(at)
+        self.ledger.append(fault_entry(at, index))
+        return build_response(200, b"", content_type="text/plain",
+                              keep_alive=request.keep_alive)
+
+    def install_initial_fault(self, state, at: float = 0.0) -> None:
+        """Mirror the engine's t=0 fault install (ledger ``fault_index=-1``)."""
+        self.strategy.set_fault_state(state)
+        self.strategy.react_to_fault(at)
+        self.ledger.append(fault_entry(at, -1))
+
+
+class _suppress_connection_errors:
+    """Tiny context manager: ignore errors while tearing a socket down."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return exc_type is not None and issubclass(
+            exc_type, (ConnectionResetError, BrokenPipeError, OSError))
+
+
+class ServeCluster:
+    """One gateway per region, deployed exactly like a seeded engine run."""
+
+    def __init__(self, config: EngineConfig, deployment: EngineDeployment,
+                 gateways: dict[str, RegionGateway]) -> None:
+        self.config = config
+        self.deployment = deployment
+        self.gateways = gateways
+
+    @classmethod
+    def from_config(cls, config: EngineConfig, *, seed: int | None = None,
+                    payloads: bool = False,
+                    settings: GatewaySettings | None = None) -> "ServeCluster":
+        """Deploy gateways from an engine config, in the engine's own order.
+
+        Mirrors :meth:`EventEngine.run` deployment-side: reseed the shared
+        jitter stream with ``topology_seed + seed``, build the store and the
+        strategies in region order, install the initial fault state, and hand
+        reconfiguration to the external driver when the config resolves to
+        timer mode.  With ``payloads=True`` the store carries real encoded
+        bytes (placement — and thus every decision — is unchanged).
+        """
+        if config.collaboration:
+            raise ValueError(
+                "the serving tier does not support §VI collaboration")
+        names = [spec.region for spec in config.regions]
+        if len(set(names)) != len(names):
+            raise ValueError("serving tier requires unique region names")
+        engine = EventEngine(config)
+        effective_seed = (config.workload.seed if seed is None else seed)
+        engine.topology.latency.reseed(config.topology_seed + effective_seed)
+        deployment = engine.build_deployment(payloads=payloads)
+        if config.uses_timer_reconfiguration:
+            for strategy in deployment.strategies:
+                strategy.set_external_reconfiguration(True)
+        faults = config.faults
+        fault_states = ()
+        if faults is not None and not faults.is_empty:
+            fault_states = tuple(state for _, state in faults.transitions)
+        settings = settings or GatewaySettings()
+        epoch = time.perf_counter()
+        gateways = {
+            spec.region: RegionGateway(
+                spec.region, strategy, deployment.store, deployment.clock,
+                fault_states=fault_states, settings=settings, epoch=epoch)
+            for spec, strategy in zip(config.regions, deployment.strategies)
+        }
+        if faults is not None and not faults.is_empty:
+            initial = faults.initial_state
+            for name in names:
+                gateways[name].install_initial_fault(initial, 0.0)
+        return cls(config, deployment, gateways)
+
+    @property
+    def addresses(self) -> dict[str, tuple[str, int]]:
+        """Region name → bound ``(host, port)`` (after :meth:`start`)."""
+        out = {}
+        for name, gateway in self.gateways.items():
+            if gateway.port is None:
+                raise RuntimeError("cluster not started")
+            out[name] = (gateway.settings.host, gateway.port)
+        return out
+
+    async def start(self) -> dict[str, tuple[str, int]]:
+        for gateway in self.gateways.values():
+            await gateway.start()
+        return self.addresses
+
+    async def stop(self) -> None:
+        for gateway in self.gateways.values():
+            await gateway.stop()
+
+    async def __aenter__(self) -> "ServeCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    def ledgers(self) -> dict[str, list[LedgerEntry]]:
+        """Per-region decision ledgers recorded so far."""
+        return {name: list(gateway.ledger)
+                for name, gateway in self.gateways.items()}

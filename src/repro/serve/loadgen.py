@@ -1,0 +1,276 @@
+"""Wire-level load generation against live gateways.
+
+Repurposes the workload machinery the event engine runs on — the same
+Zipfian/uniform rank streams (:func:`generate_request_ranks`, one stream per
+connection seeded like an engine lane) and the same
+:class:`~repro.workload.workload.ArrivalSpec` pacing — but issues real HTTP
+requests over real sockets and measures *wall-clock* latency into the same
+:class:`~repro.client.stats.LatencyStats` the simulated reports use.
+
+Closed loop keeps ``pipeline_depth`` requests in flight per connection
+(YCSB-style, but windowed so one core can be saturated without one-at-a-time
+round trips).  Open loop (Poisson) pre-draws each connection's arrival
+schedule and records latency from the *scheduled* send time, the standard
+coordinated-omission-free convention for open-loop generators.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.client.stats import HitType, LatencyStats
+from repro.serve.protocol import parse_response
+from repro.workload.workload import (ArrivalSpec, WorkloadSpec,
+                                     generate_request_ranks)
+
+#: Per-connection seed stride; mirrors the engine's lane seeding so
+#: connection 0 replays exactly the single-client stream.
+CONNECTION_SEED_STRIDE = 7919
+
+
+@dataclass(slots=True)
+class WireLoadSpec:
+    """One region's wire workload: streams, pacing and connection shape."""
+
+    workload: WorkloadSpec
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    connections: int = 4
+    pipeline_depth: int = 32
+    requests_per_connection: int | None = None
+
+    def connection_requests(self) -> int:
+        """Requests each connection issues."""
+        if self.requests_per_connection is not None:
+            return self.requests_per_connection
+        per = -(-self.workload.request_count // max(self.connections, 1))
+        return max(per, 1)
+
+
+@dataclass(slots=True)
+class RegionWireResult:
+    """Measured outcome of one region's wire run."""
+
+    region: str
+    stats: LatencyStats
+    duration_s: float
+    requests: int
+    errors: int
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.stats.throughput_rps(self.duration_s)
+
+
+def _request_bytes(key: str) -> bytes:
+    return (f"GET /objects/{key} HTTP/1.1\r\nHost: loadgen\r\n\r\n").encode()
+
+
+class _RegionRun:
+    """Shared accounting for one region's worker connections."""
+
+    __slots__ = ("stats", "errors")
+
+    def __init__(self) -> None:
+        self.stats = LatencyStats()
+        self.errors = 0
+
+    def record(self, latency_ms: float, status: int,
+               headers: dict[str, str]) -> None:
+        if status != 200 and status != 503:
+            self.errors += 1
+            return
+        hit = headers.get("x-agar-hit", "miss")
+        try:
+            hit_type = HitType(hit)
+        except ValueError:
+            hit_type = HitType.MISS
+        self.stats.record_read(
+            latency_ms, hit_type,
+            int(headers.get("x-agar-cache-chunks", "0") or 0),
+            int(headers.get("x-agar-backend-chunks", "0") or 0),
+            int(headers.get("x-agar-neighbor-chunks", "0") or 0),
+            headers.get("x-agar-degraded") == "1",
+            status == 503)
+
+
+async def _drain_responses(reader: asyncio.StreamReader, buffer: bytearray,
+                           offset: int, pending: deque, run: _RegionRun,
+                           minimum: int) -> int:
+    """Consume at least ``minimum`` buffered/incoming responses.
+
+    Returns the number of responses consumed — callers must count completions
+    from this value, not from ``len(pending)`` deltas, because a concurrent
+    sender task may append to ``pending`` while this coroutine awaits.
+    """
+    perf = time.perf_counter
+    consumed = 0
+    while True:
+        parsed = parse_response(buffer, offset)
+        while parsed is None:
+            if consumed >= minimum:
+                if offset:
+                    del buffer[:offset]
+                return consumed
+            if offset:
+                del buffer[:offset]
+                offset = 0
+            data = await reader.read(1 << 16)
+            if not data:
+                raise ConnectionError("gateway closed during load run")
+            buffer += data
+            parsed = parse_response(buffer, offset)
+        (status, headers, _body), offset = parsed
+        run.record((perf() - pending.popleft()) * 1000.0, status, headers)
+        consumed += 1
+
+
+async def _closed_worker(address: tuple[str, int], keys: list[str],
+                         depth: int, run: _RegionRun) -> None:
+    reader, writer = await asyncio.open_connection(*address)
+    perf = time.perf_counter
+    buffer = bytearray()
+    pending: deque[float] = deque()
+    total = len(keys)
+    sent = 0
+    done = 0
+    # Zipfian streams repeat keys heavily; render each request once.
+    rendered: dict[str, bytes] = {}
+    try:
+        while done < total:
+            if sent < total and len(pending) < depth:
+                batch = []
+                now = perf()
+                while sent < total and len(pending) < depth:
+                    key = keys[sent]
+                    request = rendered.get(key)
+                    if request is None:
+                        rendered[key] = request = _request_bytes(key)
+                    batch.append(request)
+                    pending.append(now)
+                    sent += 1
+                writer.write(b"".join(batch))
+            await writer.drain()
+            done += await _drain_responses(reader, buffer, 0, pending, run, 1)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def _open_worker(address: tuple[str, int], keys: list[str],
+                       schedule: np.ndarray, run: _RegionRun) -> None:
+    reader, writer = await asyncio.open_connection(*address)
+    perf = time.perf_counter
+    buffer = bytearray()
+    pending: deque[float] = deque()
+    total = len(keys)
+    origin = perf()
+    absolute = origin + schedule
+
+    async def sender() -> None:
+        position = 0
+        while position < total:
+            now = perf()
+            wrote = False
+            while position < total and absolute[position] <= now:
+                writer.write(_request_bytes(keys[position]))
+                pending.append(absolute[position])
+                position += 1
+                wrote = True
+            if wrote:
+                await writer.drain()
+            if position < total:
+                await asyncio.sleep(
+                    max(absolute[position] - perf(), 0.0))
+
+    async def receiver() -> None:
+        done = 0
+        while done < total:
+            if not pending:
+                await asyncio.sleep(0.001)
+                continue
+            done += await _drain_responses(reader, buffer, 0, pending, run, 1)
+
+    try:
+        await asyncio.gather(sender(), receiver())
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def run_wire_load(addresses: Mapping[str, tuple[str, int]],
+                        spec: WireLoadSpec, seed: int = 0,
+                        ) -> dict[str, RegionWireResult]:
+    """Run the wire workload against every region concurrently."""
+    results: dict[str, RegionWireResult] = {}
+    per_connection = spec.connection_requests()
+
+    async def _region(index: int, region: str,
+                      address: tuple[str, int]) -> None:
+        run = _RegionRun()
+        workers = []
+        for connection in range(spec.connections):
+            lane = index * spec.connections + connection
+            lane_seed = seed + CONNECTION_SEED_STRIDE * lane
+            ranks = generate_request_ranks(spec.workload, seed=lane_seed)
+            keys = [spec.workload.key_for_rank(int(rank))
+                    for rank in ranks[:per_connection]]
+            if spec.arrival.is_open_loop:
+                rng = np.random.default_rng((lane_seed, 0x5e7e))
+                gaps = rng.exponential(spec.arrival.mean_interarrival_s,
+                                       len(keys))
+                schedule = np.cumsum(gaps)
+                workers.append(_open_worker(address, keys, schedule, run))
+            else:
+                workers.append(_closed_worker(address, keys,
+                                              spec.pipeline_depth, run))
+        started = time.perf_counter()
+        await asyncio.gather(*workers)
+        duration = time.perf_counter() - started
+        stats = run.stats
+        results[region] = RegionWireResult(
+            region=region, stats=stats, duration_s=duration,
+            requests=stats.count + stats.unavailable_reads, errors=run.errors)
+
+    await asyncio.gather(*(
+        _region(index, region, address)
+        for index, (region, address) in enumerate(addresses.items())))
+    return results
+
+
+def run_wire_load_sync(addresses: Mapping[str, tuple[str, int]],
+                       spec: WireLoadSpec, seed: int = 0,
+                       ) -> dict[str, RegionWireResult]:
+    """Blocking wrapper around :func:`run_wire_load`."""
+    return asyncio.run(run_wire_load(addresses, spec, seed))
+
+
+def wire_report_table(results: Mapping[str, RegionWireResult],
+                      title: str = "Wire-level serving latency") -> Table:
+    """The wire twin of the simulated report tables (same stats source)."""
+    table = Table(title=title, columns=[
+        "region", "requests", "req/s", "mean ms", "p50 ms", "p95 ms",
+        "p99 ms", "hit %", "errors"])
+    for region, result in results.items():
+        stats = result.stats
+        table.add_row(
+            region, result.requests, result.throughput_rps,
+            stats.mean_latency_ms if stats.count else 0.0,
+            stats.p50_latency_ms if stats.count else 0.0,
+            stats.p95_latency_ms if stats.count else 0.0,
+            stats.p99_latency_ms if stats.count else 0.0,
+            stats.hit_ratio * 100.0,
+            result.errors)
+    return table

@@ -1316,12 +1316,20 @@ class EventEngine:
     # ------------------------------------------------------------------ #
     # Deployment
     # ------------------------------------------------------------------ #
-    def build_deployment(self) -> EngineDeployment:
+    def build_deployment(self, payloads: bool = False) -> EngineDeployment:
         """Create the store, clock and one strategy per region.
 
         Strategies are built in region order, which fixes the order of the
         warm-up probe draws from the shared jitter stream (the determinism
         contract).
+
+        Args:
+            payloads: if True, populate the store with real encoded payloads
+                instead of virtual (payload-less) chunks.  Placement is
+                stateless round-robin, so chunk locations — and therefore
+                every strategy decision — are identical either way; the
+                serving tier (:mod:`repro.serve`) uses this to serve real
+                bytes while staying decision-equivalent to simulated runs.
         """
         config = self._config
         store = ErasureCodedStore(self._topology, params=config.params)
@@ -1329,6 +1337,8 @@ class EventEngine:
             object_count=config.workload.object_count,
             object_size=config.workload.object_size,
             key_prefix=config.workload.key_prefix,
+            virtual=not payloads,
+            seed=config.workload.seed,
         )
         clock = SimulationClock()
         strategies = [

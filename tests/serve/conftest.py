@@ -1,0 +1,13 @@
+"""Fixtures for the serving-tier tests (helpers live in serve_helpers.py)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+
+@pytest.fixture
+def run():
+    """Run a coroutine to completion on a fresh event loop."""
+    return asyncio.run

@@ -1,0 +1,86 @@
+"""Shared helpers for the serving-tier tests.
+
+Everything runs on loopback sockets with ephemeral ports and small virtual
+workloads, so the suite stays fast while exercising the real wire path.
+Pytest puts this directory on ``sys.path`` when collecting the suite, so
+test modules import this module by name.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.gateway import ServeCluster
+from repro.serve.protocol import parse_response
+from repro.sim.engine import EngineConfig, RegionSpec
+from repro.workload.workload import WorkloadSpec
+
+MEGABYTE = 1024 * 1024
+
+
+def tiny_config(strategy: str = "lru-3", request_count: int = 60,
+                object_count: int = 20, object_size: int = 32 * 1024,
+                **overrides) -> EngineConfig:
+    """A one-region config small enough for per-test cluster deployment."""
+    return EngineConfig(
+        workload=WorkloadSpec(object_count=object_count,
+                              object_size=object_size,
+                              request_count=request_count, seed=7),
+        regions=[RegionSpec(region="frankfurt", clients=1, strategy=strategy)],
+        cache_capacity_bytes=MEGABYTE,
+        **overrides,
+    )
+
+
+async def start_cluster(config: EngineConfig, **kwargs) -> ServeCluster:
+    cluster = ServeCluster.from_config(config, **kwargs)
+    await cluster.start()
+    return cluster
+
+
+async def raw_exchange(address: tuple[str, int], payload: bytes,
+                       responses: int = 1) -> list[tuple[int, dict, bytes]]:
+    """Send raw bytes, read up to ``responses`` complete responses, close."""
+    reader, writer = await asyncio.open_connection(*address)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        writer.write_eof()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    out = []
+    offset = 0
+    for _ in range(responses):
+        parsed = parse_response(raw, offset)
+        if parsed is None:
+            break
+        item, offset = parsed
+        out.append(item)
+    return out
+
+
+async def http_get(address: tuple[str, int], path: str,
+                   headers: dict[str, str] | None = None,
+                   ) -> tuple[int, dict, bytes]:
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (headers or {}).items())
+    request = (f"GET {path} HTTP/1.1\r\nHost: t\r\n{extra}"
+               f"Connection: close\r\n\r\n").encode()
+    responses = await raw_exchange(address, request)
+    assert responses, f"no response for GET {path}"
+    return responses[0]
+
+
+async def http_put(address: tuple[str, int], path: str, body: bytes,
+                   ) -> tuple[int, dict, bytes]:
+    request = (f"PUT {path} HTTP/1.1\r\nHost: t\r\n"
+               f"Content-Length: {len(body)}\r\n"
+               f"Connection: close\r\n\r\n").encode() + body
+    responses = await raw_exchange(address, request)
+    assert responses, f"no response for PUT {path}"
+    return responses[0]

@@ -1,0 +1,56 @@
+"""Canonical ledger encoding: exact round-trips and divergence reporting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.ledger import (KIND_FAULT, KIND_READ, KIND_TICK, LedgerEntry,
+                                diff_ledgers, fault_entry, ledger_from_lines,
+                                ledger_to_lines, tick_entry)
+
+_keys = st.text(alphabet=st.sampled_from(
+    "abcdefghijklmnopqrstuvwxyz0123456789.-_"), min_size=1, max_size=20)
+_entries = st.builds(
+    LedgerEntry,
+    kind=st.sampled_from([KIND_READ, KIND_TICK, KIND_FAULT]),
+    at=st.floats(allow_nan=False, allow_infinity=False, width=64),
+    key=_keys,
+    hit=st.sampled_from(["full", "partial", "miss", ""]),
+    cache_chunks=st.integers(min_value=0, max_value=20),
+    backend_chunks=st.integers(min_value=0, max_value=20),
+    neighbor_chunks=st.integers(min_value=0, max_value=20),
+    backend_regions=st.tuples() | st.tuples(_keys) | st.tuples(_keys, _keys),
+    degraded=st.booleans(),
+    failed=st.booleans(),
+    fault_index=st.integers(min_value=-1, max_value=50),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_entries, max_size=20))
+def test_line_encoding_roundtrips_exactly(entries):
+    assert ledger_from_lines(ledger_to_lines(entries)) == entries
+
+
+def test_repr_floats_survive_the_wire():
+    entry = tick_entry(0.1 + 0.2)  # 0.30000000000000004
+    again = LedgerEntry.from_line(entry.to_line())
+    assert again.at == entry.at
+
+
+def test_malformed_line_is_rejected():
+    with pytest.raises(ValueError, match="malformed ledger line"):
+        LedgerEntry.from_line("read|1.0|too|few|fields")
+
+
+def test_diff_reports_first_divergence():
+    base = [tick_entry(1.0), fault_entry(2.0, 0), tick_entry(3.0)]
+    assert diff_ledgers(base, list(base)) is None
+    changed = [tick_entry(1.0), fault_entry(2.0, 1), tick_entry(3.0)]
+    diff = diff_ledgers(base, changed)
+    assert diff is not None and "entry 1" in diff
+    short = base[:2]
+    diff = diff_ledgers(base, short)
+    assert diff is not None and "lengths differ" in diff
