@@ -27,6 +27,7 @@ docs-check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig_collab --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig_failures --smoke
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli serve --smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli fig_chaos --smoke
 
 ## Run the guarded hot-path benchmarks, write BENCH_<date>.json and fail on
 ## a >20% regression vs benchmarks/baseline.json.
@@ -44,4 +45,4 @@ bench-baseline:
 ## with per-benchmark tolerance bands.
 bench-gated:
 	$(PYTHON) benchmarks/run_bench.py --compare benchmarks/ci_baseline.json \
-		--only test_bench_codec_encode_many,test_bench_codec_packed_numba,test_bench_engine_scale_closed_loop,test_bench_engine_faulted,test_bench_engine_hedged_faulted,test_bench_engine_million_lane,test_bench_serve_wire,test_bench_fig6_frankfurt
+		--only test_bench_codec_encode_many,test_bench_codec_packed_numba,test_bench_engine_scale_closed_loop,test_bench_engine_faulted,test_bench_engine_hedged_faulted,test_bench_engine_million_lane,test_bench_serve_wire,test_bench_serve_wire_degraded,test_bench_fig6_frankfurt

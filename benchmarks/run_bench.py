@@ -57,6 +57,7 @@ GUARDED_BENCHMARKS = (
     "test_bench_engine_million_lane",
     "test_bench_collab_sharded_rounds",
     "test_bench_serve_wire",
+    "test_bench_serve_wire_degraded",
     "test_bench_fig6_frankfurt",
 )
 
@@ -69,6 +70,7 @@ _BENCH_FILES = {
     "test_bench_engine_million_lane": "test_bench_engine.py",
     "test_bench_collab_sharded_rounds": "test_bench_collab.py",
     "test_bench_serve_wire": "test_bench_serve_wire.py",
+    "test_bench_serve_wire_degraded": "test_bench_serve_wire.py",
     "test_bench_fig6_frankfurt": "test_bench_fig6.py",
     "test_bench_codec_encode_many": "test_bench_codec.py",
     "test_bench_codec_packed_numba": "test_bench_codec.py",
@@ -103,6 +105,10 @@ DEFAULT_TOLERANCES = {
     # Wire path (PR 9): real sockets on a shared runner — widest band; the
     # hard >= 10k req/s floor inside the benchmark is the primary gate.
     "test_bench_serve_wire": 0.75,
+    # Degraded wire path (PR 10): crash/restart timing plus sockets —
+    # same wide band; the conservation + recovery assertions and the
+    # in-benchmark throughput floor are the primary gate.
+    "test_bench_serve_wire_degraded": 0.75,
     # Fig. 6 end-to-end (graduated from smoke-only per the ROADMAP
     # carry-over): full experiment pipeline, scheduler-noise profile.
     "test_bench_fig6_frankfurt": 0.60,

@@ -40,6 +40,11 @@ from repro.experiments.fig6_policies import agar_advantage, render_fig6, render_
 from repro.experiments.fig8_sweeps import agar_lead_by_group, render_sweep, run_fig8a, run_fig8b
 from repro.experiments.fig9_popularity import render_fig9, run_fig9
 from repro.experiments.fig10_cache_contents import render_fig10, run_fig10
+from repro.experiments.fig_chaos import (
+    FigChaosOptions,
+    render_fig_chaos,
+    run_fig_chaos,
+)
 from repro.experiments.fig_collab import render_fig_collab, run_fig_collab
 from repro.experiments.fig_failures import render_fig_failures, run_fig_failures
 from repro.experiments.microbench import run_capacity_scaling, run_microbench
@@ -56,7 +61,8 @@ from repro.experiments.serve_wire import (
 from repro.experiments.table1_latency import render_table1, run_table1
 
 EXPERIMENTS = ("table1", "fig2", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10",
-               "fig_collab", "fig_failures", "microbench", "multiregion", "serve")
+               "fig_collab", "fig_failures", "fig_chaos", "microbench",
+               "multiregion", "serve")
 
 #: Experiments that understand the engine flags.
 ENGINE_EXPERIMENTS = ("fig6", "fig7", "fig8a", "fig8b", "fig_collab", "fig_failures",
@@ -179,6 +185,19 @@ def _run_one(name: str, settings: ExperimentSettings, out,
     elif name == "multiregion":
         rows = run_multiregion_scaling(settings, options=engine)
         print(render_multiregion(rows, options=engine).render(), file=out)
+    elif name == "fig_chaos":
+        chaos_options = FigChaosOptions()
+        if extra.get("chaos_regions"):
+            chaos_options = FigChaosOptions(regions=extra["chaos_regions"])
+        chaos_results = run_fig_chaos(settings, chaos_options)
+        print(render_fig_chaos(chaos_results).render(), file=out)
+        for variant in chaos_results:
+            if not variant.recoveries:
+                continue
+            print(f"{variant.name}: {len(variant.recoveries)} recoveries, "
+                  f"mean {variant.mean_recovery_ms:.1f} ms, "
+                  f"{variant.mean_restored_fraction * 100.0:.0f}% of "
+                  f"pre-crash cache restored", file=out)
     elif name == "serve":
         serve_options = ServeWireOptions(
             regions=tuple(extra.get("serve_regions") or ("frankfurt",)),
@@ -354,6 +373,16 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
             extra = collab_extra
         elif name == "fig_failures":
             extra = failures_extra
+        elif name == "fig_chaos":
+            extra = {}
+            if args.regions:
+                parts = tuple(part.strip()
+                              for part in args.regions.split(",")
+                              if part.strip())
+                if len(parts) != 2:
+                    parser.error("fig_chaos drives a 2-region cluster; pass "
+                                 "exactly two regions in --regions")
+                extra["chaos_regions"] = parts
         elif name == "serve":
             extra = {}
             if args.regions:

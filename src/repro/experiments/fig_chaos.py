@@ -1,0 +1,241 @@
+"""Live-cluster chaos experiment: availability and recovery over real sockets.
+
+The wire analogue of ``fig_failures``: instead of scheduling modeled faults
+inside the discrete-event engine, this experiment deploys a live 2-region
+:class:`~repro.serve.gateway.ServeCluster`, drives it with the **resilient**
+wire client (retries, deterministic backoff, failover to the spare region),
+and injects real disturbances — gateway crashes, connection resets, socket
+stalls — while a :class:`~repro.serve.supervisor.ClusterSupervisor`
+health-checks the gateways and restarts the dead ones with warm (ledger
+replay) or cold recovery.
+
+Each variant reports what the paper's story needs under real failures:
+
+* **availability** — the fraction of intended requests completed anywhere
+  (home region or failover), out of the conservation-accounted total;
+* **recovery lag** — supervisor detection-to-serving wall time per crash,
+  plus the fraction of pre-crash cache contents warm recovery restored;
+* **p99 before / during / after** — wire percentiles partitioned around the
+  crash, so the cost of a cold cache (and the payoff of warm recovery) is
+  visible where a run-wide percentile would smear it out.
+
+The sweep compares a clean baseline, a warm-recovered crash, a
+cold-recovered crash, and a compound scenario (crash + connection reset +
+socket stall across both regions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.experiments.common import ExperimentSettings
+from repro.serve.chaos import (ChaosInjector, ChaosSchedule, ConnectionReset,
+                               GatewayCrash, SocketStall)
+from repro.serve.gateway import ServeCluster
+from repro.serve.loadgen import (RegionWireResult, WireLoadSpec,
+                                 WireResilience, run_wire_load)
+from repro.serve.supervisor import (ClusterSupervisor, RecoveryRecord,
+                                    SupervisorConfig)
+from repro.sim.engine import EngineConfig, RegionSpec
+from repro.workload.workload import ArrivalSpec, WorkloadSpec
+
+WIRE_OBJECT_SIZE_CAP = 64 * 1024
+
+#: The window around a crash used for the "during" percentile (seconds).
+DISRUPTION_WINDOW_S = 0.25
+
+
+@dataclass(frozen=True, slots=True)
+class FigChaosOptions:
+    """Deployment and disturbance shape of the chaos experiment."""
+
+    regions: tuple[str, str] = ("frankfurt", "dublin")
+    strategy: str = "lru-5"
+    connections: int = 2
+    rate_rps: float = 300.0          #: open-loop rate per connection
+    crash_fraction: float = 0.35     #: crash time as a fraction of the run
+    retry_budget: int = 2
+    base_timeout_ms: float = 150.0
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosVariantResult:
+    """One chaos variant's measured outcome."""
+
+    name: str
+    requests: int
+    completed: int                   #: measured reads + failover completions
+    unavailable: int
+    failed_over: int
+    reconnects: int
+    crashes: int
+    recoveries: tuple[RecoveryRecord, ...]
+    p99_before_ms: float
+    p99_during_ms: float
+    p99_after_ms: float
+
+    @property
+    def availability(self) -> float:
+        if self.requests == 0:
+            return 1.0
+        return self.completed / self.requests
+
+    @property
+    def mean_recovery_ms(self) -> float:
+        if not self.recoveries:
+            return 0.0
+        return float(np.mean([r.recovery_s for r in self.recoveries])) * 1000.0
+
+    @property
+    def mean_restored_fraction(self) -> float:
+        if not self.recoveries:
+            return 0.0
+        return float(np.mean([r.restored_fraction for r in self.recoveries]))
+
+
+def _p99(latencies: list[float]) -> float:
+    if not latencies:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies), 99.0))
+
+
+def _partition_p99(results: dict[str, RegionWireResult],
+                   crash_at_s: float | None,
+                   ) -> tuple[float, float, float]:
+    """p99 of the samples before / during / after the (first) crash."""
+    before: list[float] = []
+    during: list[float] = []
+    after: list[float] = []
+    for result in results.values():
+        for sample in result.samples:
+            if sample.failed:
+                continue
+            if crash_at_s is None or sample.started_at_s < crash_at_s:
+                before.append(sample.latency_ms)
+            elif sample.started_at_s < crash_at_s + DISRUPTION_WINDOW_S:
+                during.append(sample.latency_ms)
+            else:
+                after.append(sample.latency_ms)
+    return _p99(before), _p99(during), _p99(after)
+
+
+async def _run_variant(name: str, config: EngineConfig, spec: WireLoadSpec,
+                       schedule: ChaosSchedule | None, warm: bool,
+                       seed: int) -> ChaosVariantResult:
+    cluster = ServeCluster.from_config(config, seed=seed, payloads=True)
+    crash_count = schedule.crash_count() if schedule is not None else 0
+    crash_at = None
+    if schedule is not None:
+        crash_times = [fault.at_s for fault in schedule.wire_faults
+                       if isinstance(fault, GatewayCrash)]
+        crash_at = min(crash_times) if crash_times else None
+    async with cluster:
+        supervisor_config = SupervisorConfig(poll_interval_s=0.02,
+                                             warm_recovery=warm)
+        async with ClusterSupervisor(cluster, supervisor_config) as supervisor:
+            if schedule is not None:
+                injector = ChaosInjector(cluster, schedule)
+                results, _log = await asyncio.gather(
+                    run_wire_load(cluster.addresses, spec, seed=seed),
+                    injector.run())
+            else:
+                results = await run_wire_load(cluster.addresses, spec,
+                                              seed=seed)
+            # A crash close to the end of the run can leave the supervisor
+            # mid-recovery when the load generator drains; give it a bounded
+            # window to converge so the recovery table is complete.
+            for _ in range(100):
+                if len(supervisor.recoveries) >= crash_count:
+                    break
+                await asyncio.sleep(0.02)
+            recoveries = tuple(supervisor.recoveries)
+    requests = sum(result.requests for result in results.values())
+    completed = sum(result.stats.count + result.connections.failed_over
+                    for result in results.values())
+    unavailable = sum(result.stats.unavailable_reads
+                      for result in results.values())
+    failed_over = sum(result.connections.failed_over
+                      for result in results.values())
+    reconnects = sum(result.connections.reconnects
+                     for result in results.values())
+    p99_before, p99_during, p99_after = _partition_p99(results, crash_at)
+    return ChaosVariantResult(
+        name=name, requests=requests, completed=completed,
+        unavailable=unavailable, failed_over=failed_over,
+        reconnects=reconnects, crashes=crash_count, recoveries=recoveries,
+        p99_before_ms=p99_before, p99_during_ms=p99_during,
+        p99_after_ms=p99_after)
+
+
+def run_fig_chaos(settings: ExperimentSettings,
+                  options: FigChaosOptions | None = None,
+                  ) -> list[ChaosVariantResult]:
+    """Sweep crash/restart schedules against a live 2-region cluster."""
+    options = options or FigChaosOptions()
+    workload = WorkloadSpec(
+        object_count=settings.object_count,
+        object_size=min(settings.object_size, WIRE_OBJECT_SIZE_CAP),
+        request_count=settings.request_count,
+        seed=settings.seed,
+    )
+    config = EngineConfig(
+        workload=workload,
+        regions=[RegionSpec(region=name, clients=1, strategy=options.strategy)
+                 for name in options.regions],
+        cache_capacity_bytes=settings.cache_capacity_bytes,
+        topology_seed=settings.seed,
+    )
+    per_connection = max(
+        workload.request_count // max(options.connections, 1), 1)
+    spec = WireLoadSpec(
+        workload=workload,
+        arrival=ArrivalSpec(process="poisson", rate_rps=options.rate_rps),
+        connections=options.connections,
+        requests_per_connection=per_connection,
+        resilience=WireResilience(retry_budget=options.retry_budget,
+                                  base_timeout_ms=options.base_timeout_ms,
+                                  backoff_cap_ms=50.0),
+        keep_samples=True,
+    )
+    duration_s = per_connection / options.rate_rps
+    crash_at = options.crash_fraction * duration_s
+    primary, secondary = options.regions[0], options.regions[1]
+    crash = ChaosSchedule(wire_faults=(GatewayCrash(primary, crash_at),))
+    compound = ChaosSchedule(wire_faults=(
+        GatewayCrash(primary, crash_at),
+        ConnectionReset(secondary, crash_at * 0.6),
+        SocketStall(secondary, crash_at * 1.4,
+                    min(0.1, options.base_timeout_ms / 2000.0)),
+    ))
+    variants = [
+        ("clean", None, True),
+        ("crash-warm", crash, True),
+        ("crash-cold", crash, False),
+        ("crash+reset+stall", compound, True),
+    ]
+    out = []
+    for name, schedule, warm in variants:
+        out.append(asyncio.run(_run_variant(
+            name, config, spec, schedule, warm, settings.seed)))
+    return out
+
+
+def render_fig_chaos(results: list[ChaosVariantResult]) -> Table:
+    """Availability / recovery-lag / p99-phase table, one row per variant."""
+    table = Table(
+        title="Chaos tier — availability and recovery over live gateways",
+        columns=["variant", "requests", "avail %", "unavail", "failover",
+                 "reconn", "crashes", "recovery ms", "restored %",
+                 "p99 before", "p99 during", "p99 after"])
+    for result in results:
+        table.add_row(
+            result.name, result.requests, result.availability * 100.0,
+            result.unavailable, result.failed_over, result.reconnects,
+            result.crashes, result.mean_recovery_ms,
+            result.mean_restored_fraction * 100.0,
+            result.p99_before_ms, result.p99_during_ms, result.p99_after_ms)
+    return table

@@ -17,27 +17,53 @@ simulation test suite an oracle for the served path:
 - :mod:`repro.serve.replay` — drive a trace through live gateways over real
   sockets and collect their ledgers.
 - :mod:`repro.serve.loadgen` — open/closed-loop wire load generation with
-  ``LatencyStats``-based reporting.
+  ``LatencyStats``-based reporting, plus the resilient wire client
+  (deadlines, backoff, hedging, failover) for chaos runs.
+- :mod:`repro.serve.chaos` — seeded wire-level fault injection against a
+  live cluster: gateway crashes, connection resets, socket stalls,
+  slowloris peers, and dynamically delivered modeled fault windows.
+- :mod:`repro.serve.supervisor` — the supervising process manager:
+  ``/healthz`` probing, crash detection, and warm (ledger-replay) or
+  cold gateway recovery on the old port.
 """
 
+from repro.serve.chaos import (ChaosEvent, ChaosInjector, ChaosSchedule,
+                               ConnectionReset, GatewayCrash, SlowlorisPeer,
+                               SocketStall)
 from repro.serve.gateway import GatewaySettings, RegionGateway, ServeCluster
 from repro.serve.ledger import LedgerEntry, ledger_from_lines, ledger_to_lines
-from repro.serve.loadgen import (RegionWireResult, WireLoadSpec, run_wire_load,
+from repro.serve.loadgen import (ConnectionStats, RegionWireResult,
+                                 WireLoadSpec, WireResilience, run_wire_load,
                                  run_wire_load_sync, wire_report_table)
 from repro.serve.replay import replay_trace, replay_trace_sync
+from repro.serve.supervisor import (ClusterSupervisor, RecoveryRecord,
+                                    SupervisorConfig, recovery_report_table)
 from repro.serve.trace import SimTrace, TraceOp, trace_and_ledgers
 
 __all__ = [
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosSchedule",
+    "ClusterSupervisor",
+    "ConnectionReset",
+    "ConnectionStats",
+    "GatewayCrash",
     "GatewaySettings",
     "LedgerEntry",
+    "RecoveryRecord",
     "RegionGateway",
     "RegionWireResult",
     "ServeCluster",
     "SimTrace",
+    "SlowlorisPeer",
+    "SocketStall",
+    "SupervisorConfig",
     "TraceOp",
     "WireLoadSpec",
+    "WireResilience",
     "ledger_from_lines",
     "ledger_to_lines",
+    "recovery_report_table",
     "replay_trace",
     "replay_trace_sync",
     "run_wire_load",

@@ -24,12 +24,25 @@ Two time modes coexist per request:
 sequence (reseed, build, initial fault install, external-reconfiguration
 handover) so the served system starts in the simulator's exact initial
 state.
+
+Two **ledger modes** exist per cluster:
+
+- ``"replay"`` (default): the ledger promises bit-identity against a seeded
+  engine run on the same trace.  Configs whose decisions depend on
+  global-order jitter draws (§VI collaboration, active resilience) are
+  rejected, exactly like the trace builder rejects them.
+- ``"record"``: the ledger *records* every decision without promising
+  replay equivalence.  This is the mode that serves resilient and
+  collaborative deployments over the wire — and the mode the chaos tier
+  runs in, because crash/recovery cycles consume jitter draws no replay
+  could reproduce.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 import re
 import time
 from dataclasses import dataclass, field
@@ -37,13 +50,19 @@ from dataclasses import dataclass, field
 from repro.backend.object_store import (ErasureCodedStore,
                                         ObjectNotFoundError)
 from repro.client.stats import LatencyStats, ReadResult
-from repro.serve.ledger import (LedgerEntry, fault_entry, ledger_to_lines,
-                                read_entry, tick_entry)
+from repro.client.strategies import make_strategy
+from repro.serve.ledger import (DYNAMIC_FAULT_INDEX, LedgerEntry, fault_entry,
+                                ledger_to_lines, read_entry, tick_entry)
 from repro.serve.protocol import (DEFAULT_MAX_BODY_BYTES, HttpRequest,
                                   ProtocolError, build_response,
                                   error_response, parse_request)
 from repro.sim.clock import SimulationClock
-from repro.sim.engine import EngineConfig, EngineDeployment, EventEngine
+from repro.sim.engine import (EngineConfig, EngineDeployment, EventEngine,
+                              _install_neighbor_catalogs)
+from repro.sim.faults import (AZFailure, BackendBrownout, FaultSchedule,
+                              RegionOutage)
+
+LEDGER_MODES = ("replay", "record")
 
 _KEY_PATTERN = re.compile(r"[A-Za-z0-9._-]{1,200}")
 _OBJECTS_PREFIX = "/objects/"
@@ -72,33 +91,52 @@ class RegionGateway:
                  clock: SimulationClock,
                  fault_states: tuple = (),
                  settings: GatewaySettings | None = None,
-                 epoch: float | None = None) -> None:
+                 epoch: float | None = None,
+                 ledger_mode: str = "replay") -> None:
+        if ledger_mode not in LEDGER_MODES:
+            raise ValueError(f"unknown ledger mode {ledger_mode!r}")
         self.region = region
         self.strategy = strategy
         self.store = store
         self.clock = clock
         self.settings = settings or GatewaySettings()
+        self.ledger_mode = ledger_mode
         self.ledger: list[LedgerEntry] = []
         self.wire_stats = LatencyStats()
         self.requests_total = 0
         self.puts_total = 0
         self.errors_total = 0
         self.started_at = time.perf_counter() if epoch is None else epoch
+        self.crashed = False
+        self.current_fault_state = None
+        self.last_fault_index: int | None = None
         self._fault_states = fault_states
+        self._dynamic_faults: list = []
+        self._dynamic_transitions: list[tuple[float, object]] = []
         self._body_cache: dict[tuple[str, int], bytes] = {}
         self._decided: tuple[list, list] | None = None
         self._last_result: ReadResult | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._stall_until = 0.0
         self.port: int | None = None
         strategy.set_decision_sink(self._decision_sink)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    async def start(self) -> tuple[str, int]:
-        """Bind the listening socket (ephemeral port) and start serving."""
+    async def start(self, port: int | None = None) -> tuple[str, int]:
+        """Bind the listening socket and start serving.
+
+        ``port=None`` binds an ephemeral port; a supervisor restarting a
+        crashed gateway passes the old port so clients retrying against the
+        region's published address reconnect transparently (the listening
+        socket uses ``SO_REUSEADDR``, so the rebind succeeds immediately
+        after a crash).
+        """
+        self.crashed = False
         self._server = await asyncio.start_server(
-            self._serve_connection, self.settings.host, 0)
+            self._serve_connection, self.settings.host, port or 0)
         self.port = self._server.sockets[0].getsockname()[1]
         return self.settings.host, self.port
 
@@ -109,6 +147,51 @@ class RegionGateway:
             self._server = None
 
     # ------------------------------------------------------------------ #
+    # Chaos hooks (wire-level fault injection)
+    # ------------------------------------------------------------------ #
+    def crash(self) -> None:
+        """Kill the gateway as a process death would: no goodbye on any socket.
+
+        The listening socket closes (new connections are refused) and every
+        accepted connection is aborted mid-stream (RST, not FIN) — in-flight
+        pipelined requests are simply lost, exactly what a SIGKILL does.
+        Because request handlers run synchronously within one event-loop
+        step, the strategy and ledger are never cut mid-decision: the ledger
+        stays well-formed across any crash point.  Idempotent.
+        """
+        self.crashed = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        self.reset_connections()
+
+    def reset_connections(self) -> int:
+        """Abort every accepted connection (connection-reset disturbance).
+
+        The gateway itself keeps serving; clients see a reset and must
+        reconnect.  Returns the number of connections aborted.
+        """
+        aborted = 0
+        for writer in list(self._connections):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+                aborted += 1
+        self._connections.clear()
+        return aborted
+
+    def stall_for(self, duration_s: float) -> None:
+        """Freeze request processing for ``duration_s`` wall seconds.
+
+        Models a stop-the-world pause (GC, CPU starvation, packet-level
+        stall): accepted connections stay open but no request makes progress
+        until the stall elapses.  Clients with deadlines will time out and
+        retry or hedge.
+        """
+        self._stall_until = max(self._stall_until,
+                                time.monotonic() + duration_s)
+
+    # ------------------------------------------------------------------ #
     # Connection loop (pipelining-aware)
     # ------------------------------------------------------------------ #
     async def _serve_connection(self, reader: asyncio.StreamReader,
@@ -116,8 +199,12 @@ class RegionGateway:
         buffer = bytearray()
         max_body = self.settings.max_body_bytes
         perf = time.perf_counter
+        self._connections.add(writer)
         try:
-            while True:
+            while not self.crashed:
+                stall = self._stall_until - time.monotonic()
+                if stall > 0:
+                    await asyncio.sleep(stall)
                 data = await reader.read(_READ_CHUNK)
                 if not data:
                     if buffer:
@@ -168,6 +255,7 @@ class RegionGateway:
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._connections.discard(writer)
             with _suppress_connection_errors():
                 writer.close()
                 await writer.wait_closed()
@@ -229,14 +317,37 @@ class RegionGateway:
                 at = float(header)
             except ValueError:
                 raise ProtocolError(400, "invalid replay timestamp") from None
-            clock._now_s = at
-            return at
-        at = time.perf_counter() - self.started_at
-        if at > clock._now_s:
+            if not math.isfinite(at) or at < 0.0:
+                raise ProtocolError(
+                    400, "replay timestamp must be finite and non-negative")
             clock._now_s = at
         else:
-            at = clock._now_s
+            at = time.perf_counter() - self.started_at
+            if at > clock._now_s:
+                clock._now_s = at
+            else:
+                at = clock._now_s
+        self._apply_dynamic_faults(at)
         return at
+
+    def _apply_dynamic_faults(self, at: float) -> None:
+        """Install any dynamically scheduled fault transitions due by ``at``.
+
+        Wire-installed fault windows (see :meth:`_admin_fault`) compile into
+        future transitions applied lazily on the next request at or after
+        their time — the wire twin of the engine's fault timer events, with
+        ``fault_index=-2`` marking the entries as dynamic.
+        """
+        transitions = self._dynamic_transitions
+        while transitions and transitions[0][0] <= at:
+            when, state = transitions.pop(0)
+            self._install_fault_state(state, when, DYNAMIC_FAULT_INDEX)
+
+    def _install_fault_state(self, state, at: float, index: int) -> None:
+        self.strategy.set_fault_state(state)
+        self.strategy.react_to_fault(at)
+        self.current_fault_state = state
+        self.ledger.append(fault_entry(at, index))
 
     # ------------------------------------------------------------------ #
     # Object routes
@@ -392,32 +503,107 @@ class RegionGateway:
     # Admin routes (trace replay)
     # ------------------------------------------------------------------ #
     def _admin_tick(self, request: HttpRequest) -> bytes:
+        if request.body:
+            raise ProtocolError(400, "tick takes no body")
         at = self._request_time(request)
         self.strategy.tick(at)
         self.ledger.append(tick_entry(at))
         return build_response(200, b"", content_type="text/plain",
                               keep_alive=request.keep_alive)
 
+    _FAULT_KINDS = {"outage": RegionOutage, "brownout": BackendBrownout,
+                    "az": AZFailure}
+
     def _admin_fault(self, request: HttpRequest) -> bytes:
-        index_text = request.query.get("index", "")
+        """Install a fault state: precompiled by index, or dynamic by body.
+
+        The index form (``?index=k``) installs entry ``k`` of the schedule
+        the cluster was deployed with — the trace-replay path.  The body
+        form POSTs a JSON fault window (``{"kind", "region", "start_s",
+        "end_s"[, "multiplier"]}``, times relative to cluster start) which
+        is validated like an engine-side :class:`FaultSchedule` — malformed
+        definitions get a 400, windows overlapping an already-installed
+        dynamic window of the same kind and region get a 409 — and then
+        compiled into lazily applied transitions (``fault_index=-2``
+        ledger entries).  Mixing both forms in one request is a 400.
+        """
+        index_text = request.query.get("index")
+        if index_text is not None and request.body:
+            raise ProtocolError(
+                400, "pass either a fault index or a fault body, not both")
+        if index_text is None and not request.body:
+            raise ProtocolError(400, "missing fault index")
+        if index_text is not None:
+            try:
+                index = int(index_text)
+            except ValueError:
+                raise ProtocolError(400, "invalid fault index") from None
+            if not 0 <= index < len(self._fault_states):
+                raise ProtocolError(400, f"fault index {index} out of range")
+            at = self._request_time(request)
+            self._install_fault_state(self._fault_states[index], at, index)
+            self.last_fault_index = index
+            return build_response(200, b"", content_type="text/plain",
+                                  keep_alive=request.keep_alive)
+        fault = self._parse_fault_body(request.body)
         try:
-            index = int(index_text)
-        except ValueError:
-            raise ProtocolError(400, "invalid fault index") from None
-        if not 0 <= index < len(self._fault_states):
-            raise ProtocolError(400, f"fault index {index} out of range")
+            schedule = FaultSchedule([*self._dynamic_faults, fault])
+        except ValueError as error:
+            # The same overlap rule the engine enforces at config time:
+            # same-kind same-region windows must not overlap.
+            raise ProtocolError(409, str(error)) from None
         at = self._request_time(request)
-        self.strategy.set_fault_state(self._fault_states[index])
-        self.strategy.react_to_fault(at)
-        self.ledger.append(fault_entry(at, index))
-        return build_response(200, b"", content_type="text/plain",
-                              keep_alive=request.keep_alive)
+        self._dynamic_faults.append(fault)
+        self._dynamic_transitions = [
+            (when, state) for when, state in schedule.transitions if when > at]
+        self._install_fault_state(schedule.state_at(at), at,
+                                  DYNAMIC_FAULT_INDEX)
+        payload = {"installed": len(self._dynamic_faults),
+                   "pending_transitions": len(self._dynamic_transitions)}
+        return build_response(200, json.dumps(payload).encode(),
+                              keep_alive=request.keep_alive,
+                              content_type="application/json")
+
+    def _parse_fault_body(self, body: bytes):
+        try:
+            raw = json.loads(body)
+        except ValueError:
+            raise ProtocolError(400, "malformed fault body (not JSON)") from None
+        if not isinstance(raw, dict):
+            raise ProtocolError(400, "fault body must be a JSON object")
+        kind = raw.get("kind")
+        fault_type = self._FAULT_KINDS.get(kind)
+        if fault_type is None:
+            raise ProtocolError(
+                400, f"unknown fault kind {kind!r} "
+                     f"(expected one of {sorted(self._FAULT_KINDS)})")
+        region = raw.get("region")
+        if not isinstance(region, str) or not self.store.topology.has_region(region):
+            raise ProtocolError(400, f"unknown fault region {region!r}")
+        kwargs = {}
+        for field_name in ("start_s", "end_s", "multiplier"):
+            if field_name not in raw:
+                continue
+            value = raw[field_name]
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise ProtocolError(400, f"fault {field_name} must be a "
+                                         "finite number")
+            kwargs[field_name] = float(value)
+        if "start_s" not in kwargs or "end_s" not in kwargs:
+            raise ProtocolError(400, "fault body needs start_s and end_s")
+        if "multiplier" in kwargs and fault_type is not BackendBrownout:
+            raise ProtocolError(400, "multiplier only applies to brownouts")
+        unknown = set(raw) - {"kind", "region", "start_s", "end_s", "multiplier"}
+        if unknown:
+            raise ProtocolError(400, f"unknown fault fields {sorted(unknown)}")
+        try:
+            return fault_type(region=region, **kwargs)
+        except ValueError as error:
+            raise ProtocolError(400, str(error)) from None
 
     def install_initial_fault(self, state, at: float = 0.0) -> None:
         """Mirror the engine's t=0 fault install (ledger ``fault_index=-1``)."""
-        self.strategy.set_fault_state(state)
-        self.strategy.react_to_fault(at)
-        self.ledger.append(fault_entry(at, -1))
+        self._install_fault_state(state, at, -1)
 
 
 class _suppress_connection_errors:
@@ -435,15 +621,23 @@ class ServeCluster:
     """One gateway per region, deployed exactly like a seeded engine run."""
 
     def __init__(self, config: EngineConfig, deployment: EngineDeployment,
-                 gateways: dict[str, RegionGateway]) -> None:
+                 gateways: dict[str, RegionGateway],
+                 ledger_mode: str = "replay",
+                 epoch: float | None = None,
+                 neighbor_profiles: dict[str, tuple[float, float]] | None = None,
+                 ) -> None:
         self.config = config
         self.deployment = deployment
         self.gateways = gateways
+        self.ledger_mode = ledger_mode
+        self.epoch = time.perf_counter() if epoch is None else epoch
+        self._neighbor_profiles = neighbor_profiles
 
     @classmethod
     def from_config(cls, config: EngineConfig, *, seed: int | None = None,
                     payloads: bool = False,
-                    settings: GatewaySettings | None = None) -> "ServeCluster":
+                    settings: GatewaySettings | None = None,
+                    ledger_mode: str = "replay") -> "ServeCluster":
         """Deploy gateways from an engine config, in the engine's own order.
 
         Mirrors :meth:`EventEngine.run` deployment-side: reseed the shared
@@ -452,10 +646,26 @@ class ServeCluster:
         reconfiguration to the external driver when the config resolves to
         timer mode.  With ``payloads=True`` the store carries real encoded
         bytes (placement — and thus every decision — is unchanged).
+
+        ``ledger_mode="replay"`` (default) keeps the bit-identity promise and
+        therefore rejects §VI collaboration and active resilience configs
+        (their decisions depend on global-order jitter draws).
+        ``ledger_mode="record"`` accepts both: decisions are still recorded
+        per request, but the ledger documents what happened rather than what
+        a seeded engine run would reproduce.
         """
-        if config.collaboration:
+        if ledger_mode not in LEDGER_MODES:
+            raise ValueError(f"unknown ledger mode {ledger_mode!r}")
+        if config.collaboration and ledger_mode != "record":
             raise ValueError(
-                "the serving tier does not support §VI collaboration")
+                "§VI collaboration draws jitter in global event order; serve "
+                "it with ledger_mode='record' (no replay equivalence)")
+        resilience = config.client.resilience
+        if (resilience is not None and resilience.active
+                and ledger_mode != "record"):
+            raise ValueError(
+                "resilient reads draw jitter in global event order; serve "
+                "them with ledger_mode='record' (no replay equivalence)")
         names = [spec.region for spec in config.regions]
         if len(set(names)) != len(names):
             raise ValueError("serving tier requires unique region names")
@@ -466,6 +676,8 @@ class ServeCluster:
         if config.uses_timer_reconfiguration:
             for strategy in deployment.strategies:
                 strategy.set_external_reconfiguration(True)
+        neighbor_profiles = (engine._neighbor_profiles()
+                             if config.collaboration else None)
         faults = config.faults
         fault_states = ()
         if faults is not None and not faults.is_empty:
@@ -475,14 +687,79 @@ class ServeCluster:
         gateways = {
             spec.region: RegionGateway(
                 spec.region, strategy, deployment.store, deployment.clock,
-                fault_states=fault_states, settings=settings, epoch=epoch)
+                fault_states=fault_states, settings=settings, epoch=epoch,
+                ledger_mode=ledger_mode)
             for spec, strategy in zip(config.regions, deployment.strategies)
         }
         if faults is not None and not faults.is_empty:
             initial = faults.initial_state
             for name in names:
                 gateways[name].install_initial_fault(initial, 0.0)
-        return cls(config, deployment, gateways)
+        return cls(config, deployment, gateways, ledger_mode=ledger_mode,
+                   epoch=epoch, neighbor_profiles=neighbor_profiles)
+
+    # ------------------------------------------------------------------ #
+    # Cluster time and recovery support
+    # ------------------------------------------------------------------ #
+    def now_s(self) -> float:
+        """Wall-mode cluster time: seconds since deployment, clock-monotone."""
+        at = time.perf_counter() - self.epoch
+        return at if at > self.deployment.clock._now_s \
+            else self.deployment.clock._now_s
+
+    def region_index(self, region: str) -> int:
+        for index, spec in enumerate(self.config.regions):
+            if spec.region == region:
+                return index
+        raise KeyError(f"unknown region {region!r}")
+
+    def rebuild_strategy(self, region: str):
+        """A fresh strategy for ``region``, as a cold restart would build it.
+
+        Shares the live store and clock (those model the durable backend and
+        real time, which survive a gateway process death) but starts with an
+        empty cache, cold popularity state and no pinned configuration —
+        exactly the state a restarted process boots into.  The supervisor's
+        warm-recovery protocol then replays the ledger tail on top.
+        """
+        spec = self.config.regions[self.region_index(region)]
+        strategy = make_strategy(
+            spec.strategy,
+            store=self.deployment.store,
+            client_region=spec.region,
+            cache_capacity_bytes=(
+                spec.cache_capacity_bytes
+                if spec.cache_capacity_bytes is not None
+                else self.config.cache_capacity_bytes),
+            clock=self.deployment.clock,
+            client_config=self.config.client,
+            node_config=spec.agar if spec.agar is not None else self.config.agar,
+        )
+        if self.config.uses_timer_reconfiguration:
+            strategy.set_external_reconfiguration(True)
+        return strategy
+
+    def adopt_gateway(self, region: str, gateway: RegionGateway) -> None:
+        """Swap a recovered gateway (and its strategy) into the cluster."""
+        self.gateways[region] = gateway
+        self.deployment.strategies[self.region_index(region)] = gateway.strategy
+
+    def run_collaboration_round(self, now: float | None = None) -> None:
+        """One §VI collaborative reconfiguration round over the live cluster.
+
+        Record mode only (collaboration never deploys in replay mode): runs
+        the coordinator's staggered round and installs the fresh neighbour
+        catalogs, so subsequent reads may be served from neighbour caches —
+        the wire twin of the engine's collaboration-period timer.
+        """
+        coordinator = self.deployment.coordinator
+        if coordinator is None:
+            raise RuntimeError("cluster deployed without collaboration")
+        at = self.now_s() if now is None else now
+        coordinator.reconfigure_all(at)
+        _install_neighbor_catalogs(self.deployment, self._neighbor_profiles)
+        for gateway in self.gateways.values():
+            gateway.ledger.append(tick_entry(at))
 
     @property
     def addresses(self) -> dict[str, tuple[str, int]]:

@@ -25,6 +25,13 @@ from repro.client.stats import ReadResult
 KIND_READ = "read"
 KIND_TICK = "tick"
 KIND_FAULT = "fault"
+KIND_CRASH = "crash"
+KIND_RECOVERY = "recovery"
+
+#: ``fault_index`` of a dynamically installed (wire-delivered) fault state,
+#: as opposed to an index into a precompiled schedule (``>= 0``) or the
+#: initial install (``-1``).
+DYNAMIC_FAULT_INDEX = -2
 
 _FIELD_COUNT = 10
 
@@ -113,6 +120,27 @@ def tick_entry(at: float) -> LedgerEntry:
 def fault_entry(at: float, fault_index: int) -> LedgerEntry:
     """The ledger entry for one fault-state install (``-1`` = initial)."""
     return LedgerEntry(kind=KIND_FAULT, at=at, fault_index=fault_index)
+
+
+def crash_entry(at: float) -> LedgerEntry:
+    """The ledger entry marking a detected gateway crash.
+
+    Appended by the supervisor when it takes a region down for recovery, so
+    the durable ledger records exactly where the decision stream was cut.
+    """
+    return LedgerEntry(kind=KIND_CRASH, at=at)
+
+
+def recovery_entry(at: float, entries_restored: int,
+                   mode: str = "warm") -> LedgerEntry:
+    """The ledger entry closing a crash/recovery cycle.
+
+    Reuses existing fields so the line codec stays at one format: ``hit``
+    carries the recovery mode (``"warm"``/``"cold"``) and ``cache_chunks``
+    the number of cache entries the warm-recovery replay restored.
+    """
+    return LedgerEntry(kind=KIND_RECOVERY, at=at, hit=mode,
+                       cache_chunks=entries_restored)
 
 
 def ledger_to_lines(entries: Iterable[LedgerEntry]) -> str:

@@ -12,6 +12,28 @@ Closed loop keeps ``pipeline_depth`` requests in flight per connection
 round trips).  Open loop (Poisson) pre-draws each connection's arrival
 schedule and records latency from the *scheduled* send time, the standard
 coordinated-omission-free convention for open-loop generators.
+
+With a :class:`WireResilience` policy on the spec, each connection becomes a
+**resilient client** — the wire port of the simulator's
+:class:`~repro.client.resilience.ResilienceConfig` semantics:
+
+* per-request deadlines from a per-endpoint EWMA-quantile tracker scaled by
+  ``timeout_factor`` (``base_timeout_ms`` until the tracker warms up);
+* deterministic seeded exponential backoff between reconnect attempts
+  (:class:`~repro.client.resilience.BackoffPolicy`, keyed by lane);
+* optional **hedging**: when the oldest in-flight request exceeds the home
+  endpoint's tracked quantile, a duplicate is raced on a spare gateway and
+  whichever answer lands first wins;
+* **failover**: requests that exhaust ``retry_budget`` against a dead or
+  stalled home gateway complete against the spare instead.
+
+Retries/hedges flow into the shared :class:`LatencyStats` counters;
+connection-level accounting (opens, reconnects, requests per connection,
+timeouts, failovers) lands in :class:`ConnectionStats` — both surface in
+:func:`wire_report_table`.  The conservation invariant of a resilient run is
+``stats.count + stats.unavailable_reads + connections.failed_over ==
+requests``: every intended request is recorded exactly once, as a measured
+read, an unavailable read, or a failover completion.
 """
 
 from __future__ import annotations
@@ -25,7 +47,9 @@ from typing import Mapping
 import numpy as np
 
 from repro.analysis.report import Table
-from repro.client.stats import HitType, LatencyStats
+from repro.client.resilience import (BackoffPolicy, EwmaQuantileTracker,
+                                     ResilienceConfig)
+from repro.client.stats import HitType, LatencyStats, ReadResult
 from repro.serve.protocol import parse_response
 from repro.workload.workload import (ArrivalSpec, WorkloadSpec,
                                      generate_request_ranks)
@@ -33,6 +57,99 @@ from repro.workload.workload import (ArrivalSpec, WorkloadSpec,
 #: Per-connection seed stride; mirrors the engine's lane seeding so
 #: connection 0 replays exactly the single-client stream.
 CONNECTION_SEED_STRIDE = 7919
+
+
+@dataclass(frozen=True, slots=True)
+class WireResilience:
+    """Resilient wire-client policy (the wire port of ResilienceConfig).
+
+    Attributes:
+        retry_budget: resends of one request (across reconnects) before it
+            fails over to the spare gateway; 0 fails over immediately.
+        base_timeout_ms: per-request deadline before the endpoint's latency
+            tracker warms up (also bounds hedge/failover/spare reads).
+        min_timeout_ms: floor under the tracked deadline.
+        timeout_factor: warmed-up deadline is ``tracked_quantile × factor``.
+        backoff_base_ms / backoff_multiplier / backoff_jitter / backoff_seed:
+            :class:`BackoffPolicy` parameters for reconnect pacing.
+        backoff_cap_ms: ceiling on any single backoff sleep (a wire client
+            facing a supervised cluster should re-probe briskly).
+        hedge: race a duplicate of the oldest straggler on the spare gateway
+            once the home tracker is warm.
+        hedge_quantile / hedge_ewma_alpha / hedge_min_samples:
+            :class:`EwmaQuantileTracker` parameters, per endpoint.
+        failover: complete budget-exhausted requests against the spare
+            gateway (off = they become unavailable reads).
+    """
+
+    retry_budget: int = 2
+    base_timeout_ms: float = 250.0
+    min_timeout_ms: float = 20.0
+    timeout_factor: float = 4.0
+    backoff_base_ms: float = 5.0
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.5
+    backoff_seed: int = 0
+    backoff_cap_ms: float = 250.0
+    hedge: bool = False
+    hedge_quantile: float = 0.95
+    hedge_ewma_alpha: float = 0.05
+    hedge_min_samples: int = 16
+    failover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+        if self.base_timeout_ms <= 0 or self.min_timeout_ms <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.timeout_factor <= 1.0:
+            raise ValueError("timeout_factor must exceed 1.0")
+
+    @classmethod
+    def from_config(cls, config: ResilienceConfig,
+                    **overrides) -> "WireResilience":
+        """Port a simulator ResilienceConfig onto the wire client."""
+        fields = dict(
+            retry_budget=config.retry_budget,
+            timeout_factor=max(config.timeout_factor, 1.5),
+            backoff_base_ms=config.backoff_base_ms,
+            backoff_multiplier=config.backoff_multiplier,
+            backoff_jitter=config.backoff_jitter,
+            backoff_seed=config.backoff_seed,
+            hedge=config.hedge,
+            hedge_quantile=config.hedge_quantile,
+            hedge_ewma_alpha=config.hedge_ewma_alpha,
+            hedge_min_samples=config.hedge_min_samples,
+        )
+        fields.update(overrides)
+        return cls(**fields)
+
+
+@dataclass(slots=True)
+class ConnectionStats:
+    """Keep-alive and resilience accounting for one region's wire run."""
+
+    connections_opened: int = 0
+    reconnects: int = 0
+    requests_sent: int = 0       #: wire sends, including resends and hedges
+    timeouts: int = 0            #: deadline expiries that forced a reconnect
+    hedges_sent: int = 0
+    failed_over: int = 0         #: requests completed via the spare gateway
+
+    @property
+    def requests_per_connection(self) -> float:
+        """Mean requests sent per opened connection (keep-alive reuse)."""
+        if self.connections_opened == 0:
+            return 0.0
+        return self.requests_sent / self.connections_opened
+
+    def merge(self, other: "ConnectionStats") -> None:
+        self.connections_opened += other.connections_opened
+        self.reconnects += other.reconnects
+        self.requests_sent += other.requests_sent
+        self.timeouts += other.timeouts
+        self.hedges_sent += other.hedges_sent
+        self.failed_over += other.failed_over
 
 
 @dataclass(slots=True)
@@ -44,6 +161,8 @@ class WireLoadSpec:
     connections: int = 4
     pipeline_depth: int = 32
     requests_per_connection: int | None = None
+    resilience: WireResilience | None = None
+    keep_samples: bool = False
 
     def connection_requests(self) -> int:
         """Requests each connection issues."""
@@ -62,10 +181,20 @@ class RegionWireResult:
     duration_s: float
     requests: int
     errors: int
+    connections: ConnectionStats = field(default_factory=ConnectionStats)
+    samples: list = field(default_factory=list)
 
     @property
     def throughput_rps(self) -> float:
         return self.stats.throughput_rps(self.duration_s)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of intended requests that completed somewhere."""
+        if self.requests == 0:
+            return 1.0
+        completed = self.stats.count + self.connections.failed_over
+        return completed / self.requests
 
 
 def _request_bytes(key: str) -> bytes:
@@ -75,14 +204,18 @@ def _request_bytes(key: str) -> bytes:
 class _RegionRun:
     """Shared accounting for one region's worker connections."""
 
-    __slots__ = ("stats", "errors")
+    __slots__ = ("stats", "errors", "connections", "samples")
 
-    def __init__(self) -> None:
+    def __init__(self, keep_samples: bool = False) -> None:
         self.stats = LatencyStats()
         self.errors = 0
+        self.connections = ConnectionStats()
+        self.samples: list[ReadResult] | None = [] if keep_samples else None
 
     def record(self, latency_ms: float, status: int,
-               headers: dict[str, str]) -> None:
+               headers: Mapping[str, str], *, key: str = "",
+               started_at_s: float = 0.0, retries: int = 0,
+               hedged: bool = False, hedge_won: bool = False) -> None:
         if status != 200 and status != 503:
             self.errors += 1
             return
@@ -91,18 +224,26 @@ class _RegionRun:
             hit_type = HitType(hit)
         except ValueError:
             hit_type = HitType.MISS
+        cache_chunks = int(headers.get("x-agar-cache-chunks", "0") or 0)
+        backend_chunks = int(headers.get("x-agar-backend-chunks", "0") or 0)
+        neighbor_chunks = int(headers.get("x-agar-neighbor-chunks", "0") or 0)
+        degraded = headers.get("x-agar-degraded") == "1"
+        failed = status == 503
         self.stats.record_read(
-            latency_ms, hit_type,
-            int(headers.get("x-agar-cache-chunks", "0") or 0),
-            int(headers.get("x-agar-backend-chunks", "0") or 0),
-            int(headers.get("x-agar-neighbor-chunks", "0") or 0),
-            headers.get("x-agar-degraded") == "1",
-            status == 503)
+            latency_ms, hit_type, cache_chunks, backend_chunks,
+            neighbor_chunks, degraded, failed, retries, hedged, hedge_won)
+        if self.samples is not None:
+            self.samples.append(ReadResult(
+                key, latency_ms, hit_type, cache_chunks, backend_chunks,
+                started_at_s=started_at_s,
+                chunks_from_neighbors=neighbor_chunks, degraded=degraded,
+                failed=failed, retries=retries, hedged=hedged,
+                hedge_won=hedge_won))
 
 
 async def _drain_responses(reader: asyncio.StreamReader, buffer: bytearray,
                            offset: int, pending: deque, run: _RegionRun,
-                           minimum: int) -> int:
+                           minimum: int, origin: float) -> int:
     """Consume at least ``minimum`` buffered/incoming responses.
 
     Returns the number of responses consumed — callers must count completions
@@ -127,13 +268,16 @@ async def _drain_responses(reader: asyncio.StreamReader, buffer: bytearray,
             buffer += data
             parsed = parse_response(buffer, offset)
         (status, headers, _body), offset = parsed
-        run.record((perf() - pending.popleft()) * 1000.0, status, headers)
+        started = pending.popleft()
+        run.record((perf() - started) * 1000.0, status, headers,
+                   started_at_s=started - origin)
         consumed += 1
 
 
 async def _closed_worker(address: tuple[str, int], keys: list[str],
-                         depth: int, run: _RegionRun) -> None:
+                         depth: int, run: _RegionRun, origin: float) -> None:
     reader, writer = await asyncio.open_connection(*address)
+    run.connections.connections_opened += 1
     perf = time.perf_counter
     buffer = bytearray()
     pending: deque[float] = deque()
@@ -157,8 +301,10 @@ async def _closed_worker(address: tuple[str, int], keys: list[str],
                     sent += 1
                 writer.write(b"".join(batch))
             await writer.drain()
-            done += await _drain_responses(reader, buffer, 0, pending, run, 1)
+            done += await _drain_responses(reader, buffer, 0, pending, run,
+                                           1, origin)
     finally:
+        run.connections.requests_sent += sent
         writer.close()
         try:
             await writer.wait_closed()
@@ -167,16 +313,20 @@ async def _closed_worker(address: tuple[str, int], keys: list[str],
 
 
 async def _open_worker(address: tuple[str, int], keys: list[str],
-                       schedule: np.ndarray, run: _RegionRun) -> None:
+                       schedule: np.ndarray, run: _RegionRun,
+                       run_origin: float) -> None:
     reader, writer = await asyncio.open_connection(*address)
+    run.connections.connections_opened += 1
     perf = time.perf_counter
     buffer = bytearray()
     pending: deque[float] = deque()
     total = len(keys)
     origin = perf()
     absolute = origin + schedule
+    sent_total = 0
 
     async def sender() -> None:
+        nonlocal sent_total
         position = 0
         while position < total:
             now = perf()
@@ -187,6 +337,7 @@ async def _open_worker(address: tuple[str, int], keys: list[str],
                 position += 1
                 wrote = True
             if wrote:
+                sent_total = position
                 await writer.drain()
             if position < total:
                 await asyncio.sleep(
@@ -198,10 +349,70 @@ async def _open_worker(address: tuple[str, int], keys: list[str],
             if not pending:
                 await asyncio.sleep(0.001)
                 continue
-            done += await _drain_responses(reader, buffer, 0, pending, run, 1)
+            done += await _drain_responses(reader, buffer, 0, pending, run,
+                                           1, run_origin)
 
     try:
         await asyncio.gather(sender(), receiver())
+    finally:
+        run.connections.requests_sent += sent_total
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Resilient wire client
+# --------------------------------------------------------------------- #
+class _Pending:
+    """One intended request's lifecycle across resends and hedges."""
+
+    __slots__ = ("key", "origin", "sent_at", "attempts", "hedged", "done")
+
+    def __init__(self, key: str, origin: float, sent_at: float) -> None:
+        self.key = key
+        self.origin = origin     #: perf time latency is measured from
+        self.sent_at = sent_at   #: perf time of the latest (re)send
+        self.attempts = 0        #: resends after the first send
+        self.hedged = False
+        self.done = False
+
+
+async def _one_shot_request(address: tuple[str, int], request: bytes,
+                            timeout_s: float):
+    """One request over a throwaway connection (the hedge path).
+
+    Returns ``(status, headers, elapsed_ms)`` or ``None`` on any failure.
+    """
+    perf = time.perf_counter
+    started = perf()
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(*address), timeout=timeout_s)
+    except (OSError, asyncio.TimeoutError):
+        return None
+    try:
+        writer.write(request)
+        await writer.drain()
+        buffer = bytearray()
+        deadline = started + timeout_s
+        while True:
+            parsed = parse_response(buffer, 0)
+            if parsed is not None:
+                (status, headers, _body), _offset = parsed
+                return status, headers, (perf() - started) * 1000.0
+            remaining = deadline - perf()
+            if remaining <= 0:
+                return None
+            data = await asyncio.wait_for(reader.read(1 << 16),
+                                          timeout=remaining)
+            if not data:
+                return None
+            buffer += data
+    except (OSError, asyncio.TimeoutError):
+        return None
     finally:
         writer.close()
         try:
@@ -210,16 +421,425 @@ async def _open_worker(address: tuple[str, int], keys: list[str],
             pass
 
 
+class _ResilientWorker:
+    """One connection's resilient request loop (closed or open loop).
+
+    A single sequential task owns the home connection: it sends due
+    requests, consumes pipelined responses, and reacts to deadline expiry,
+    connection loss and gateway refusal by reconnecting with deterministic
+    backoff, resending undone requests in order, and failing requests over
+    to the spare gateway once their budget is spent.  Response alignment is
+    positional (HTTP/1.1 pipelining), so a reconnect voids the old pipeline:
+    only undone requests are resent, and hedge-completed entries keep their
+    pending slot while the home connection lives so the duplicate home
+    response is consumed and discarded.
+    """
+
+    def __init__(self, address, spare, keys, schedule, depth,
+                 run: _RegionRun, res: WireResilience, lane: int,
+                 run_origin: float) -> None:
+        self.address = address
+        self.spare = spare
+        self.keys = keys
+        self.schedule = schedule      # absolute perf send times, or None
+        self.depth = depth
+        self.region_run = run
+        self.res = res
+        self.lane = lane
+        self.run_origin = run_origin
+        self.backoff = BackoffPolicy(res.backoff_base_ms,
+                                     res.backoff_multiplier,
+                                     res.backoff_jitter, res.backoff_seed)
+        self.trackers = {
+            "home": EwmaQuantileTracker(res.hedge_quantile,
+                                        res.hedge_ewma_alpha,
+                                        res.hedge_min_samples),
+            "spare": EwmaQuantileTracker(res.hedge_quantile,
+                                         res.hedge_ewma_alpha,
+                                         res.hedge_min_samples),
+        }
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.buffer = bytearray()
+        self.pending: deque[_Pending] = deque()
+        self.inflight = 0             #: undone entries in ``pending``
+        self.sent = 0
+        self.finished = 0
+        self.connect_failures = 0
+        self.ever_connected = False
+        self.rendered: dict[str, bytes] = {}
+        self.read_task: asyncio.Task | None = None
+        self.hedge_task: asyncio.Task | None = None
+        self.hedge_entry: _Pending | None = None
+        self.spare_reader: asyncio.StreamReader | None = None
+        self.spare_writer: asyncio.StreamWriter | None = None
+        self.spare_buffer = bytearray()
+
+    def _render(self, key: str) -> bytes:
+        request = self.rendered.get(key)
+        if request is None:
+            self.rendered[key] = request = _request_bytes(key)
+        return request
+
+    def _timeout_s(self) -> float:
+        tracker = self.trackers["home"]
+        if tracker.ready:
+            return max(tracker.estimate * self.res.timeout_factor,
+                       self.res.min_timeout_ms) / 1000.0
+        return self.res.base_timeout_ms / 1000.0
+
+    def _oldest_undone(self) -> _Pending | None:
+        for entry in self.pending:
+            if not entry.done:
+                return entry
+        return None
+
+    def _finish(self, entry: _Pending, status: int, headers,
+                hedge_won: bool) -> None:
+        entry.done = True
+        self.inflight -= 1
+        self.finished += 1
+        latency_ms = (time.perf_counter() - entry.origin) * 1000.0
+        self.region_run.record(latency_ms, status, headers, key=entry.key,
+                        started_at_s=entry.origin - self.run_origin,
+                        retries=entry.attempts, hedged=entry.hedged,
+                        hedge_won=hedge_won)
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+    def _lost_connection(self) -> None:
+        if self.writer is not None:
+            transport = self.writer.transport
+            if transport is not None:
+                transport.abort()
+        self.writer = None
+        self.reader = None
+        self.buffer.clear()
+        if self.read_task is not None:
+            self.read_task.cancel()
+            self.read_task = None
+
+    async def _reconnect(self) -> None:
+        """One reconnect attempt; on repeated refusal, drain via the spare."""
+        conn = self.region_run.connections
+        try:
+            self.reader, self.writer = await asyncio.open_connection(
+                *self.address)
+        except OSError:
+            self.connect_failures += 1
+            if (self.spare is not None and self.res.failover
+                    and self.connect_failures > self.res.retry_budget):
+                await self._drain_via_spare()
+            delay_ms = self.backoff.delay_ms(
+                self.lane, min(self.connect_failures, 16))
+            delay_ms = min(max(delay_ms, 1.0), self.res.backoff_cap_ms)
+            await asyncio.sleep(delay_ms / 1000.0)
+            return
+        conn.connections_opened += 1
+        if self.ever_connected:
+            conn.reconnects += 1
+        self.ever_connected = True
+        self.connect_failures = 0
+        self.buffer.clear()
+        # The old pipeline is void: keep only undone entries and resend
+        # them in order (reads are idempotent); budget-exhausted entries
+        # fail over instead.
+        survivors: deque[_Pending] = deque()
+        batch: list[bytes] = []
+        now = time.perf_counter()
+        for entry in self.pending:
+            if entry.done:
+                continue
+            entry.attempts += 1
+            if (entry.attempts > self.res.retry_budget
+                    and self.spare is not None and self.res.failover):
+                self.inflight -= 1
+                await self._failover(entry)
+                continue
+            entry.sent_at = now
+            survivors.append(entry)
+            batch.append(self._render(entry.key))
+        self.pending = survivors
+        self.inflight = len(survivors)
+        if batch:
+            conn.requests_sent += len(batch)
+            try:
+                self.writer.write(b"".join(batch))
+                await self.writer.drain()
+            except (OSError, ConnectionError):
+                self._lost_connection()
+
+    async def _drain_via_spare(self) -> None:
+        """Home is refusing connections: push stuck work to the spare."""
+        survivors: deque[_Pending] = deque()
+        for entry in self.pending:
+            if entry.done:
+                continue
+            entry.attempts += 1
+            if entry.attempts > self.res.retry_budget:
+                self.inflight -= 1
+                await self._failover(entry)
+            else:
+                survivors.append(entry)
+        self.pending = survivors
+        self.inflight = len(survivors)
+        # New work that came due during the outage goes straight over,
+        # one pipeline window at a time so a brief crash does not dump the
+        # whole stream onto the spare.
+        moved = 0
+        perf = time.perf_counter
+        total = len(self.keys)
+        while self.sent < total and moved < self.depth:
+            now = perf()
+            if self.schedule is None:
+                if self.inflight or self.pending:
+                    break
+                origin = now
+            else:
+                if self.schedule[self.sent] > now:
+                    break
+                origin = float(self.schedule[self.sent])
+            entry = _Pending(self.keys[self.sent], origin, now)
+            entry.attempts = self.res.retry_budget + 1
+            self.sent += 1
+            moved += 1
+            await self._failover(entry)
+
+    async def _failover(self, entry: _Pending) -> None:
+        """Complete one entry via the spare gateway (or as unavailable)."""
+        entry.done = True
+        self.finished += 1
+        result = await self._spare_fetch(entry.key)
+        if result is None:
+            # Both endpoints unreachable: an honest unavailable read.
+            self.region_run.record(0.0, 503, {}, key=entry.key,
+                            started_at_s=entry.origin - self.run_origin,
+                            retries=entry.attempts)
+            return
+        _status, _headers, elapsed_ms = result
+        self.region_run.connections.failed_over += 1
+        self.trackers["spare"].observe(elapsed_ms)
+
+    async def _spare_fetch(self, key: str):
+        """One request over the persistent spare connection (two attempts)."""
+        if self.spare is None:
+            return None
+        perf = time.perf_counter
+        conn = self.region_run.connections
+        request = self._render(key)
+        timeout_s = self.res.base_timeout_ms / 1000.0
+        for _ in range(2):
+            if self.spare_writer is None:
+                try:
+                    self.spare_reader, self.spare_writer = (
+                        await asyncio.open_connection(*self.spare))
+                except OSError:
+                    await asyncio.sleep(0.005)
+                    continue
+                conn.connections_opened += 1
+                self.spare_buffer.clear()
+            started = perf()
+            try:
+                self.spare_writer.write(request)
+                await self.spare_writer.drain()
+                conn.requests_sent += 1
+                while True:
+                    parsed = parse_response(self.spare_buffer, 0)
+                    if parsed is not None:
+                        (status, headers, _body), offset = parsed
+                        del self.spare_buffer[:offset]
+                        return status, headers, (perf() - started) * 1000.0
+                    data = await asyncio.wait_for(
+                        self.spare_reader.read(1 << 16), timeout=timeout_s)
+                    if not data:
+                        raise ConnectionError("spare closed")
+                    self.spare_buffer += data
+            except (OSError, ConnectionError, asyncio.TimeoutError):
+                transport = self.spare_writer.transport
+                if transport is not None:
+                    transport.abort()
+                self.spare_writer = None
+                self.spare_reader = None
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Send / receive / timers
+    # ------------------------------------------------------------------ #
+    async def _send_due(self) -> None:
+        total = len(self.keys)
+        batch: list[bytes] = []
+        now = time.perf_counter()
+        while self.sent < total:
+            if self.schedule is None:
+                if self.inflight >= self.depth:
+                    break
+                origin = now
+            else:
+                if self.schedule[self.sent] > now:
+                    break
+                origin = float(self.schedule[self.sent])
+            entry = _Pending(self.keys[self.sent], origin, now)
+            self.pending.append(entry)
+            self.inflight += 1
+            batch.append(self._render(entry.key))
+            self.sent += 1
+        if batch:
+            self.region_run.connections.requests_sent += len(batch)
+            try:
+                self.writer.write(b"".join(batch))
+                await self.writer.drain()
+            except (OSError, ConnectionError):
+                self._lost_connection()
+
+    def _consume(self, data: bytes) -> None:
+        self.buffer += data
+        offset = 0
+        perf = time.perf_counter
+        while True:
+            parsed = parse_response(self.buffer, offset)
+            if parsed is None:
+                break
+            (status, headers, _body), offset = parsed
+            entry = self.pending.popleft()
+            if entry.done:
+                continue  # the hedge already answered; discard the duplicate
+            now = perf()
+            if status == 200:
+                self.trackers["home"].observe((now - entry.sent_at) * 1000.0)
+            self._finish(entry, status, headers, hedge_won=False)
+            if self.hedge_entry is entry:
+                self.hedge_task.cancel()
+                self.hedge_task = None
+                self.hedge_entry = None
+        if offset:
+            del self.buffer[:offset]
+
+    def _launch_hedge(self, entry: _Pending) -> None:
+        entry.hedged = True
+        self.region_run.connections.hedges_sent += 1
+        self.hedge_entry = entry
+        self.hedge_task = asyncio.ensure_future(_one_shot_request(
+            self.spare, self._render(entry.key),
+            self.res.base_timeout_ms / 1000.0))
+
+    def _finish_hedge(self) -> None:
+        task = self.hedge_task
+        entry = self.hedge_entry
+        self.hedge_task = None
+        self.hedge_entry = None
+        try:
+            result = task.result()
+        except (asyncio.CancelledError, OSError):
+            result = None
+        if result is None or entry is None or entry.done:
+            return
+        status, headers, elapsed_ms = result
+        self.trackers["spare"].observe(elapsed_ms)
+        self._finish(entry, status, headers, hedge_won=True)
+        # The entry keeps its pending slot: the home response (if the home
+        # connection survives) is consumed and discarded by _consume.
+
+    def _hedge_due_at(self, oldest: _Pending) -> float | None:
+        if (not self.res.hedge or self.spare is None
+                or self.hedge_task is not None or oldest.hedged):
+            return None
+        tracker = self.trackers["home"]
+        if not tracker.ready:
+            return None
+        return oldest.sent_at + tracker.estimate / 1000.0
+
+    async def _wait_for_event(self) -> None:
+        perf = time.perf_counter
+        oldest = self._oldest_undone()
+        wait_until = float("inf")
+        hedge_at = None
+        if oldest is not None:
+            wait_until = oldest.sent_at + self._timeout_s()
+            hedge_at = self._hedge_due_at(oldest)
+            if hedge_at is not None:
+                wait_until = min(wait_until, hedge_at)
+        if self.schedule is not None and self.sent < len(self.keys):
+            wait_until = min(wait_until, float(self.schedule[self.sent]))
+        if oldest is None and wait_until == float("inf"):
+            return  # closed loop with an empty window: send immediately
+        if self.read_task is None:
+            self.read_task = asyncio.ensure_future(self.reader.read(1 << 16))
+        waits = {self.read_task}
+        if self.hedge_task is not None:
+            waits.add(self.hedge_task)
+        timeout = (None if wait_until == float("inf")
+                   else max(wait_until - perf(), 0.0))
+        done, _ = await asyncio.wait(waits, timeout=timeout,
+                                     return_when=asyncio.FIRST_COMPLETED)
+        if self.hedge_task is not None and self.hedge_task in done:
+            self._finish_hedge()
+        if self.read_task in done:
+            task = self.read_task
+            self.read_task = None
+            try:
+                data = task.result()
+            except (OSError, ConnectionError):
+                data = b""
+            if not data:
+                self._lost_connection()
+                return
+            self._consume(data)
+            return
+        if not done:
+            now = perf()
+            oldest = self._oldest_undone()
+            if oldest is None:
+                return
+            if hedge_at is not None and now >= hedge_at and not oldest.hedged:
+                self._launch_hedge(oldest)
+            elif now >= oldest.sent_at + self._timeout_s():
+                # Deadline expired: declare the connection suspect, force a
+                # reconnect (which resends or fails over the stuck entries).
+                self.region_run.connections.timeouts += 1
+                self._lost_connection()
+
+    async def run(self) -> None:
+        total = len(self.keys)
+        try:
+            while self.finished < total:
+                if self.writer is None:
+                    await self._reconnect()
+                    continue
+                await self._send_due()
+                if self.writer is None:
+                    continue
+                await self._wait_for_event()
+        finally:
+            if self.read_task is not None:
+                self.read_task.cancel()
+            if self.hedge_task is not None:
+                self.hedge_task.cancel()
+            for writer in (self.writer, self.spare_writer):
+                if writer is None:
+                    continue
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+
+
 async def run_wire_load(addresses: Mapping[str, tuple[str, int]],
                         spec: WireLoadSpec, seed: int = 0,
                         ) -> dict[str, RegionWireResult]:
     """Run the wire workload against every region concurrently."""
     results: dict[str, RegionWireResult] = {}
     per_connection = spec.connection_requests()
+    ordered = list(addresses.items())
 
     async def _region(index: int, region: str,
                       address: tuple[str, int]) -> None:
-        run = _RegionRun()
+        run = _RegionRun(keep_samples=spec.keep_samples)
+        spare = (ordered[(index + 1) % len(ordered)][1]
+                 if spec.resilience is not None and len(ordered) > 1
+                 else None)
+        origin = time.perf_counter()
         workers = []
         for connection in range(spec.connections):
             lane = index * spec.connections + connection
@@ -227,26 +847,37 @@ async def run_wire_load(addresses: Mapping[str, tuple[str, int]],
             ranks = generate_request_ranks(spec.workload, seed=lane_seed)
             keys = [spec.workload.key_for_rank(int(rank))
                     for rank in ranks[:per_connection]]
+            schedule = None
             if spec.arrival.is_open_loop:
                 rng = np.random.default_rng((lane_seed, 0x5e7e))
                 gaps = rng.exponential(spec.arrival.mean_interarrival_s,
                                        len(keys))
                 schedule = np.cumsum(gaps)
-                workers.append(_open_worker(address, keys, schedule, run))
+            if spec.resilience is not None:
+                absolute = origin + schedule if schedule is not None else None
+                workers.append(_ResilientWorker(
+                    address, spare, keys, absolute, spec.pipeline_depth,
+                    run, spec.resilience, lane, origin).run())
+            elif schedule is not None:
+                workers.append(_open_worker(address, keys, schedule, run,
+                                            origin))
             else:
                 workers.append(_closed_worker(address, keys,
-                                              spec.pipeline_depth, run))
+                                              spec.pipeline_depth, run,
+                                              origin))
         started = time.perf_counter()
         await asyncio.gather(*workers)
         duration = time.perf_counter() - started
         stats = run.stats
         results[region] = RegionWireResult(
             region=region, stats=stats, duration_s=duration,
-            requests=stats.count + stats.unavailable_reads, errors=run.errors)
+            requests=per_connection * spec.connections, errors=run.errors,
+            connections=run.connections,
+            samples=run.samples if run.samples is not None else [])
 
     await asyncio.gather(*(
         _region(index, region, address)
-        for index, (region, address) in enumerate(addresses.items())))
+        for index, (region, address) in enumerate(ordered)))
     return results
 
 
@@ -262,9 +893,11 @@ def wire_report_table(results: Mapping[str, RegionWireResult],
     """The wire twin of the simulated report tables (same stats source)."""
     table = Table(title=title, columns=[
         "region", "requests", "req/s", "mean ms", "p50 ms", "p95 ms",
-        "p99 ms", "hit %", "errors"])
+        "p99 ms", "hit %", "errors", "retries", "hedged", "failover",
+        "conns", "req/conn", "reconn"])
     for region, result in results.items():
         stats = result.stats
+        conn = result.connections
         table.add_row(
             region, result.requests, result.throughput_rps,
             stats.mean_latency_ms if stats.count else 0.0,
@@ -272,5 +905,11 @@ def wire_report_table(results: Mapping[str, RegionWireResult],
             stats.p95_latency_ms if stats.count else 0.0,
             stats.p99_latency_ms if stats.count else 0.0,
             stats.hit_ratio * 100.0,
-            result.errors)
+            result.errors,
+            stats.retries_total,
+            stats.hedged_reads,
+            conn.failed_over,
+            conn.connections_opened,
+            conn.requests_per_connection,
+            conn.reconnects)
     return table

@@ -84,3 +84,15 @@ async def http_put(address: tuple[str, int], path: str, body: bytes,
     responses = await raw_exchange(address, request)
     assert responses, f"no response for PUT {path}"
     return responses[0]
+
+
+async def http_post(address: tuple[str, int], path: str, body: bytes = b"",
+                    content_type: str = "application/json",
+                    ) -> tuple[int, dict, bytes]:
+    request = (f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+               f"Content-Type: {content_type}\r\n"
+               f"Content-Length: {len(body)}\r\n"
+               f"Connection: close\r\n\r\n").encode() + body
+    responses = await raw_exchange(address, request)
+    assert responses, f"no response for POST {path}"
+    return responses[0]

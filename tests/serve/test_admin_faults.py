@@ -1,0 +1,144 @@
+"""Live-endpoint validation of ``/admin/fault`` and ``/admin/tick``.
+
+Every rejection the gateway promises is exercised over a real socket: the
+malformed installs get clean 400s, overlapping dynamic windows get a 409
+(reusing the engine's ``FaultSchedule`` overlap rule), and the happy path
+returns the install receipt and schedules lazily applied transitions.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.ledger import DYNAMIC_FAULT_INDEX, KIND_FAULT
+
+from serve_helpers import http_get, http_post, start_cluster, tiny_config
+
+
+def _fault(**overrides) -> bytes:
+    body = {"kind": "outage", "region": "sao_paulo",
+            "start_s": 5.0, "end_s": 15.0}
+    body.update(overrides)
+    return json.dumps({k: v for k, v in body.items() if v is not None}).encode()
+
+
+def test_dynamic_install_and_transitions(run):
+    async def scenario():
+        cluster = await start_cluster(tiny_config())
+        try:
+            address = cluster.addresses["frankfurt"]
+            status, _, body = await http_post(address, "/admin/fault", _fault())
+            assert status == 200
+            receipt = json.loads(body)
+            assert receipt == {"installed": 1, "pending_transitions": 2}
+
+            ledger = cluster.gateways["frankfurt"].ledger
+            # The install itself lands a state change (clear, pre-window).
+            assert [e.fault_index for e in ledger
+                    if e.kind == KIND_FAULT] == [DYNAMIC_FAULT_INDEX]
+
+            # Replay timestamps walk the clock through both transitions.
+            for at in (6.0, 20.0):
+                status, _, _ = await http_get(
+                    address, f"/objects/object-0?at={at}")
+                assert status == 200
+            dynamic = [e for e in ledger if e.kind == KIND_FAULT]
+            assert len(dynamic) == 3
+            assert all(e.fault_index == DYNAMIC_FAULT_INDEX for e in dynamic)
+            assert [e.at for e in dynamic[1:]] == [5.0, 15.0]
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_overlap_rejected_with_409(run):
+    async def scenario():
+        cluster = await start_cluster(tiny_config())
+        try:
+            address = cluster.addresses["frankfurt"]
+            status, _, _ = await http_post(address, "/admin/fault", _fault())
+            assert status == 200
+            # Same kind, same region, overlapping window: the engine's
+            # config-time overlap rule, enforced at install time.
+            status, _, body = await http_post(
+                address, "/admin/fault", _fault(start_s=10.0, end_s=25.0))
+            assert status == 409
+            assert b"overlap" in body.lower()
+            # Different kind or different region is fine.
+            status, _, _ = await http_post(
+                address, "/admin/fault",
+                _fault(kind="brownout", start_s=10.0, end_s=25.0,
+                       multiplier=2.0))
+            assert status == 200
+            status, _, body = await http_post(
+                address, "/admin/fault",
+                _fault(region="tokyo", start_s=10.0, end_s=25.0))
+            assert status == 200
+            assert json.loads(body)["installed"] == 3
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_malformed_installs_rejected(run):
+    rejections = [
+        # (path, body, expected snippet)
+        ("/admin/fault", b"", b"missing fault index"),
+        ("/admin/fault?index=0", _fault(), b"not both"),
+        ("/admin/fault?index=x", b"", b"invalid fault index"),
+        ("/admin/fault?index=99", b"", b"out of range"),
+        ("/admin/fault?index=-1", b"", b"out of range"),
+        ("/admin/fault", b"{not json", b"not JSON"),
+        ("/admin/fault", b"[1, 2]", b"JSON object"),
+        ("/admin/fault", _fault(kind="meteor"), b"unknown fault kind"),
+        ("/admin/fault", _fault(region="atlantis"), b"unknown fault region"),
+        ("/admin/fault", _fault(region=7), b"unknown fault region"),
+        ("/admin/fault", _fault(start_s=None), b"needs start_s and end_s"),
+        ("/admin/fault", _fault(end_s=None), b"needs start_s and end_s"),
+        ("/admin/fault", _fault(start_s="soon"), b"finite number"),
+        ("/admin/fault", b'{"kind": "outage", "region": "sao_paulo",'
+                         b' "start_s": NaN, "end_s": 5.0}', b"finite number"),
+        ("/admin/fault", _fault(multiplier=2.0), b"only applies to brownouts"),
+        ("/admin/fault", _fault(color="red"), b"unknown fault fields"),
+        ("/admin/fault", _fault(start_s=9.0, end_s=3.0), b""),
+        ("/admin/tick", b"{}", b"tick takes no body"),
+    ]
+
+    async def scenario():
+        cluster = await start_cluster(tiny_config())
+        try:
+            address = cluster.addresses["frankfurt"]
+            for path, body, snippet in rejections:
+                status, _, response = await http_post(address, path, body)
+                assert status == 400, (path, body, status, response)
+                assert snippet in response, (path, body, response)
+            # Nothing was installed and nothing hit the ledger.
+            assert cluster.gateways["frankfurt"].ledger == []
+            status, _, _ = await http_post(address, "/admin/tick")
+            assert status == 200
+        finally:
+            await cluster.stop()
+
+    run(scenario())
+
+
+def test_replay_timestamp_validation(run):
+    async def scenario():
+        cluster = await start_cluster(tiny_config())
+        try:
+            address = cluster.addresses["frankfurt"]
+            for bad in ("x", "-1.0", "inf", "nan"):
+                status, _, body = await http_get(
+                    address, f"/objects/object-0?at={bad}")
+                assert status == 400, (bad, body)
+            status, _, _ = await http_get(
+                address, "/objects/object-0", headers={"X-Replay-At": "-2"})
+            assert status == 400
+            status, _, _ = await http_get(address, "/objects/object-0?at=1.5")
+            assert status == 200
+        finally:
+            await cluster.stop()
+
+    run(scenario())

@@ -15,11 +15,23 @@ The example counts are deliberately small — each example is a full engine
 run — so the soak stays inside the tier-1 time budget.
 """
 
+import asyncio
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.client.resilience import ResilienceConfig
 from repro.client.strategies import ClientConfig
+from repro.serve.chaos import ChaosInjector, ChaosSchedule, GatewayCrash
+from repro.serve.gateway import ServeCluster
+from repro.serve.ledger import (
+    KIND_CRASH,
+    KIND_RECOVERY,
+    ledger_from_lines,
+    ledger_to_lines,
+)
+from repro.serve.loadgen import WireLoadSpec, WireResilience, run_wire_load
+from repro.serve.supervisor import ClusterSupervisor, SupervisorConfig
 from repro.sim.engine import EngineConfig, EventEngine, RegionSpec
 from repro.sim.faults import (
     AZFailure,
@@ -27,7 +39,7 @@ from repro.sim.faults import (
     FaultSchedule,
     RegionOutage,
 )
-from repro.workload.workload import zipfian_workload
+from repro.workload.workload import ArrivalSpec, zipfian_workload
 
 MEGABYTE = 1024 * 1024
 
@@ -170,3 +182,113 @@ class TestChaosSoak:
             seed=3, processes=False)
         assert_results_identical(first, second)
         assert_invariants(first, config)
+
+
+# --------------------------------------------------------------------------- #
+# Wire leg: the same chaos philosophy against a live in-process cluster.
+# --------------------------------------------------------------------------- #
+
+WIRE_REGIONS = ("frankfurt", "dublin")
+WIRE_RATE_RPS = 400.0
+WIRE_REQUESTS = 60  #: per region — keeps each example's wall run ≈ 0.15 s
+
+#: Up to two generated kill times inside the run window.  Both regions may
+#: crash (also simultaneously — the spare dies too), or the same region may
+#: crash twice (the second kill hits the recovered gateway).
+wire_crash_plans = st.lists(
+    st.tuples(st.sampled_from(WIRE_REGIONS),
+              st.floats(min_value=0.02, max_value=0.12)),
+    max_size=2)
+
+#: Optionally one wire-scale modeled fault window, delivered over the wire
+#: as a dynamic ``/admin/fault`` install mid-run.
+wire_fault_windows = st.one_of(
+    st.none(),
+    st.tuples(st.sampled_from(("outage", "brownout")),
+              st.sampled_from(("sao_paulo", "tokyo")),
+              st.floats(min_value=0.0, max_value=0.05),
+              st.floats(min_value=0.05, max_value=0.2)))
+
+
+def _wire_schedule(crashes, window, seed) -> ChaosSchedule:
+    faults = None
+    if window is not None:
+        kind, region, start, length = window
+        fault_type = RegionOutage if kind == "outage" else BackendBrownout
+        faults = FaultSchedule([fault_type(region, start, start + length)])
+    return ChaosSchedule(
+        wire_faults=tuple(GatewayCrash(region, at) for region, at in crashes),
+        fault_schedule=faults, seed=seed)
+
+
+async def _wire_chaos_run(schedule: ChaosSchedule, seed: int):
+    config = EngineConfig(
+        workload=zipfian_workload(1.1, request_count=2 * WIRE_REQUESTS,
+                                  object_count=20, object_size=16 * 1024,
+                                  seed=11),
+        regions=tuple(RegionSpec(region, clients=1, strategy="lru-3")
+                      for region in WIRE_REGIONS),
+        cache_capacity_bytes=4 * MEGABYTE,
+    )
+    spec = WireLoadSpec(
+        workload=config.workload,
+        arrival=ArrivalSpec(process="poisson", rate_rps=WIRE_RATE_RPS),
+        connections=1, requests_per_connection=WIRE_REQUESTS,
+        resilience=WireResilience(retry_budget=2, base_timeout_ms=120.0,
+                                  backoff_cap_ms=25.0))
+    cluster = ServeCluster.from_config(config, seed=seed, payloads=True)
+    async with cluster:
+        supervisor_config = SupervisorConfig(poll_interval_s=0.02)
+        async with ClusterSupervisor(cluster, supervisor_config) as supervisor:
+            injector = ChaosInjector(cluster, schedule)
+            results, _ = await asyncio.gather(
+                run_wire_load(cluster.addresses, spec, seed=seed),
+                injector.run())
+            # Supervisor convergence: every effective kill ends in a
+            # completed recovery within a bounded window.
+            for _ in range(150):
+                if len(supervisor.recoveries) >= len(injector.crash_log):
+                    break
+                await asyncio.sleep(0.02)
+            recoveries = list(supervisor.recoveries)
+        healthy = all(gateway.port is not None
+                      for gateway in cluster.gateways.values())
+    return results, recoveries, injector.crash_log, cluster, healthy
+
+
+class TestWireChaosSoak:
+    @settings(max_examples=5, deadline=None)
+    @given(crashes=wire_crash_plans, window=wire_fault_windows,
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_wire_conservation_and_ledger_integrity(self, crashes, window,
+                                                    seed):
+        schedule = _wire_schedule(crashes, window, seed)
+        results, recoveries, crash_log, cluster, healthy = asyncio.run(
+            _wire_chaos_run(schedule, seed))
+
+        # Conservation: every intended request is a latency sample, an
+        # unavailable read, or a failover completion — whatever was killed.
+        for region, result in results.items():
+            stats, connections = result.stats, result.connections
+            assert (stats.count + stats.unavailable_reads
+                    + connections.failed_over == result.requests), region
+            assert (stats.full_hits + stats.partial_hits + stats.misses
+                    == stats.count), region
+
+        # Supervisor convergence: every effective kill was recovered and the
+        # cluster ends with every gateway bound and serving.
+        assert len(recoveries) >= len(crash_log)
+        assert healthy
+
+        # Ledger integrity after every restart: entries survive the line
+        # codec bit-exactly, and crash/recovery entries pair up in order.
+        total_crash_entries = 0
+        for region, ledger in cluster.ledgers().items():
+            assert ledger_from_lines(ledger_to_lines(ledger)) == ledger
+            crash_entries = [e for e in ledger if e.kind == KIND_CRASH]
+            recovery_entries = [e for e in ledger if e.kind == KIND_RECOVERY]
+            assert len(crash_entries) == len(recovery_entries), region
+            for crash, recovery in zip(crash_entries, recovery_entries):
+                assert crash.at <= recovery.at
+            total_crash_entries += len(crash_entries)
+        assert total_crash_entries == len(recoveries)
